@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks: the functional ASM vs native multiply, the
+//! Algorithm-1 projections, the gate-level toggle simulator and the
+//! fixed-point inference engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use man::alphabet::AlphabetSet;
+use man::asm::AsmMultiplier;
+use man::constrain::{project_greedy, WeightLattice};
+use man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
+use man::train::ConstraintProjector;
+use man::zoo::Benchmark;
+use man_datasets::GenOptions;
+use man_hw::cell::CellLibrary;
+use man_hw::components::adder::{adder, AdderKind};
+use man_hw::eval::Evaluator;
+
+fn bench_asm_multiply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asm_multiply");
+    for set in [AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()] {
+        let asm = AsmMultiplier::new(8, set.clone());
+        let lattice = WeightLattice::new(8, &set);
+        let weights: Vec<u32> = lattice.values().to_vec();
+        let bank = asm.precompute(97);
+        group.bench_with_input(BenchmarkId::from_parameter(set.label()), &set, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &w in &weights {
+                    acc = acc.wrapping_add(asm.multiply(w, &bank).unwrap());
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1");
+    let set = AlphabetSet::a2();
+    let lattice = WeightLattice::new(12, &set);
+    group.bench_function("exact_12bit_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for mag in 0..2048u32 {
+                acc = acc.wrapping_add(lattice.project_exact(mag));
+            }
+            acc
+        })
+    });
+    group.bench_function("greedy_12bit_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for mag in 0..2048u32 {
+                acc = acc.wrapping_add(project_greedy(12, &set, mag));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_gate_sim(c: &mut Criterion) {
+    let lib = CellLibrary::nominal_45nm();
+    let circ = adder(16, AdderKind::KoggeStone);
+    c.bench_function("gate_sim_ks16_1k_vectors", |b| {
+        b.iter(|| {
+            let mut sim = Evaluator::new(circ.netlist());
+            for i in 0..1000u64 {
+                sim.step(&[("a", i * 37 % 65536), ("b", i * 91 % 65536)]);
+            }
+            sim.dynamic_energy_fj(&lib)
+        })
+    });
+}
+
+fn bench_fixed_inference(c: &mut Criterion) {
+    let ds = Benchmark::DigitsMlp.dataset(&GenOptions {
+        train: 8,
+        test: 8,
+        seed: 1,
+    });
+    let net = Benchmark::DigitsMlp.build_network(0);
+    let spec = QuantSpec::fit(&net, 8);
+    let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
+    let mut constrained = net.clone();
+    ConstraintProjector::new(&spec, &alphabets).project(&mut constrained);
+    let fixed = FixedNet::compile(&constrained, &spec, &alphabets).unwrap();
+    c.bench_function("man_mlp_inference_1024_100_10", |b| {
+        b.iter(|| fixed.predict(&ds.test_images[0]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_asm_multiply, bench_projection, bench_gate_sim, bench_fixed_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 10: neuron area, conventional vs ASM, 8- and 12-bit, under
+//! iso-speed synthesis, normalized to conventional.
+
+use man_hw::cell::CellLibrary;
+use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
+use man_bench::save_json;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AreaRow {
+    bits: u32,
+    label: String,
+    area_um2: f64,
+    normalized: f64,
+}
+
+fn main() {
+    let lib = CellLibrary::nominal_45nm();
+    println!("Fig. 10 — neuron area at iso-speed (normalized to conventional)");
+    let mut rows = Vec::new();
+    for bits in [8u32, 12] {
+        println!("\n{}-bit neurons:", bits);
+        let mut base = 0.0;
+        for kind in [
+            NeuronKind::Conventional,
+            NeuronKind::Asm(vec![1, 3, 5, 7]),
+            NeuronKind::Asm(vec![1, 3]),
+            NeuronKind::Asm(vec![1]),
+        ] {
+            let dp = NeuronDatapath::build(NeuronSpec::paper(bits, kind.clone()), &lib)
+                .expect("timing closes at paper clocks");
+            let area = dp.neuron_area_um2(&lib);
+            if base == 0.0 {
+                base = area;
+            }
+            println!(
+                "  {:<14} {:>9.1} um^2   {:>6.3}  ({:>5.1}% reduction)",
+                kind.label(),
+                area,
+                area / base,
+                (1.0 - area / base) * 100.0
+            );
+            rows.push(AreaRow {
+                bits,
+                label: kind.label(),
+                area_um2: area,
+                normalized: area / base,
+            });
+        }
+    }
+    save_json("fig10", &rows);
+}

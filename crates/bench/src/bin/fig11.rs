@@ -1,0 +1,108 @@
+//! Fig. 11: mixed-alphabet configurations — 1 alphabet {1} in the large
+//! early layers, 2/4 alphabets in the small concluding layers — trading a
+//! little energy for recovered accuracy (Section VI-E).
+
+use man::alphabet::AlphabetSet;
+use man::engine::{kinds_from_alphabets, CostModel};
+use man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
+use man::train::{constrained_retrain, train_unconstrained};
+use man::zoo::Benchmark;
+use man_bench::{save_json, RunMode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MixedRow {
+    benchmark: String,
+    config: String,
+    accuracy_pct: f64,
+    energy_pj: f64,
+}
+
+/// The paper's Fig. 11 layer assignments.
+fn configs(b: Benchmark) -> Vec<(&'static str, Vec<AlphabetSet>)> {
+    let (a1, a2, a4) = (AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4());
+    match b {
+        // 2-layer MLP: 1-alphabet hidden layer, 4-alphabet output layer.
+        Benchmark::DigitsMlp => vec![
+            ("1 alphabet", vec![a1.clone(), a1.clone()]),
+            ("1,4 mixed", vec![a1, a4]),
+        ],
+        // 6-layer MLP: {1}x4, then {1,3}, then {1,3,5,7}.
+        Benchmark::Svhn => vec![
+            ("1 alphabet", vec![a1.clone(); 6]),
+            (
+                "1,2,4 mixed",
+                vec![a1.clone(), a1.clone(), a1.clone(), a1, a2, a4],
+            ),
+        ],
+        // 5-layer MLP: {1}x3, then {1,3}, then {1,3,5,7}.
+        Benchmark::Tich => vec![
+            ("1 alphabet", vec![a1.clone(); 5]),
+            ("1,2,4 mixed", vec![a1.clone(), a1.clone(), a1, a2, a4]),
+        ],
+        _ => panic!("Fig. 11 covers DigitsMlp, Svhn and Tich"),
+    }
+}
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("Fig. 11 — mixed alphabet configurations ({mode:?})\n");
+    let mut model = CostModel::default();
+    let mut rows = Vec::new();
+    for b in [Benchmark::DigitsMlp, Benchmark::Svhn, Benchmark::Tich] {
+        let bits = 8;
+        let ds = b.dataset(&mode.gen_options(0xF16 + b.paper_neurons() as u64));
+        let mut cfg = mode.methodology(bits);
+        b.tune(&mut cfg);
+        let mut net = b.build_network(cfg.seed);
+        train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
+        let spec = QuantSpec::fit(&net, bits);
+        let layers = spec.layer_formats().len();
+        // Conventional reference for accuracy context.
+        let conv = FixedNet::compile(
+            &net,
+            &spec,
+            &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
+        )
+        .unwrap();
+        let j = 100.0 * conv.accuracy(&ds.test_images, &ds.test_labels);
+        println!("{} (conventional fixed-point: {j:.2}%)", b.name());
+        let mut base_energy = 0.0;
+        for (label, sets) in configs(b) {
+            let alphabets = LayerAlphabets::mixed(sets);
+            let retrained = constrained_retrain(
+                &net,
+                &spec,
+                &alphabets,
+                &ds.train_images,
+                &ds.train_labels,
+                &cfg,
+            );
+            let fixed = FixedNet::compile(&retrained, &spec, &alphabets).unwrap();
+            let acc = 100.0 * fixed.accuracy(&ds.test_images, &ds.test_labels);
+            let traces = fixed.sample_traces(&ds.test_images, 600);
+            let cost = model
+                .network_cost(&fixed, &kinds_from_alphabets(&alphabets), &traces, label)
+                .unwrap();
+            if base_energy == 0.0 {
+                base_energy = cost.energy_pj;
+            }
+            println!(
+                "  {:<12} accuracy {:>6.2}%  energy {:>10.1} pJ ({:+.1}% vs all-MAN)",
+                label,
+                acc,
+                cost.energy_pj,
+                100.0 * (cost.energy_pj / base_energy - 1.0)
+            );
+            rows.push(MixedRow {
+                benchmark: b.name().into(),
+                config: label.into(),
+                accuracy_pct: acc,
+                energy_pj: cost.energy_pj,
+            });
+        }
+    }
+    println!("\n(Accuracy improves with mixed alphabets at a small energy overhead,");
+    println!(" because the concluding layers account for few processing cycles.)");
+    save_json("fig11", &rows);
+}

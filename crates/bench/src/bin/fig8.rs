@@ -1,0 +1,21 @@
+//! Fig. 8: neuron power consumption, conventional vs ASM, 8- and 12-bit,
+//! at iso-speed clocks (3 / 2.5 GHz), normalized to conventional.
+
+use man::engine::CostModel;
+use man::zoo::Benchmark;
+use man_bench::{cost_experiment, print_cost_table, save_json, RunMode};
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("Fig. 8 — neuron power at iso-speed ({mode:?})");
+    let mut model = CostModel::default();
+    // Power is measured on the representative 2-layer MLP workload
+    // (digit recognition), like the paper's per-neuron comparison.
+    let mut results = Vec::new();
+    for bits in [8u32, 12] {
+        let exp = cost_experiment(Benchmark::DigitsMlp, bits, mode, &mut model);
+        print_cost_table(&exp, "power");
+        results.push(exp);
+    }
+    save_json("fig8", &results);
+}

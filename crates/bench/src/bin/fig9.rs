@@ -1,0 +1,27 @@
+//! Fig. 9: energy per inference across applications, grouped as in the
+//! paper: (a) 2-layer MLPs, (b) 5-6 layer MLPs, (c) the 6-layer CNN.
+
+use man::engine::CostModel;
+use man::zoo::Benchmark;
+use man_bench::{cost_experiment, print_cost_table, save_json, RunMode};
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("Fig. 9 — energy per inference ({mode:?})");
+    let mut model = CostModel::default();
+    let groups: [(&str, Vec<Benchmark>); 3] = [
+        ("(a) 2-layer MLPs", vec![Benchmark::DigitsMlp, Benchmark::Faces]),
+        ("(b) 5-6 layer MLPs", vec![Benchmark::Svhn, Benchmark::Tich]),
+        ("(c) 6-layer CNN", vec![Benchmark::DigitsCnn]),
+    ];
+    let mut results = Vec::new();
+    for (title, members) in groups {
+        println!("\n=== {title} ===");
+        for b in members {
+            let exp = cost_experiment(b, b.default_bits(), mode, &mut model);
+            print_cost_table(&exp, "energy");
+            results.push(exp);
+        }
+    }
+    save_json("fig9", &results);
+}

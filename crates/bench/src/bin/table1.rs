@@ -1,0 +1,32 @@
+//! Table I: decomposition of multiplication operations into shift-add
+//! combinations of alphabets.
+
+use man::alphabet::AlphabetSet;
+use man::asm::AsmMultiplier;
+use man::quartet::QuartetScheme;
+
+fn main() {
+    println!("Table I — decomposition of the multiplication operation\n");
+    let scheme = QuartetScheme::for_bits(8);
+    let asm = AsmMultiplier::new(8, AlphabetSet::a8());
+    for (name, w) in [("W1", 105u32), ("W2", 66u32)] {
+        let quartets = scheme.decompose(w);
+        let plan = asm.decode(w).expect("full alphabet decodes everything");
+        print!("{name} = {w:#010b} ({w}10)   {name}×I = ");
+        let mut parts = Vec::new();
+        for (qi, control) in plan.controls.iter().enumerate() {
+            if let Some((idx, shift)) = control {
+                let a = asm.alphabet().members()[*idx];
+                let offset = 4 * qi as u32 + shift;
+                parts.push(format!("2^{offset}.({a:04b}).I"));
+            }
+        }
+        println!("{}", parts.join(" + "));
+        println!("    quartets (LSB first): {quartets:?}");
+        // Verify on a sample input, as the paper's running example does.
+        let bank = asm.precompute(0b1011);
+        assert_eq!(asm.multiply(w, &bank).unwrap(), w as u64 * 0b1011);
+    }
+    println!("\n(If I, 3I, 5I, 7I, 9I, 11I, 13I, 15I are available, the entire");
+    println!(" multiplication reduces to a few shift and add operations.)");
+}

@@ -1,0 +1,17 @@
+//! Table II: NN accuracy results for face detection (8- and 12-bit
+//! synapses, conventional vs ASM with 4/2/1 alphabets).
+
+use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
+use man::zoo::Benchmark;
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("Table II — NN accuracy results for face detection ({mode:?})");
+    let mut results = Vec::new();
+    for bits in [8u32, 12] {
+        let exp = accuracy_experiment(Benchmark::Faces, bits, mode);
+        print_accuracy_table(&exp);
+        results.push(exp);
+    }
+    save_json("table2", &results);
+}

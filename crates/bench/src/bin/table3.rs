@@ -1,0 +1,15 @@
+//! Table III: NN accuracy results for digit recognition — 8-bit MLP and
+//! 12-bit LeNet-style CNN on the MNIST-like set.
+
+use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
+use man::zoo::Benchmark;
+
+fn main() {
+    let mode = RunMode::from_args();
+    println!("Table III — NN accuracy results for digit recognition ({mode:?})");
+    let mlp = accuracy_experiment(Benchmark::DigitsMlp, 8, mode);
+    print_accuracy_table(&mlp);
+    let cnn = accuracy_experiment(Benchmark::DigitsCnn, 12, mode);
+    print_accuracy_table(&cnn);
+    save_json("table3", &vec![mlp, cnn]);
+}

@@ -1,0 +1,24 @@
+//! Table IV: the benchmark inventory — checked against the actual
+//! constructed networks.
+
+use man::zoo::Benchmark;
+
+fn main() {
+    println!("Table IV — benchmarks\n");
+    println!(
+        "{:<30} {:<12} {:>7} {:>9} {:>12}  {}",
+        "Application", "NN Model", "Layers", "Neurons", "Synapses", "(paper synapses)"
+    );
+    for b in Benchmark::ALL {
+        let net = b.build_network(0);
+        println!(
+            "{:<30} {:<12} {:>7} {:>9} {:>12}  ({})",
+            b.name(),
+            b.model(),
+            b.paper_layers(),
+            net.neuron_count(),
+            net.param_count(),
+            b.paper_synapses()
+        );
+    }
+}

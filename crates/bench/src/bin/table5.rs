@@ -1,0 +1,34 @@
+//! Table V: experimental parameters, with the synthesized datapaths'
+//! timing closure verified at the paper's clocks.
+
+use man_hw::cell::CellLibrary;
+use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
+
+fn main() {
+    let lib = CellLibrary::nominal_45nm();
+    println!("Table V — experimental parameters\n");
+    println!("Feature size                      45nm-class library ({})", lib.name());
+    println!("Clock frequency for 8-bit neuron  3 GHz (333 ps)");
+    println!("Clock frequency for 12-bit neuron 2.5 GHz (400 ps)\n");
+    println!("Timing closure at iso-speed:");
+    for bits in [8u32, 12] {
+        for kind in [
+            NeuronKind::Conventional,
+            NeuronKind::Asm(vec![1, 3, 5, 7]),
+            NeuronKind::Asm(vec![1, 3]),
+            NeuronKind::Asm(vec![1]),
+        ] {
+            let spec = NeuronSpec::paper(bits, kind.clone());
+            let clock = spec.clock_ps;
+            let dp = NeuronDatapath::build(spec, &lib).expect("timing closes");
+            println!(
+                "  {:>2}-bit {:<14} worst stage {:>6.1} ps <= clock {:>5.0} ps  (mult: {})",
+                bits,
+                kind.label(),
+                dp.cycle_delay_ps(&lib),
+                clock,
+                dp.mult_stage.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Shared support for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (see DESIGN.md §4 for the index).
+//!
+//! Every binary accepts `--full` (paper-scale datasets and epochs) and
+//! defaults to a `--quick` configuration that reproduces the trends in
+//! seconds to minutes. Results are printed as the paper's rows and also
+//! serialized to `target/experiments/<name>.json`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use man::alphabet::AlphabetSet;
+use man::engine::{kinds_conventional, kinds_from_alphabets, CostModel, CostReport};
+use man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
+use man::train::{
+    constrained_retrain, train_unconstrained, ConstraintProjector, MethodologyConfig,
+};
+use man::zoo::Benchmark;
+use man_datasets::GenOptions;
+use serde::Serialize;
+
+/// Quick vs. full (paper-scale) execution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// Reduced samples/epochs; minutes for the whole suite.
+    Quick,
+    /// Paper-scale runs.
+    Full,
+}
+
+impl RunMode {
+    /// Parses `--full` / `--quick` from the process arguments.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            RunMode::Full
+        } else {
+            RunMode::Quick
+        }
+    }
+
+    /// Dataset sizing for this mode.
+    pub fn gen_options(self, seed: u64) -> GenOptions {
+        match self {
+            RunMode::Quick => GenOptions {
+                train: 1500,
+                test: 400,
+                seed,
+            },
+            RunMode::Full => GenOptions {
+                train: 6000,
+                test: 1500,
+                seed,
+            },
+        }
+    }
+
+    /// Methodology hyper-parameters for this mode.
+    pub fn methodology(self, bits: u32) -> MethodologyConfig {
+        let mut cfg = MethodologyConfig::paper(bits);
+        if self == RunMode::Quick {
+            cfg.initial_epochs = 8;
+            cfg.retrain_epochs = 4;
+        }
+        cfg
+    }
+}
+
+/// The alphabet sweep of the paper's tables, largest first (as Tables II
+/// and III list them): `{1,3,5,7}`, `{1,3}`, `{1}`.
+pub fn table_alphabets() -> Vec<AlphabetSet> {
+    vec![AlphabetSet::a4(), AlphabetSet::a2(), AlphabetSet::a1()]
+}
+
+/// One accuracy row: configuration label, accuracy %, loss vs conventional
+/// in percentage points.
+#[derive(Clone, Debug, Serialize)]
+pub struct AccuracyRow {
+    /// Configuration (e.g. "conventional NN" or "2 {1,3}").
+    pub config: String,
+    /// Test accuracy in percent.
+    pub accuracy_pct: f64,
+    /// Accuracy loss vs. the conventional NN, percentage points.
+    pub loss_pct: f64,
+}
+
+/// A full accuracy experiment on one benchmark at one word length.
+#[derive(Clone, Debug, Serialize)]
+pub struct AccuracyExperiment {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Word length.
+    pub bits: u32,
+    /// Float accuracy after unconstrained training (for reference).
+    pub float_pct: f64,
+    /// Rows: conventional first, then each alphabet set.
+    pub rows: Vec<AccuracyRow>,
+}
+
+/// Trains the benchmark, measures the conventional fixed-point baseline,
+/// then constrained-retrains and measures each alphabet set in
+/// [`table_alphabets`] order — the procedure behind Tables II/III and
+/// Fig. 7.
+pub fn accuracy_experiment(benchmark: Benchmark, bits: u32, mode: RunMode) -> AccuracyExperiment {
+    let ds = benchmark.dataset(&mode.gen_options(0xDA7E + bits as u64));
+    let mut cfg = mode.methodology(bits);
+    benchmark.tune(&mut cfg);
+    let mut net = benchmark.build_network(cfg.seed);
+    train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
+    let float_pct = 100.0 * net.accuracy(&ds.test_images, &ds.test_labels);
+    let spec = QuantSpec::fit(&net, bits);
+    let layers = spec.layer_formats().len();
+    let conventional = FixedNet::compile(
+        &net,
+        &spec,
+        &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
+    )
+    .expect("full alphabet always compiles");
+    let j = 100.0 * conventional.accuracy(&ds.test_images, &ds.test_labels);
+    let mut rows = vec![AccuracyRow {
+        config: "conventional NN".into(),
+        accuracy_pct: j,
+        loss_pct: 0.0,
+    }];
+    for set in table_alphabets() {
+        let alphabets = LayerAlphabets::uniform(set.clone(), layers);
+        let retrained = constrained_retrain(
+            &net,
+            &spec,
+            &alphabets,
+            &ds.train_images,
+            &ds.train_labels,
+            &cfg,
+        );
+        let fixed = FixedNet::compile(&retrained, &spec, &alphabets)
+            .expect("projected weights always compile");
+        let k = 100.0 * fixed.accuracy(&ds.test_images, &ds.test_labels);
+        rows.push(AccuracyRow {
+            config: set.label(),
+            accuracy_pct: k,
+            loss_pct: j - k,
+        });
+    }
+    AccuracyExperiment {
+        benchmark: benchmark.name().to_owned(),
+        bits,
+        float_pct,
+        rows,
+    }
+}
+
+/// Prints an accuracy experiment in the layout of Tables II/III.
+pub fn print_accuracy_table(exp: &AccuracyExperiment) {
+    println!(
+        "\n{} — {} bit synapses (float reference {:.2}%)",
+        exp.benchmark, exp.bits, exp.float_pct
+    );
+    println!(
+        "{:<18} {:>12} {:>18}",
+        "No. of Alphabets", "Accuracy (%)", "Accuracy Loss (%)"
+    );
+    for row in &exp.rows {
+        if row.config == "conventional NN" {
+            println!("{:<18} {:>12.2} {:>18}", row.config, row.accuracy_pct, "--");
+        } else {
+            println!(
+                "{:<18} {:>12.2} {:>18.2}",
+                row.config, row.accuracy_pct, row.loss_pct
+            );
+        }
+    }
+}
+
+/// Energy/area/cycle measurements of one benchmark across neuron kinds.
+#[derive(Clone, Debug, Serialize)]
+pub struct CostExperiment {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Word length.
+    pub bits: u32,
+    /// Conventional first, then each alphabet set (Tables order).
+    pub reports: Vec<CostReport>,
+}
+
+/// Runs the engine cost model on a benchmark: trains briefly, projects
+/// onto each alphabet lattice, samples real operand traces, and measures
+/// cycles / energy / area — the procedure behind Figs. 8–10.
+///
+/// Costs need a *constrained, compiled* network but not a fully retrained
+/// one, so the (expensive) retraining step is skipped; DESIGN.md §5 notes
+/// this.
+pub fn cost_experiment(
+    benchmark: Benchmark,
+    bits: u32,
+    mode: RunMode,
+    model: &mut CostModel,
+) -> CostExperiment {
+    let ds = benchmark.dataset(&GenOptions {
+        train: 400,
+        test: 64,
+        seed: 0xC057 + bits as u64,
+    });
+    let mut cfg = mode.methodology(bits);
+    benchmark.tune(&mut cfg);
+    cfg.initial_epochs = cfg.initial_epochs.min(4);
+    let mut net = benchmark.build_network(cfg.seed);
+    train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
+    let spec = QuantSpec::fit(&net, bits);
+    let layers = spec.layer_formats().len();
+    let mut reports = Vec::new();
+    // Conventional baseline: full-alphabet weights, conventional datapath.
+    let conv_alpha = LayerAlphabets::uniform(AlphabetSet::a8(), layers);
+    let fixed = FixedNet::compile(&net, &spec, &conv_alpha).expect("a8 compiles");
+    let traces = fixed.sample_traces(&ds.test_images, trace_limit(mode));
+    reports.push(
+        model
+            .network_cost(&fixed, &kinds_conventional(layers), &traces, "conventional")
+            .expect("synthesis at paper clocks succeeds"),
+    );
+    for set in table_alphabets() {
+        let alphabets = LayerAlphabets::uniform(set.clone(), layers);
+        let mut constrained = net.clone();
+        ConstraintProjector::new(&spec, &alphabets).project(&mut constrained);
+        let fixed = FixedNet::compile(&constrained, &spec, &alphabets).expect("projected");
+        let traces = fixed.sample_traces(&ds.test_images, trace_limit(mode));
+        reports.push(
+            model
+                .network_cost(
+                    &fixed,
+                    &kinds_from_alphabets(&alphabets),
+                    &traces,
+                    set.label(),
+                )
+                .expect("synthesis at paper clocks succeeds"),
+        );
+    }
+    CostExperiment {
+        benchmark: benchmark.name().to_owned(),
+        bits,
+        reports,
+    }
+}
+
+fn trace_limit(mode: RunMode) -> usize {
+    match mode {
+        RunMode::Quick => 600,
+        RunMode::Full => 2000,
+    }
+}
+
+/// Prints a cost experiment normalized to the conventional row.
+pub fn print_cost_table(exp: &CostExperiment, metric: &str) {
+    println!(
+        "\n{} — {} bit ({} normalized to conventional)",
+        exp.benchmark, exp.bits, metric
+    );
+    let base = &exp.reports[0];
+    for r in &exp.reports {
+        let (value, norm) = match metric {
+            "energy" => (r.energy_pj, r.energy_pj / base.energy_pj),
+            "power" => (r.power_mw, r.power_mw / base.power_mw),
+            "area" => (r.neuron_area_um2, r.neuron_area_um2 / base.neuron_area_um2),
+            _ => panic!("unknown metric {metric}"),
+        };
+        println!(
+            "  {:<14} {:>12.2} {:>8.3}  ({:>5.1}% reduction)",
+            r.label,
+            value,
+            norm,
+            (1.0 - norm) * 100.0
+        );
+    }
+}
+
+/// Serializes an experiment result under `target/experiments/`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_mode_options_scale() {
+        let q = RunMode::Quick.gen_options(1);
+        let f = RunMode::Full.gen_options(1);
+        assert!(f.train > q.train && f.test > q.test);
+    }
+
+    #[test]
+    fn table_alphabets_are_paper_order() {
+        let labels: Vec<String> = table_alphabets().iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["4 {1,3,5,7}", "2 {1,3}", "1 {1}"]);
+    }
+}

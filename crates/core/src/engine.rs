@@ -1,0 +1,395 @@
+//! The processing-engine cost model: cycles, switching-activity energy and
+//! area for a network executing on the paper's 4-lane CSHM unit.
+//!
+//! For every layer, the gate-level datapath of its neuron kind is
+//! synthesized at the iso-speed clock (via `man-hw`), then driven with the
+//! layer's *real* operand trace (captured by
+//! [`crate::fixed::FixedNet::sample_traces`]) to measure per-MAC and
+//! per-neuron-output energy. Per-inference energy is
+//! `Σ_layers macs·E_mac + neurons·E_neuron`; cycles assume 4 MACs per cycle
+//! per unit, as in the paper's engine.
+
+use std::collections::HashMap;
+
+use man_hw::cell::CellLibrary;
+use man_hw::components::mac::carry_save_step;
+use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
+use man_hw::power::{measure_stream_energy, EnergyBreakdown, PowerModel};
+use man_hw::synth::{AccStyle, TimingClosureError};
+use serde::{Deserialize, Serialize};
+
+use crate::fixed::{FixedNet, LayerAlphabets, LayerTrace};
+
+/// Per-layer energy figures.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerEnergy {
+    /// Energy of one multiply-accumulate, pre-computer amortized (fJ).
+    pub per_mac_fj: f64,
+    /// Energy of one neuron output: carry-save resolve + activation (fJ).
+    pub per_neuron_fj: f64,
+}
+
+/// Cost of one inference of a network on the engine.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Configuration label (alphabet assignment).
+    pub label: String,
+    /// Unit cycles per inference (4 MAC lanes).
+    pub cycles: u64,
+    /// Energy per inference in pJ.
+    pub energy_pj: f64,
+    /// Average unit power while streaming, in mW.
+    pub power_mw: f64,
+    /// Neuron-count-weighted effective neuron area in µm².
+    pub neuron_area_um2: f64,
+    /// Per-layer energies, for drill-down.
+    pub layers: Vec<LayerEnergy>,
+}
+
+/// The cost model: a cell library, power-model knobs and a cache of
+/// synthesized datapaths.
+///
+/// # Example
+///
+/// ```no_run
+/// use man::engine::{kinds_from_alphabets, CostModel};
+/// use man::fixed::{FixedNet, LayerAlphabets};
+/// # fn get_fixed_net() -> (FixedNet, LayerAlphabets) { unimplemented!() }
+///
+/// let (fixed, alphabets) = get_fixed_net(); // a compiled, constrained net
+/// let traces = fixed.sample_traces(&[vec![0.5; 1024]], 600);
+/// let mut model = CostModel::default();
+/// let report = model
+///     .network_cost(&fixed, &kinds_from_alphabets(&alphabets), &traces, "MAN")?;
+/// println!("{:.1} pJ / inference over {} cycles", report.energy_pj, report.cycles);
+/// # Ok::<(), man_hw::synth::TimingClosureError>(())
+/// ```
+pub struct CostModel {
+    lib: CellLibrary,
+    power: PowerModel,
+    /// Max MAC vectors streamed per layer when measuring energy.
+    pub stream_limit: usize,
+    cache: HashMap<(u32, NeuronKind), NeuronDatapath>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::new(CellLibrary::nominal_45nm())
+    }
+}
+
+impl CostModel {
+    /// A cost model over the given library.
+    pub fn new(lib: CellLibrary) -> Self {
+        Self {
+            lib,
+            power: PowerModel::default(),
+            stream_limit: 1500,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The library in use.
+    pub fn library(&self) -> &CellLibrary {
+        &self.lib
+    }
+
+    /// Synthesizes (or returns the cached) datapath for a word length and
+    /// neuron kind at the paper's iso-speed clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimingClosureError`] from synthesis.
+    pub fn datapath(
+        &mut self,
+        bits: u32,
+        kind: &NeuronKind,
+    ) -> Result<&NeuronDatapath, TimingClosureError> {
+        let key = (bits, kind.clone());
+        if !self.cache.contains_key(&key) {
+            let dp = NeuronDatapath::build(NeuronSpec::paper(bits, kind.clone()), &self.lib)?;
+            self.cache.insert(key.clone(), dp);
+        }
+        Ok(&self.cache[&key])
+    }
+
+    /// Measures the per-MAC and per-neuron energy of one layer from its
+    /// operand trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace holds fewer than 2 MACs.
+    pub fn layer_energy(
+        &mut self,
+        bits: u32,
+        kind: &NeuronKind,
+        trace: &LayerTrace,
+    ) -> Result<LayerEnergy, TimingClosureError> {
+        assert!(trace.len() >= 2, "trace too short to measure energy");
+        let dp = self.datapath(bits, kind)?.clone();
+        let clock = dp.spec().clock_ps;
+        let acc_bits = dp.spec().acc_bits();
+        let mask = (1u64 << acc_bits) - 1;
+        let n = trace.len();
+
+        // --- multiplication stage ---
+        let mult_stream: Vec<Vec<(String, u64)>> = (0..n)
+            .map(|i| {
+                let mut v: Vec<(String, u64)> = vec![
+                    ("w_mag".into(), trace.w_mag[i] as u64),
+                    ("w_sign".into(), trace.w_neg[i] as u64),
+                    ("x_sign".into(), trace.x_neg[i] as u64),
+                ];
+                match kind {
+                    NeuronKind::Conventional => {
+                        v.push(("x_mag".into(), trace.x_mag[i] as u64));
+                    }
+                    NeuronKind::Asm(alphabets) => {
+                        for &a in alphabets {
+                            v.push((format!("alpha{a}"), a as u64 * trace.x_mag[i] as u64));
+                        }
+                    }
+                }
+                v
+            })
+            .collect();
+        let e_mult = self.measure(&dp.mult_stage, &mult_stream, clock);
+
+        // --- accumulate stage ---
+        let p_mag: Vec<u64> = trace.product.iter().map(|p| p.unsigned_abs()).collect();
+        let p_sign: Vec<bool> = trace.product.iter().map(|&p| p < 0).collect();
+        let mut resolver_samples: Vec<(u64, u64)> = Vec::new();
+        let acc_stream: Vec<Vec<(String, u64)>> = match dp.acc_style {
+            AccStyle::CarryPropagate => (0..n)
+                .map(|i| {
+                    vec![
+                        ("p_mag".into(), p_mag[i]),
+                        ("p_sign".into(), p_sign[i] as u64),
+                        ("acc".into(), (trace.acc[i] as u64) & mask),
+                    ]
+                })
+                .collect(),
+            AccStyle::CarrySave => {
+                let (mut s, mut c) = (0u64, 0u64);
+                (0..n)
+                    .map(|i| {
+                        let v = vec![
+                            ("p_mag".into(), p_mag[i]),
+                            ("p_sign".into(), p_sign[i] as u64),
+                            ("acc_s".into(), s),
+                            ("acc_c".into(), c),
+                        ];
+                        let (s2, c2) = carry_save_step(p_mag[i], p_sign[i], s, c, acc_bits);
+                        s = s2;
+                        c = c2;
+                        if i % 16 == 15 {
+                            resolver_samples.push((s, c));
+                        }
+                        v
+                    })
+                    .collect()
+            }
+        };
+        let e_acc = self.measure(&dp.acc_stage, &acc_stream, clock);
+
+        // --- shared pre-computer bank, amortized over the lanes ---
+        let e_pre = match &dp.precompute {
+            Some(bank) => {
+                let stream: Vec<Vec<(String, u64)>> = trace
+                    .x_mag
+                    .iter()
+                    .map(|&x| vec![("x_mag".into(), x as u64)])
+                    .collect();
+                self.measure(bank, &stream, clock)
+                    .scaled(1.0 / dp.spec().lanes as f64)
+            }
+            None => EnergyBreakdown::default(),
+        };
+        let per_mac_fj = e_mult.total_fj() + e_acc.total_fj() + e_pre.total_fj();
+
+        // --- per-neuron: resolve + activation, shared across lanes ---
+        let mut per_neuron_fj = 0.0;
+        if let Some(resolver) = &dp.resolver {
+            if resolver_samples.len() >= 2 {
+                let stream: Vec<Vec<(String, u64)>> = resolver_samples
+                    .iter()
+                    .map(|&(s, c)| vec![("s".into(), s), ("c".into(), c)])
+                    .collect();
+                per_neuron_fj += self.measure(resolver, &stream, clock).total_fj();
+            }
+        }
+        let act_stream: Vec<Vec<(String, u64)>> = trace
+            .acc
+            .iter()
+            .step_by(8)
+            .map(|&a| vec![("acc".into(), (a as u64) & mask)])
+            .collect();
+        if act_stream.len() >= 2 {
+            per_neuron_fj += self.measure(&dp.activation, &act_stream, clock).total_fj();
+        }
+        Ok(LayerEnergy {
+            per_mac_fj,
+            per_neuron_fj,
+        })
+    }
+
+    fn measure(
+        &self,
+        circuit: &man_hw::circuit::Circuit,
+        stream: &[Vec<(String, u64)>],
+        clock_ps: f64,
+    ) -> EnergyBreakdown {
+        let refs: Vec<Vec<(&str, u64)>> = stream
+            .iter()
+            .map(|v| v.iter().map(|(n, x)| (n.as_str(), *x)).collect())
+            .collect();
+        measure_stream_energy(circuit, &self.lib, &self.power, &refs, clock_ps)
+    }
+
+    /// Evaluates the full per-inference cost of a compiled network under a
+    /// per-layer neuron-kind assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds`/`traces` do not match the network's layer count.
+    pub fn network_cost(
+        &mut self,
+        fixed: &FixedNet,
+        kinds: &[NeuronKind],
+        traces: &[LayerTrace],
+        label: impl Into<String>,
+    ) -> Result<CostReport, TimingClosureError> {
+        assert_eq!(kinds.len(), fixed.layer_count(), "kind per layer required");
+        assert_eq!(traces.len(), fixed.layer_count(), "trace per layer required");
+        let bits = fixed.bits();
+        let macs = fixed.macs_per_layer();
+        let neurons = fixed.neurons_per_layer();
+        let mut energy_fj = 0.0;
+        let mut cycles = 0u64;
+        let mut layers = Vec::with_capacity(kinds.len());
+        let mut area_weighted = 0.0;
+        let mut neuron_total = 0u64;
+        let mut clock_ps = 0.0;
+        for i in 0..kinds.len() {
+            let le = self.layer_energy(bits, &kinds[i], &traces[i])?;
+            energy_fj += macs[i] as f64 * le.per_mac_fj + neurons[i] as f64 * le.per_neuron_fj;
+            let lib = self.lib.clone();
+            let dp = self.datapath(bits, &kinds[i])?;
+            clock_ps = dp.spec().clock_ps;
+            cycles += macs[i].div_ceil(dp.spec().lanes as u64);
+            area_weighted += dp.neuron_area_um2(&lib) * neurons[i] as f64;
+            neuron_total += neurons[i];
+            layers.push(le);
+        }
+        let time_ps = cycles as f64 * clock_ps;
+        Ok(CostReport {
+            label: label.into(),
+            cycles,
+            energy_pj: energy_fj / 1000.0,
+            power_mw: if time_ps > 0.0 { energy_fj / time_ps } else { 0.0 },
+            neuron_area_um2: if neuron_total > 0 {
+                area_weighted / neuron_total as f64
+            } else {
+                0.0
+            },
+            layers,
+        })
+    }
+}
+
+/// Maps a per-layer alphabet assignment to hardware neuron kinds.
+pub fn kinds_from_alphabets(alphabets: &LayerAlphabets) -> Vec<NeuronKind> {
+    alphabets
+        .sets()
+        .iter()
+        .map(|s| NeuronKind::Asm(s.members().to_vec()))
+        .collect()
+}
+
+/// A uniform conventional-multiplier assignment.
+pub fn kinds_conventional(layers: usize) -> Vec<NeuronKind> {
+    vec![NeuronKind::Conventional; layers]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::AlphabetSet;
+    use crate::constrain::{constrain_slice, WeightLattice};
+    use crate::fixed::QuantSpec;
+    use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+    use man_nn::network::Network;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_fixed(set: AlphabetSet) -> (FixedNet, LayerAlphabets) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(12, 6, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(6, 2, &mut rng)),
+        ]);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(set.clone(), 2);
+        let formats = spec.layer_formats().to_vec();
+        let mut pi = 0;
+        net.visit_params_mut(|_, kind, values, _| {
+            if kind == man_nn::layers::ParamKind::Weights {
+                let lattice = WeightLattice::new(8, &set);
+                constrain_slice(formats[pi], &lattice, values);
+                pi += 1;
+            }
+        });
+        (
+            FixedNet::compile(&net, &spec, &alphabets).unwrap(),
+            alphabets,
+        )
+    }
+
+    fn traces_for(fixed: &FixedNet) -> Vec<LayerTrace> {
+        let images: Vec<Vec<f32>> = (0..8)
+            .map(|i| (0..12).map(|j| ((i + j) % 9) as f32 / 9.0).collect())
+            .collect();
+        fixed.sample_traces(&images, 200)
+    }
+
+    #[test]
+    fn man_network_costs_less_than_conventional() {
+        let (fixed, alphabets) = tiny_fixed(AlphabetSet::a1());
+        let traces = traces_for(&fixed);
+        let mut model = CostModel::default();
+        let man = model
+            .network_cost(&fixed, &kinds_from_alphabets(&alphabets), &traces, "MAN")
+            .unwrap();
+        let conv = model
+            .network_cost(&fixed, &kinds_conventional(2), &traces, "conv")
+            .unwrap();
+        assert!(man.energy_pj < conv.energy_pj, "{man:?} vs {conv:?}");
+        assert!(man.neuron_area_um2 < conv.neuron_area_um2);
+        assert_eq!(man.cycles, conv.cycles, "iso-speed: same cycle count");
+    }
+
+    #[test]
+    fn cycles_follow_macs_over_lanes() {
+        let (fixed, alphabets) = tiny_fixed(AlphabetSet::a2());
+        let traces = traces_for(&fixed);
+        let mut model = CostModel::default();
+        let report = model
+            .network_cost(&fixed, &kinds_from_alphabets(&alphabets), &traces, "x")
+            .unwrap();
+        let expected: u64 = fixed
+            .macs_per_layer()
+            .iter()
+            .map(|m| m.div_ceil(4))
+            .sum();
+        assert_eq!(report.cycles, expected);
+    }
+}

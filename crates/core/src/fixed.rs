@@ -1,0 +1,869 @@
+//! The fixed-point inference engine: a bit-accurate software model of the
+//! paper's processing engine.
+//!
+//! A trained float [`Network`] is *compiled* into a [`FixedNet`]: weights
+//! quantized into per-layer `QFormat`s (sign-magnitude), biases widened to
+//! the accumulator fraction, every multiply decoded into an ASM
+//! select/shift plan, and every activation replaced by the PLAN sigmoid
+//! unit (the same bit-exact reference the gate-level model uses).
+//!
+//! Activations and input pixels travel as unsigned `Q0.(bits-1)` words —
+//! sigmoid outputs live in `[0, 1)`, so the sign lane of the datapath is
+//! only exercised by weights.
+
+use man_fixed::{quantize::fit_format, QFormat};
+use man_hw::components::activation::{activation_unit_fixed, PlanParams};
+use man_nn::layers::Layer;
+use man_nn::network::{argmax, Network};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::alphabet::AlphabetSet;
+use crate::asm::AsmMultiplier;
+
+/// Per-layer alphabet assignment (uniform or mixed, as in the paper's
+/// Section VI-E where early layers use `{1}` and late layers `{1,3}` /
+/// `{1,3,5,7}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerAlphabets {
+    sets: Vec<AlphabetSet>,
+}
+
+impl LayerAlphabets {
+    /// The same alphabet set for every parameterized layer.
+    pub fn uniform(set: AlphabetSet, layers: usize) -> Self {
+        Self {
+            sets: vec![set; layers],
+        }
+    }
+
+    /// An explicit per-layer assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty.
+    pub fn mixed(sets: Vec<AlphabetSet>) -> Self {
+        assert!(!sets.is_empty(), "need at least one layer");
+        Self { sets }
+    }
+
+    /// The set for parameterized layer `i`.
+    pub fn get(&self, i: usize) -> &AlphabetSet {
+        &self.sets[i]
+    }
+
+    /// Number of layers configured.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Never true by construction.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The per-layer sets.
+    pub fn sets(&self) -> &[AlphabetSet] {
+        &self.sets
+    }
+
+    /// A compact label, e.g. `"1{1}"` or `"mixed[1,1,2,4]"`.
+    pub fn label(&self) -> String {
+        if self.sets.windows(2).all(|w| w[0] == w[1]) {
+            self.sets[0].label()
+        } else {
+            format!(
+                "mixed[{}]",
+                self.sets
+                    .iter()
+                    .map(|s| s.len().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        }
+    }
+}
+
+/// Quantization plan: word length plus one weight format per parameterized
+/// layer, fitted once on the *unconstrained* trained network and then
+/// frozen for retraining and compilation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantSpec {
+    bits: u32,
+    layer_formats: Vec<QFormat>,
+}
+
+impl QuantSpec {
+    /// Fits per-layer formats to the weight ranges of `net`.
+    pub fn fit(net: &Network, bits: u32) -> Self {
+        let layer_formats = net
+            .layers()
+            .iter()
+            .filter_map(|l| weights_of(l).map(|w| fit_format(bits, w)))
+            .collect();
+        Self {
+            bits,
+            layer_formats,
+        }
+    }
+
+    /// Word length.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Per-parameterized-layer weight formats.
+    pub fn layer_formats(&self) -> &[QFormat] {
+        &self.layer_formats
+    }
+
+    /// Activation fraction: activations are unsigned `Q0.(bits-1)`.
+    pub fn act_frac(&self) -> u32 {
+        self.bits - 1
+    }
+}
+
+fn weights_of(layer: &Layer) -> Option<&[f32]> {
+    match layer {
+        Layer::Dense(d) => Some(d.weights()),
+        Layer::Conv2d(c) => Some(c.weights()),
+        Layer::ScaledAvgPool(p) => Some(p.weights()),
+        Layer::Activation(_) => None,
+    }
+}
+
+/// Why a float network failed to compile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The architecture is not (parameterized layer → sigmoid)* with an
+    /// optional trailing logits layer.
+    UnsupportedArchitecture(String),
+    /// A weight's quartets are not representable under the assigned
+    /// alphabet set (the network was not constrained before compiling).
+    UnconstrainedWeight {
+        /// Parameterized layer index.
+        layer: usize,
+        /// The weight magnitude that failed to decode.
+        magnitude: u32,
+    },
+    /// The alphabet assignment does not cover every parameterized layer.
+    LayerCountMismatch {
+        /// Parameterized layers in the network.
+        expected: usize,
+        /// Sets provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnsupportedArchitecture(msg) => {
+                write!(f, "unsupported architecture: {msg}")
+            }
+            CompileError::UnconstrainedWeight { layer, magnitude } => write!(
+                f,
+                "layer {layer} holds magnitude {magnitude} not representable under its alphabet set (constrain the network first)"
+            ),
+            CompileError::LayerCountMismatch { expected, got } => write!(
+                f,
+                "alphabet assignment covers {got} layers but the network has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// What follows a MAC layer.
+#[derive(Clone, Debug, PartialEq)]
+enum OutputStage {
+    /// PLAN sigmoid into the next layer's unsigned activation word.
+    Sigmoid,
+    /// Saturating requantization to a signed `bits`-wide word — used by
+    /// convolution layers feeding a pooling layer directly (the LeNet
+    /// structure squashes only after pooling).
+    Requant,
+    /// Raw accumulator values (the classifier head).
+    Logits,
+}
+
+/// A signed activation word in sign-magnitude form (as the datapath sees
+/// it). Sigmoid outputs and input pixels always have `neg == false`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct SignedAct {
+    mag: u32,
+    neg: bool,
+}
+
+#[derive(Clone, Debug)]
+struct MacParams {
+    asm: AsmMultiplier,
+    w_neg: Vec<bool>,
+    w_mag: Vec<u32>,
+    /// Pre-decoded select/shift plans, one per weight.
+    plans: Vec<crate::asm::AsmPlan>,
+    /// Biases at the accumulator fraction.
+    bias: Vec<i64>,
+    /// Weight format (fraction defines the accumulator fraction).
+    w_format: QFormat,
+    output: OutputStage,
+}
+
+#[derive(Clone, Debug)]
+enum FixedLayer {
+    Dense {
+        in_dim: usize,
+        out_dim: usize,
+        mac: MacParams,
+    },
+    Conv {
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        in_h: usize,
+        in_w: usize,
+        mac: MacParams,
+    },
+    /// LeNet trainable pooling: 2×2 average, one multiplicative weight and
+    /// bias per channel (the weight goes through the ASM like any other).
+    Pool {
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        mac: MacParams,
+    },
+}
+
+/// A compiled fixed-point network.
+#[derive(Clone, Debug)]
+pub struct FixedNet {
+    bits: u32,
+    act_frac: u32,
+    layers: Vec<FixedLayer>,
+}
+
+impl FixedNet {
+    /// Compiles a float network under a quantization spec and per-layer
+    /// alphabet assignment.
+    ///
+    /// Weights must already lie on the constrained lattice (apply
+    /// [`crate::constrain::constrain_slice`] or use the full alphabet set
+    /// for a conventional baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] on architecture or representability
+    /// violations.
+    pub fn compile(
+        net: &Network,
+        spec: &QuantSpec,
+        alphabets: &LayerAlphabets,
+    ) -> Result<Self, CompileError> {
+        let param_layers = net
+            .layers()
+            .iter()
+            .filter(|l| weights_of(l).is_some())
+            .count();
+        if alphabets.len() != param_layers {
+            return Err(CompileError::LayerCountMismatch {
+                expected: param_layers,
+                got: alphabets.len(),
+            });
+        }
+        let bits = spec.bits();
+        let mut layers = Vec::new();
+        let mut pi = 0usize; // parameterized-layer index
+        let all = net.layers();
+        let mut i = 0usize;
+        while i < all.len() {
+            let layer = &all[i];
+            if weights_of(layer).is_none() {
+                return Err(CompileError::UnsupportedArchitecture(format!(
+                    "layer {i} is a bare activation; activations must follow a parameterized layer"
+                )));
+            }
+            // Determine the output stage: a following sigmoid, or logits if
+            // this is the last layer.
+            let output = match all.get(i + 1) {
+                Some(Layer::Activation(a))
+                    if a.activation == man_nn::layers::Activation::Sigmoid =>
+                {
+                    i += 1;
+                    OutputStage::Sigmoid
+                }
+                Some(Layer::Activation(_)) => {
+                    return Err(CompileError::UnsupportedArchitecture(
+                        "the fixed engine implements sigmoid activations only".into(),
+                    ))
+                }
+                Some(Layer::ScaledAvgPool(_)) if matches!(layer, Layer::Conv2d(_)) => {
+                    // LeNet structure: the convolution's accumulator is
+                    // requantized and pooled before the squash.
+                    OutputStage::Requant
+                }
+                Some(_) => OutputStage::Logits,
+                None => OutputStage::Logits,
+            };
+            if output == OutputStage::Logits && i + 1 != all.len() {
+                return Err(CompileError::UnsupportedArchitecture(format!(
+                    "layer {i} feeds the next layer without an activation"
+                )));
+            }
+            let set = alphabets.get(pi).clone();
+            let format = spec.layer_formats()[pi];
+            let (weights, bias_f) = match layer {
+                Layer::Dense(d) => (d.weights(), d.bias()),
+                Layer::Conv2d(c) => (c.weights(), c.bias()),
+                Layer::ScaledAvgPool(p) => (p.weights(), p.bias()),
+                Layer::Activation(_) => unreachable!(),
+            };
+            let mac = Self::compile_mac(weights, bias_f, bits, format, set, spec, pi, output)?;
+            layers.push(match layer {
+                Layer::Dense(d) => FixedLayer::Dense {
+                    in_dim: d.in_dim,
+                    out_dim: d.out_dim,
+                    mac,
+                },
+                Layer::Conv2d(c) => FixedLayer::Conv {
+                    in_ch: c.in_channels,
+                    out_ch: c.out_channels,
+                    k: c.kernel,
+                    in_h: c.in_h,
+                    in_w: c.in_w,
+                    mac,
+                },
+                Layer::ScaledAvgPool(p) => FixedLayer::Pool {
+                    channels: p.channels,
+                    in_h: p.in_h,
+                    in_w: p.in_w,
+                    mac,
+                },
+                Layer::Activation(_) => unreachable!(),
+            });
+            pi += 1;
+            i += 1;
+        }
+        Ok(Self {
+            bits,
+            act_frac: spec.act_frac(),
+            layers,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compile_mac(
+        weights: &[f32],
+        bias_f: &[f32],
+        bits: u32,
+        format: QFormat,
+        set: AlphabetSet,
+        spec: &QuantSpec,
+        layer_index: usize,
+        output: OutputStage,
+    ) -> Result<MacParams, CompileError> {
+        let asm = AsmMultiplier::new(bits, set);
+        let mut w_neg = Vec::with_capacity(weights.len());
+        let mut w_mag = Vec::with_capacity(weights.len());
+        let mut plans = Vec::with_capacity(weights.len());
+        for &w in weights {
+            let q = format.quantize(w as f64);
+            let (neg, mag) = man_fixed::bits::sign_magnitude(q.raw(), bits);
+            let plan = asm
+                .decode(mag)
+                .map_err(|e| CompileError::UnconstrainedWeight {
+                    layer: layer_index,
+                    magnitude: e.magnitude,
+                })?;
+            w_neg.push(neg);
+            w_mag.push(mag);
+            plans.push(plan);
+        }
+        let acc_frac = spec.act_frac() + format.frac();
+        let bias = bias_f
+            .iter()
+            .map(|&b| (b as f64 * (1u64 << acc_frac) as f64).round() as i64)
+            .collect();
+        Ok(MacParams {
+            asm,
+            w_neg,
+            w_mag,
+            plans,
+            bias,
+            w_format: format,
+            output,
+        })
+    }
+
+    /// Word length.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of parameterized layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Multiply-accumulate operations per inference, per layer — the cycle
+    /// model's input (4 MACs per cycle on the 4-lane unit).
+    pub fn macs_per_layer(&self) -> Vec<u64> {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                FixedLayer::Dense { in_dim, out_dim, .. } => (in_dim * out_dim) as u64,
+                FixedLayer::Conv {
+                    in_ch,
+                    out_ch,
+                    k,
+                    in_h,
+                    in_w,
+                    ..
+                } => {
+                    let oh = in_h - k + 1;
+                    let ow = in_w - k + 1;
+                    (in_ch * out_ch * k * k * oh * ow) as u64
+                }
+                FixedLayer::Pool {
+                    channels,
+                    in_h,
+                    in_w,
+                    ..
+                } => ((channels * in_h * in_w) / 4) as u64,
+            })
+            .collect()
+    }
+
+    /// Neuron outputs per inference, per layer (activation-unit uses).
+    pub fn neurons_per_layer(&self) -> Vec<u64> {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                FixedLayer::Dense { out_dim, .. } => *out_dim as u64,
+                FixedLayer::Conv {
+                    out_ch, k, in_h, in_w, ..
+                } => (out_ch * (in_h - k + 1) * (in_w - k + 1)) as u64,
+                FixedLayer::Pool {
+                    channels,
+                    in_h,
+                    in_w,
+                    ..
+                } => ((channels * in_h * in_w) / 4) as u64,
+            })
+            .collect()
+    }
+
+    fn quantize_input(&self, image: &[f32]) -> Vec<u32> {
+        let scale = (1u64 << self.act_frac) as f64;
+        let max = (1u64 << self.act_frac) - 1;
+        image
+            .iter()
+            .map(|&p| (((p as f64) * scale).round_ties_even() as i64).clamp(0, max as i64) as u32)
+            .collect()
+    }
+
+    fn plan_params(&self) -> PlanParams {
+        PlanParams {
+            in_bits: self.bits + 3,
+            in_frac: self.bits - 1,
+            out_bits: self.bits - 1,
+        }
+    }
+
+    fn run_mac_layer(
+        &self,
+        mac: &MacParams,
+        acc_init: impl Fn(usize) -> i64,
+        fan_ins: impl Fn(usize) -> Vec<(usize, SignedAct)>,
+        outputs: usize,
+        banks: &dyn Fn(u32) -> Vec<u64>,
+        bank_cache: &mut std::collections::HashMap<u32, Vec<u64>>,
+        trace: &mut Option<&mut LayerTrace>,
+    ) -> Vec<i64> {
+        let mut accs = Vec::with_capacity(outputs);
+        for o in 0..outputs {
+            let mut acc = acc_init(o);
+            for (wi, x) in fan_ins(o) {
+                let bank = bank_cache
+                    .entry(x.mag)
+                    .or_insert_with(|| banks(x.mag))
+                    .clone();
+                let mag = mac.asm.apply(&mac.plans[wi], &bank);
+                let neg = mac.w_neg[wi] ^ x.neg;
+                let p = man_fixed::bits::apply_sign(mag, neg);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(mac.w_mag[wi], mac.w_neg[wi], x.mag, x.neg, p, acc);
+                }
+                acc += p;
+            }
+            accs.push(acc);
+        }
+        accs
+    }
+
+    fn forward_layers(&self, image: &[f32], mut traces: Option<&mut Vec<LayerTrace>>) -> Vec<i64> {
+        let plan = self.plan_params();
+        let mut x: Vec<SignedAct> = self
+            .quantize_input(image)
+            .into_iter()
+            .map(|mag| SignedAct { mag, neg: false })
+            .collect();
+        let mut logits = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mac = match layer {
+                FixedLayer::Dense { mac, .. }
+                | FixedLayer::Conv { mac, .. }
+                | FixedLayer::Pool { mac, .. } => mac,
+            };
+            let acc_frac = self.act_frac + mac.w_format.frac();
+            let mut bank_cache = std::collections::HashMap::new();
+            let mut layer_trace = traces
+                .as_deref_mut()
+                .map(|ts| &mut ts[li])
+                .map(|t| t as &mut LayerTrace);
+            let accs: Vec<i64> = match layer {
+                FixedLayer::Dense {
+                    in_dim, out_dim, ..
+                } => {
+                    let xs = x.clone();
+                    self.run_mac_layer(
+                        mac,
+                        |o| mac.bias[o],
+                        |o| {
+                            (0..*in_dim)
+                                .map(|i| (o * in_dim + i, xs[i]))
+                                .collect::<Vec<(usize, SignedAct)>>()
+                        },
+                        *out_dim,
+                        &|xr| mac.asm.precompute(xr),
+                        &mut bank_cache,
+                        &mut layer_trace,
+                    )
+                }
+                FixedLayer::Conv {
+                    in_ch,
+                    out_ch,
+                    k,
+                    in_h,
+                    in_w,
+                    ..
+                } => {
+                    let (oh, ow) = (in_h - k + 1, in_w - k + 1);
+                    let xs = x.clone();
+                    let (in_h, in_w, in_ch, k) = (*in_h, *in_w, *in_ch, *k);
+                    self.run_mac_layer(
+                        mac,
+                        |o| mac.bias[o / (oh * ow)],
+                        |o| {
+                            let oc = o / (oh * ow);
+                            let oy = (o % (oh * ow)) / ow;
+                            let ox = o % ow;
+                            let mut fan = Vec::with_capacity(in_ch * k * k);
+                            for c in 0..in_ch {
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        let wi = ((oc * in_ch + c) * k + ky) * k + kx;
+                                        let xi = c * in_h * in_w + (oy + ky) * in_w + (ox + kx);
+                                        fan.push((wi, xs[xi]));
+                                    }
+                                }
+                            }
+                            fan
+                        },
+                        out_ch * oh * ow,
+                        &|xr| mac.asm.precompute(xr),
+                        &mut bank_cache,
+                        &mut layer_trace,
+                    )
+                }
+                FixedLayer::Pool {
+                    channels,
+                    in_h,
+                    in_w,
+                    ..
+                } => {
+                    let (oh, ow) = (in_h / 2, in_w / 2);
+                    let xs = x.clone();
+                    let (in_h, in_w) = (*in_h, *in_w);
+                    let max_mag = (1i64 << (self.bits - 1)) - 1;
+                    self.run_mac_layer(
+                        mac,
+                        |o| mac.bias[o / (oh * ow)],
+                        |o| {
+                            let ch = o / (oh * ow);
+                            let oy = (o % (oh * ow)) / ow;
+                            let ox = o % ow;
+                            let base = ch * in_h * in_w + 2 * oy * in_w + 2 * ox;
+                            // Signed average of the 2×2 window (truncating
+                            // arithmetic shift, as the hardware adder tree
+                            // plus wiring would produce).
+                            let signed = |a: SignedAct| {
+                                man_fixed::bits::apply_sign(a.mag as u64, a.neg)
+                            };
+                            let sum = (signed(xs[base])
+                                + signed(xs[base + 1])
+                                + signed(xs[base + in_w])
+                                + signed(xs[base + in_w + 1]))
+                                >> 2;
+                            let avg = SignedAct {
+                                mag: sum.unsigned_abs().min(max_mag as u64) as u32,
+                                neg: sum < 0,
+                            };
+                            vec![(ch, avg)]
+                        },
+                        channels * oh * ow,
+                        &|xr| mac.asm.precompute(xr),
+                        &mut bank_cache,
+                        &mut layer_trace,
+                    )
+                }
+            };
+            match mac.output {
+                OutputStage::Sigmoid => {
+                    x = accs
+                        .iter()
+                        .map(|&a| SignedAct {
+                            mag: activation_unit_fixed(a, 64, acc_frac, &plan) as u32,
+                            neg: false,
+                        })
+                        .collect();
+                }
+                OutputStage::Requant => {
+                    // Saturating arithmetic shift back to the activation
+                    // fraction: the hardware word between conv and pool.
+                    let shift = mac.w_format.frac();
+                    let max_mag = (1i64 << (self.bits - 1)) - 1;
+                    x = accs
+                        .iter()
+                        .map(|&a| {
+                            let v = (a >> shift).clamp(-max_mag, max_mag);
+                            SignedAct {
+                                mag: v.unsigned_abs() as u32,
+                                neg: v < 0,
+                            }
+                        })
+                        .collect();
+                }
+                OutputStage::Logits => logits = accs,
+            }
+        }
+        logits
+    }
+
+    /// Runs one inference, returning the raw output-layer accumulators
+    /// ("logits" at the final layer's accumulator fraction).
+    pub fn infer_raw(&self, image: &[f32]) -> Vec<i64> {
+        self.forward_layers(image, None)
+    }
+
+    /// Predicted class (argmax over raw logits).
+    pub fn predict(&self, image: &[f32]) -> usize {
+        let logits = self.infer_raw(image);
+        let floats: Vec<f32> = logits.iter().map(|&v| v as f32).collect();
+        argmax(&floats)
+    }
+
+    /// Classification accuracy over a test set.
+    pub fn accuracy(&self, images: &[Vec<f32>], labels: &[usize]) -> f64 {
+        assert_eq!(images.len(), labels.len());
+        if images.is_empty() {
+            return 0.0;
+        }
+        let correct = images
+            .iter()
+            .zip(labels)
+            .filter(|(img, &l)| self.predict(img) == l)
+            .count();
+        correct as f64 / images.len() as f64
+    }
+
+    /// Runs inferences over `images` collecting per-layer operand traces
+    /// (up to `limit` MACs per layer) for the switching-activity power
+    /// model.
+    pub fn sample_traces(&self, images: &[Vec<f32>], limit: usize) -> Vec<LayerTrace> {
+        let mut traces: Vec<LayerTrace> = (0..self.layers.len())
+            .map(|_| LayerTrace::new(limit))
+            .collect();
+        for image in images {
+            let _ = self.forward_layers(image, Some(&mut traces));
+            if traces.iter().all(LayerTrace::full) {
+                break;
+            }
+        }
+        traces
+    }
+}
+
+/// Operand trace of one layer: the real `(weight, input, product,
+/// accumulator)` stream a lane sees, feeding the gate-level toggle
+/// simulation.
+#[derive(Clone, Debug)]
+pub struct LayerTrace {
+    limit: usize,
+    /// Weight magnitudes.
+    pub w_mag: Vec<u32>,
+    /// Weight signs.
+    pub w_neg: Vec<bool>,
+    /// Input (activation) magnitudes.
+    pub x_mag: Vec<u32>,
+    /// Input signs (always `false` for sigmoid-fed layers).
+    pub x_neg: Vec<bool>,
+    /// Signed products.
+    pub product: Vec<i64>,
+    /// Accumulator value *before* adding the product.
+    pub acc: Vec<i64>,
+}
+
+impl LayerTrace {
+    fn new(limit: usize) -> Self {
+        Self {
+            limit,
+            w_mag: Vec::new(),
+            w_neg: Vec::new(),
+            x_mag: Vec::new(),
+            x_neg: Vec::new(),
+            product: Vec::new(),
+            acc: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, w_mag: u32, w_neg: bool, x_mag: u32, x_neg: bool, product: i64, acc: i64) {
+        if self.full() {
+            return;
+        }
+        self.w_mag.push(w_mag);
+        self.w_neg.push(w_neg);
+        self.x_mag.push(x_mag);
+        self.x_neg.push(x_neg);
+        self.product.push(product);
+        self.acc.push(acc);
+    }
+
+    /// `true` once the trace holds `limit` MACs.
+    pub fn full(&self) -> bool {
+        self.w_mag.len() >= self.limit
+    }
+
+    /// Number of recorded MACs.
+    pub fn len(&self) -> usize {
+        self.w_mag.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.w_mag.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constrain::{constrain_slice, WeightLattice};
+    use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::Dense(Dense::new(16, 8, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(8, 3, &mut rng)),
+        ])
+    }
+
+    fn constrain_net(net: &mut Network, spec: &QuantSpec, alphabets: &LayerAlphabets) {
+        let mut pi = 0;
+        let bits = spec.bits();
+        let formats = spec.layer_formats().to_vec();
+        let sets = alphabets.sets().to_vec();
+        net.visit_params_mut(|_, kind, values, _| {
+            if kind == man_nn::layers::ParamKind::Weights {
+                let lattice = WeightLattice::new(bits, &sets[pi]);
+                constrain_slice(formats[pi], &lattice, values);
+                pi += 1;
+            }
+        });
+    }
+
+    #[test]
+    fn compile_rejects_unconstrained_weights() {
+        let net = tiny_net(1);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
+        let err = FixedNet::compile(&net, &spec, &alphabets).unwrap_err();
+        assert!(matches!(err, CompileError::UnconstrainedWeight { .. }));
+    }
+
+    #[test]
+    fn compile_accepts_full_alphabet_without_constraining() {
+        let net = tiny_net(2);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a8(), 2);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        assert_eq!(fixed.layer_count(), 2);
+        assert_eq!(fixed.macs_per_layer(), vec![16 * 8, 8 * 3]);
+    }
+
+    #[test]
+    fn compile_accepts_constrained_weights() {
+        let mut net = tiny_net(3);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
+        constrain_net(&mut net, &spec, &alphabets);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        let x = vec![0.5f32; 16];
+        let logits = fixed.infer_raw(&x);
+        assert_eq!(logits.len(), 3);
+    }
+
+    #[test]
+    fn fixed_inference_tracks_float_inference() {
+        // With 12-bit words and the full alphabet, the fixed engine should
+        // agree with the float network on comfortable-margin predictions.
+        let net = tiny_net(4);
+        let spec = QuantSpec::fit(&net, 12);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a8(), 2);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        let mut agree = 0;
+        for i in 0..20 {
+            let x: Vec<f32> = (0..16).map(|j| ((i * 7 + j * 3) % 10) as f32 / 10.0).collect();
+            if fixed.predict(&x) == net.predict(&x) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 18, "only {agree}/20 predictions agree");
+    }
+
+    #[test]
+    fn mixed_alphabet_compile_requires_matching_length() {
+        let net = tiny_net(5);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::mixed(vec![AlphabetSet::a8()]);
+        let err = FixedNet::compile(&net, &spec, &alphabets).unwrap_err();
+        assert!(matches!(err, CompileError::LayerCountMismatch { .. }));
+    }
+
+    #[test]
+    fn traces_capture_real_operands() {
+        let mut net = tiny_net(6);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a2(), 2);
+        constrain_net(&mut net, &spec, &alphabets);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        let images: Vec<Vec<f32>> = (0..4).map(|i| vec![0.1 * i as f32; 16]).collect();
+        let traces = fixed.sample_traces(&images, 64);
+        assert_eq!(traces.len(), 2);
+        assert!(traces[0].len() > 0);
+        for t in &traces {
+            for i in 0..t.len() {
+                let sign = if t.w_neg[i] ^ t.x_neg[i] { -1i64 } else { 1 };
+                assert_eq!(
+                    t.product[i],
+                    sign * (t.w_mag[i] as i64) * (t.x_mag[i] as i64),
+                    "trace product must be the real product"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Algorithm 2: the NN training and testing methodology.
+//!
+//! 1. Train unconstrained to (near) saturation.
+//! 2. Quantize and measure the conventional fixed-point accuracy `J`;
+//!    create a restore point.
+//! 3. Retrain from the restore point with the Algorithm-1 projection
+//!    applied after every weight update, at a lower learning rate,
+//!    starting from the smallest alphabet set.
+//! 4. Accept the first set whose retrained fixed-point accuracy `K`
+//!    satisfies `K ≥ J·Q`; otherwise grow the alphabet set and repeat.
+
+use man_nn::layers::ParamKind;
+use man_nn::network::Network;
+use man_nn::optim::Sgd;
+use man_nn::train::{train, TrainConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::AlphabetSet;
+use crate::constrain::{constrain_slice, WeightLattice};
+use crate::fixed::{FixedNet, LayerAlphabets, QuantSpec};
+
+/// Hyper-parameters of the methodology.
+#[derive(Clone, Debug)]
+pub struct MethodologyConfig {
+    /// Weight/input word length (8 or 12).
+    pub bits: u32,
+    /// Epochs for the initial unconstrained training.
+    pub initial_epochs: usize,
+    /// Epochs for each constrained retraining attempt.
+    pub retrain_epochs: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Retraining learning-rate factor (the paper retrains "with lower
+    /// learning rate").
+    pub retrain_lr_factor: f32,
+    /// Momentum for both phases.
+    pub momentum: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Per-tensor RMS gradient clip (needed by weight-sharing layers —
+    /// see `man_nn::optim::Sgd::clip_rms`).
+    pub clip_rms: Option<f32>,
+    /// Quality constraint `Q ≤ 1`: accept when `K ≥ J·Q`.
+    pub quality: f64,
+    /// Candidate alphabet sets, smallest first (Algorithm 2 "start with
+    /// 1").
+    pub candidates: Vec<AlphabetSet>,
+    /// RNG seed (shuffling and initialization).
+    pub seed: u64,
+}
+
+impl MethodologyConfig {
+    /// Paper-shaped defaults for a given word length.
+    pub fn paper(bits: u32) -> Self {
+        Self {
+            bits,
+            initial_epochs: 14,
+            retrain_epochs: 6,
+            lr: 0.15,
+            retrain_lr_factor: 0.25,
+            momentum: 0.9,
+            batch_size: 16,
+            clip_rms: None,
+            quality: 0.99,
+            candidates: vec![AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()],
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The projector that imposes Algorithm 1 on every weight update.
+#[derive(Clone, Debug)]
+pub struct ConstraintProjector {
+    spec: QuantSpec,
+    lattices: Vec<WeightLattice>,
+}
+
+impl ConstraintProjector {
+    /// Builds per-layer lattices for a quantization spec and alphabet
+    /// assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not cover every parameterized layer.
+    pub fn new(spec: &QuantSpec, alphabets: &LayerAlphabets) -> Self {
+        assert_eq!(
+            spec.layer_formats().len(),
+            alphabets.len(),
+            "alphabet assignment must cover every parameterized layer"
+        );
+        let lattices = alphabets
+            .sets()
+            .iter()
+            .map(|set| WeightLattice::new(spec.bits(), set))
+            .collect();
+        Self {
+            spec: spec.clone(),
+            lattices,
+        }
+    }
+
+    /// Projects every weight tensor of `net` onto its constrained lattice.
+    pub fn project(&self, net: &mut Network) {
+        let mut pi = 0usize;
+        net.visit_params_mut(|_, kind, values, _| {
+            if kind == ParamKind::Weights {
+                constrain_slice(self.spec.layer_formats()[pi], &self.lattices[pi], values);
+                pi += 1;
+            }
+        });
+    }
+}
+
+/// One constrained-retraining attempt.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Attempt {
+    /// Alphabet-set label (e.g. `"2 {1,3}"`).
+    pub label: String,
+    /// Fixed-point accuracy `K` after retraining.
+    pub accuracy: f64,
+    /// Accuracy loss vs. the conventional baseline, in percentage points
+    /// (the paper's "Accuracy Loss (%)").
+    pub loss_pp: f64,
+    /// Whether `K ≥ J·Q` held.
+    pub accepted: bool,
+}
+
+/// Output of the full methodology.
+#[derive(Clone, Debug)]
+pub struct MethodologyOutcome {
+    /// Float accuracy after unconstrained training.
+    pub float_accuracy: f64,
+    /// Conventional fixed-point accuracy `J` (quantized, exact multiplier).
+    pub conventional_accuracy: f64,
+    /// The frozen quantization spec.
+    pub spec: QuantSpec,
+    /// The unconstrained trained network (the restore point).
+    pub restore_point: Network,
+    /// Every attempted alphabet set, in order.
+    pub attempts: Vec<Attempt>,
+    /// Retrained networks, parallel to `attempts`.
+    pub retrained: Vec<Network>,
+    /// Index into `attempts` of the accepted configuration, if any met the
+    /// quality constraint.
+    pub selected: Option<usize>,
+}
+
+/// Trains `net` unconstrained (Algorithm 2 step 1).
+pub fn train_unconstrained(
+    net: &mut Network,
+    images: &[Vec<f32>],
+    labels: &[usize],
+    cfg: &MethodologyConfig,
+) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum);
+    if let Some(clip) = cfg.clip_rms {
+        sgd = sgd.with_clip_rms(clip);
+    }
+    let tc = TrainConfig {
+        epochs: cfg.initial_epochs,
+        batch_size: cfg.batch_size,
+        ..TrainConfig::default()
+    };
+    train(net, &mut sgd, images, labels, &tc, &mut rng, |_| {});
+    net.accuracy(images, labels)
+}
+
+/// Retrains a copy of `restore` under a constraint projection (Algorithm 2
+/// step 3) and returns the constrained network.
+pub fn constrained_retrain(
+    restore: &Network,
+    spec: &QuantSpec,
+    alphabets: &LayerAlphabets,
+    images: &[Vec<f32>],
+    labels: &[usize],
+    cfg: &MethodologyConfig,
+) -> Network {
+    let projector = ConstraintProjector::new(spec, alphabets);
+    let mut net = restore.clone();
+    // Impose the constraint immediately, then let retraining recover.
+    projector.project(&mut net);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(alphabets.len() as u64));
+    let mut sgd = Sgd::new(cfg.lr * cfg.retrain_lr_factor, cfg.momentum);
+    if let Some(clip) = cfg.clip_rms {
+        sgd = sgd.with_clip_rms(clip);
+    }
+    let tc = TrainConfig {
+        epochs: cfg.retrain_epochs,
+        batch_size: cfg.batch_size,
+        ..TrainConfig::default()
+    };
+    train(&mut net, &mut sgd, images, labels, &tc, &mut rng, |n| {
+        projector.project(n)
+    });
+    // The last optimizer step is already projected, but be explicit: the
+    // compiled network must sit exactly on the lattice.
+    projector.project(&mut net);
+    net
+}
+
+/// Runs the complete Algorithm 2 on a pre-built float network.
+///
+/// `train_data` drives both training phases; `test_data` measures `J` and
+/// `K` (the paper's TrData / TsData).
+///
+/// # Example
+///
+/// ```no_run
+/// use man::train::{run_methodology, MethodologyConfig};
+/// use man::zoo::Benchmark;
+/// use man_datasets::GenOptions;
+///
+/// let ds = Benchmark::Faces.dataset(&GenOptions::default());
+/// let cfg = MethodologyConfig::paper(8);
+/// let outcome = run_methodology(
+///     Benchmark::Faces.build_network(cfg.seed),
+///     &ds.train_images, &ds.train_labels,
+///     &ds.test_images, &ds.test_labels,
+///     &cfg,
+/// );
+/// if let Some(i) = outcome.selected {
+///     println!("smallest acceptable set: {}", outcome.attempts[i].label);
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cfg.candidates` is empty or `cfg.quality` is not in
+/// `(0, 1]`.
+pub fn run_methodology(
+    mut net: Network,
+    train_images: &[Vec<f32>],
+    train_labels: &[usize],
+    test_images: &[Vec<f32>],
+    test_labels: &[usize],
+    cfg: &MethodologyConfig,
+) -> MethodologyOutcome {
+    assert!(!cfg.candidates.is_empty(), "need at least one candidate set");
+    assert!(
+        cfg.quality > 0.0 && cfg.quality <= 1.0,
+        "quality constraint must be in (0, 1]"
+    );
+    // Step 1: unconstrained training to near saturation.
+    train_unconstrained(&mut net, train_images, train_labels, cfg);
+    let float_accuracy = net.accuracy(test_images, test_labels);
+    // Step 2: quantized conventional accuracy J + restore point.
+    let spec = QuantSpec::fit(&net, cfg.bits);
+    let layers = spec.layer_formats().len();
+    let conventional = FixedNet::compile(
+        &net,
+        &spec,
+        &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
+    )
+    .expect("full alphabet always compiles");
+    let j = conventional.accuracy(test_images, test_labels);
+    // Steps 3-4: constrained retraining with growing alphabet sets.
+    let mut attempts = Vec::new();
+    let mut retrained = Vec::new();
+    let mut selected = None;
+    for (idx, set) in cfg.candidates.iter().enumerate() {
+        let alphabets = LayerAlphabets::uniform(set.clone(), layers);
+        let candidate = constrained_retrain(
+            &net,
+            &spec,
+            &alphabets,
+            train_images,
+            train_labels,
+            cfg,
+        );
+        let fixed = FixedNet::compile(&candidate, &spec, &alphabets)
+            .expect("projected weights always compile");
+        let k = fixed.accuracy(test_images, test_labels);
+        let accepted = k >= j * cfg.quality;
+        attempts.push(Attempt {
+            label: set.label(),
+            accuracy: k,
+            loss_pp: (j - k) * 100.0,
+            accepted,
+        });
+        retrained.push(candidate);
+        if accepted && selected.is_none() {
+            selected = Some(idx);
+            break; // Algorithm 2: "end the training".
+        }
+    }
+    MethodologyOutcome {
+        float_accuracy,
+        conventional_accuracy: j,
+        spec,
+        restore_point: net,
+        attempts,
+        retrained,
+        selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+    use rand::Rng;
+
+    fn toy_problem(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x: Vec<f32> = (0..8).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let s: f32 = x[..4].iter().sum::<f32>() - x[4..].iter().sum::<f32>();
+            xs.push(x);
+            ys.push((s > 0.0) as usize);
+        }
+        (xs, ys)
+    }
+
+    fn toy_net(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::Dense(Dense::new(8, 12, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(12, 2, &mut rng)),
+        ])
+    }
+
+    fn quick_cfg() -> MethodologyConfig {
+        MethodologyConfig {
+            initial_epochs: 20,
+            retrain_epochs: 8,
+            ..MethodologyConfig::paper(8)
+        }
+    }
+
+    #[test]
+    fn projector_keeps_weights_on_lattice() {
+        let net = toy_net(1);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
+        let projector = ConstraintProjector::new(&spec, &alphabets);
+        let mut constrained = net.clone();
+        projector.project(&mut constrained);
+        // Compiling under {1} must now succeed.
+        assert!(FixedNet::compile(&constrained, &spec, &alphabets).is_ok());
+        // Projection is idempotent.
+        let mut twice = constrained.clone();
+        projector.project(&mut twice);
+        let collect = |n: &mut Network| {
+            let mut v = Vec::new();
+            n.visit_params_mut(|_, _, values, _| v.extend_from_slice(values));
+            v
+        };
+        assert_eq!(collect(&mut constrained), collect(&mut twice));
+    }
+
+    #[test]
+    fn methodology_runs_end_to_end() {
+        let (xs, ys) = toy_problem(300, 5);
+        let outcome = run_methodology(toy_net(2), &xs, &ys, &xs, &ys, &quick_cfg());
+        assert!(
+            outcome.conventional_accuracy > 0.8,
+            "baseline too weak: {}",
+            outcome.conventional_accuracy
+        );
+        assert!(!outcome.attempts.is_empty());
+        // The toy task is easy: some candidate should meet Q = 0.99.
+        let best = outcome
+            .attempts
+            .iter()
+            .map(|a| a.accuracy)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best >= outcome.conventional_accuracy * 0.95,
+            "retraining should roughly recover the baseline (J={}, best K={best})",
+            outcome.conventional_accuracy
+        );
+    }
+
+    #[test]
+    fn retraining_recovers_projection_loss() {
+        let (xs, ys) = toy_problem(300, 7);
+        let mut net = toy_net(3);
+        let cfg = quick_cfg();
+        train_unconstrained(&mut net, &xs, &ys, &cfg);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
+        // Projection only (no retraining).
+        let projector = ConstraintProjector::new(&spec, &alphabets);
+        let mut projected = net.clone();
+        projector.project(&mut projected);
+        let acc_projected = FixedNet::compile(&projected, &spec, &alphabets)
+            .unwrap()
+            .accuracy(&xs, &ys);
+        // Projection + retraining.
+        let retrained = constrained_retrain(&net, &spec, &alphabets, &xs, &ys, &cfg);
+        let acc_retrained = FixedNet::compile(&retrained, &spec, &alphabets)
+            .unwrap()
+            .accuracy(&xs, &ys);
+        assert!(
+            acc_retrained >= acc_projected - 0.02,
+            "retraining must not be (meaningfully) worse: {acc_retrained} vs {acc_projected}"
+        );
+    }
+}

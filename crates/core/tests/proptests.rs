@@ -1,0 +1,149 @@
+//! Property-based tests for the paper's core invariants.
+
+use man::alphabet::AlphabetSet;
+use man::asm::AsmMultiplier;
+use man::constrain::{constrain_slice, project_greedy, WeightLattice};
+use man::quartet::QuartetScheme;
+use man_fixed::QFormat;
+use proptest::prelude::*;
+
+fn any_alphabet() -> impl Strategy<Value = AlphabetSet> {
+    prop_oneof![
+        Just(AlphabetSet::a1()),
+        Just(AlphabetSet::a2()),
+        Just(AlphabetSet::a4()),
+        Just(AlphabetSet::a8()),
+        Just(AlphabetSet::new(vec![1, 5, 9]).expect("valid")),
+        Just(AlphabetSet::new(vec![1, 7, 11, 13]).expect("valid")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// THE paper invariant: for any weight on the constrained lattice the
+    /// ASM select/shift/add reproduces exact multiplication.
+    #[test]
+    fn constrained_weight_multiplies_exactly(
+        alphabet in any_alphabet(),
+        bits in prop_oneof![Just(8u32), Just(12u32)],
+        w_raw in any::<u32>(),
+        x_raw in any::<u32>(),
+    ) {
+        let lattice = WeightLattice::new(bits, &alphabet);
+        let max_mag = (1u32 << (bits - 1)) - 1;
+        let w = lattice.project_exact(w_raw % (max_mag + 1));
+        let x = x_raw % (max_mag + 1);
+        let asm = AsmMultiplier::new(bits, alphabet);
+        let bank = asm.precompute(x);
+        prop_assert_eq!(asm.multiply(w, &bank).expect("lattice weight"), w as u64 * x as u64);
+    }
+
+    /// Unsupported weights are rejected, never silently mis-multiplied.
+    #[test]
+    fn unsupported_weights_error(bits in prop_oneof![Just(8u32), Just(12u32)], mag in any::<u32>()) {
+        let alphabet = AlphabetSet::a1();
+        let lattice = WeightLattice::new(bits, &alphabet);
+        let max_mag = (1u32 << (bits - 1)) - 1;
+        let mag = mag % (max_mag + 1);
+        let asm = AsmMultiplier::new(bits, alphabet);
+        prop_assert_eq!(asm.decode(mag).is_ok(), lattice.contains(mag));
+    }
+
+    /// Both projections land on the lattice; exact is globally nearest;
+    /// both are idempotent; both stay within the worst-case lattice gap.
+    #[test]
+    fn projections_are_sound(
+        alphabet in any_alphabet(),
+        bits in prop_oneof![Just(8u32), Just(12u32)],
+        mag in any::<u32>(),
+    ) {
+        let lattice = WeightLattice::new(bits, &alphabet);
+        let max_mag = (1u32 << (bits - 1)) - 1;
+        let mag = mag % (max_mag + 1);
+        let e = lattice.project_exact(mag);
+        let g = project_greedy(bits, &alphabet, mag);
+        prop_assert!(lattice.contains(e));
+        prop_assert!(lattice.contains(g));
+        prop_assert_eq!(lattice.project_exact(e), e);
+        prop_assert_eq!(project_greedy(bits, &alphabet, g), g);
+        let de = (e as i64 - mag as i64).unsigned_abs();
+        let dg = (g as i64 - mag as i64).unsigned_abs();
+        prop_assert!(de <= dg, "exact must be nearest: |{e}-{mag}| vs |{g}-{mag}|");
+        // Inside the lattice the error is bounded by the largest gap;
+        // above the top lattice point the projection saturates downward.
+        let top = *lattice.values().last().expect("nonempty");
+        if mag <= top {
+            prop_assert!(de <= lattice.max_gap() as u64);
+        } else {
+            prop_assert_eq!(e, top, "beyond the lattice the projection clamps");
+        }
+    }
+
+    /// Quartet decomposition round-trips for every representable
+    /// magnitude and width.
+    #[test]
+    fn quartets_roundtrip(bits in 3u32..=16, mag in any::<u32>()) {
+        let scheme = QuartetScheme::for_bits(bits);
+        let mag = mag % (scheme.max_magnitude() + 1);
+        prop_assert_eq!(scheme.reconstruct(&scheme.decompose(mag)), mag);
+    }
+
+    /// Constraining a float slice is idempotent and keeps every value
+    /// representable in the target format.
+    #[test]
+    fn constrain_slice_is_idempotent(
+        alphabet in any_alphabet(),
+        values in prop::collection::vec(-1.9f32..1.9, 1..40),
+        frac in 4u32..8,
+    ) {
+        let format = QFormat::new(8, frac);
+        let lattice = WeightLattice::new(8, &alphabet);
+        let mut once = values.clone();
+        constrain_slice(format, &lattice, &mut once);
+        let mut twice = once.clone();
+        constrain_slice(format, &lattice, &mut twice);
+        prop_assert_eq!(&once, &twice);
+        for &v in &once {
+            let q = format.quantize(v as f64);
+            prop_assert_eq!(q.to_f64() as f32, v, "projected values are exactly representable");
+        }
+    }
+
+    /// The projection error of any weight is bounded by half the local
+    /// lattice gap plus one LSB (rounding) — the approximation the paper
+    /// trades for energy.
+    #[test]
+    fn projection_error_is_bounded(
+        alphabet in any_alphabet(),
+        value in -1.9f32..1.9,
+    ) {
+        let format = QFormat::new(8, 6);
+        let lattice = WeightLattice::new(8, &alphabet);
+        let top = *lattice.values().last().expect("nonempty");
+        // Saturating magnitudes clamp to the top lattice point; the gap
+        // bound applies to the interior.
+        let q = format.quantize(value as f64);
+        let (_, mag) = man_fixed::bits::sign_magnitude(q.raw(), 8);
+        prop_assume!(mag <= top);
+        let mut buf = [value];
+        constrain_slice(format, &lattice, &mut buf);
+        let bound = (lattice.max_gap() as f64 / 2.0 + 1.0) * format.resolution();
+        prop_assert!(
+            (buf[0] - value).abs() as f64 <= bound,
+            "|{} - {value}| > {bound}",
+            buf[0]
+        );
+    }
+
+    /// The pre-computer bank is linear in its input: bank(a·x) entries are
+    /// a·x multiples (the CSHM sharing argument).
+    #[test]
+    fn bank_entries_are_multiples(alphabet in any_alphabet(), x in 0u32..128) {
+        let asm = AsmMultiplier::new(8, alphabet.clone());
+        let bank = asm.precompute(x);
+        for (i, &a) in alphabet.members().iter().enumerate() {
+            prop_assert_eq!(bank[i], a as u64 * x as u64);
+        }
+    }
+}

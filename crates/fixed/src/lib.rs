@@ -1,0 +1,30 @@
+//! Fixed-point arithmetic substrate for the MAN reproduction.
+//!
+//! The paper evaluates neurons whose inputs and synapse weights are 8- or
+//! 12-bit two's-complement fixed-point words. This crate provides the number
+//! formats ([`QFormat`]), scalar values ([`Fx`]), a widened accumulator for
+//! multiply-accumulate chains ([`Accum`]), bit-field helpers used by the
+//! quartet decomposition ([`bits`]), and bulk quantization helpers
+//! ([`quantize`]).
+//!
+//! # Example
+//!
+//! ```
+//! use man_fixed::QFormat;
+//!
+//! // 8-bit weights with 6 fractional bits: range [-2, 2).
+//! let fmt = QFormat::new(8, 6);
+//! let w = fmt.quantize(0.7312);
+//! assert!((w.to_f64() - 0.7312).abs() <= fmt.resolution() / 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+mod format;
+pub mod quantize;
+mod value;
+
+pub use format::{QFormat, RawOutOfRangeError};
+pub use value::{Accum, Fx};

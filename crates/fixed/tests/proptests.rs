@@ -1,0 +1,77 @@
+//! Property-based tests for the fixed-point substrate.
+
+use man_fixed::bits::{apply_sign, join_groups, sign_magnitude, split_groups};
+use man_fixed::{Accum, QFormat};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantizing any in-range value introduces at most half an LSB of error.
+    #[test]
+    fn quantize_error_at_most_half_lsb(x in -1.9f64..1.9, frac in 0u32..8) {
+        let fmt = QFormat::new(8, frac);
+        if x <= fmt.max_value() && x >= fmt.min_value() {
+            let q = fmt.quantize(x);
+            prop_assert!((q.to_f64() - x).abs() <= fmt.resolution() / 2.0 + 1e-12);
+        }
+    }
+
+    /// Quantization always lands inside the representable range.
+    #[test]
+    fn quantize_is_always_in_range(x in -1e6f64..1e6, bits in 2u32..16, frac_off in 0u32..4) {
+        let frac = (bits - 1).saturating_sub(frac_off);
+        let fmt = QFormat::new(bits, frac);
+        let q = fmt.quantize(x);
+        prop_assert!(fmt.contains_raw(q.raw() as i64));
+    }
+
+    /// Sign-magnitude decomposition round-trips for all non-clamped words.
+    #[test]
+    fn sign_magnitude_roundtrips(raw in -2047i32..=2047) {
+        let (neg, mag) = sign_magnitude(raw, 12);
+        prop_assert_eq!(apply_sign(mag as u64, neg), raw as i64);
+    }
+
+    /// Bit-group splitting round-trips for the paper's 8- and 12-bit layouts.
+    #[test]
+    fn split_join_roundtrips_8bit(mag in 0u32..128) {
+        let widths = [4u32, 3];
+        prop_assert_eq!(join_groups(&split_groups(mag, &widths), &widths), mag);
+    }
+
+    #[test]
+    fn split_join_roundtrips_12bit(mag in 0u32..2048) {
+        let widths = [4u32, 4, 3];
+        prop_assert_eq!(join_groups(&split_groups(mag, &widths), &widths), mag);
+    }
+
+    /// Aligning an accumulator up then back down is lossless.
+    #[test]
+    fn accum_align_up_down_is_lossless(raw in -1_000_000i64..1_000_000, frac in 0u32..16, up in 0u32..8) {
+        let acc = Accum::from_raw(raw, frac);
+        prop_assert_eq!(acc.align(frac + up).align(frac), acc);
+    }
+
+    /// The widened product matches integer multiplication exactly.
+    #[test]
+    fn wide_mul_matches_integer_product(a in -128i64..=127, b in -128i64..=127) {
+        let fmt = QFormat::new(8, 6);
+        let fa = fmt.from_raw(a).unwrap();
+        let fb = fmt.from_raw(b).unwrap();
+        let p = fa.wide_mul(fb);
+        prop_assert_eq!(p.raw(), a * b);
+        prop_assert_eq!(p.frac(), 12);
+    }
+
+    /// `fitting` always produces a format that can represent the value.
+    #[test]
+    fn fitting_always_fits(max_abs in 0.0f64..1000.0, bits in 2u32..16) {
+        let fmt = QFormat::fitting(bits, max_abs);
+        if max_abs <= fmt.max_value() {
+            // Representable: quantization saturation cannot trigger.
+            let q = fmt.quantize(max_abs);
+            prop_assert!((q.to_f64() - max_abs).abs() <= fmt.resolution() / 2.0 + 1e-12);
+        }
+        // Even when max_abs exceeds the widest format, the fraction is valid.
+        prop_assert!(fmt.frac() <= bits - 1);
+    }
+}

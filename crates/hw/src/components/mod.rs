@@ -1,0 +1,15 @@
+//! Datapath module generators ("a library of RTL blocks"): adders,
+//! multipliers, shifters, muxes, random logic, sign handling, the ASM
+//! select/shift/combine stage, the alphabet pre-computer bank, MAC stages
+//! and the PLAN activation unit.
+
+pub mod activation;
+pub mod adder;
+pub mod asm;
+pub mod logic;
+pub mod mac;
+pub mod multiplier;
+pub mod mux;
+pub mod negate;
+pub mod precompute;
+pub mod shifter;

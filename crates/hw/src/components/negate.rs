@@ -1,0 +1,72 @@
+//! Sign handling shared by conventional and ASM datapaths: both multiply
+//! magnitudes and re-apply the sign with a conditional two's-complement
+//! negation (XOR row plus increment).
+
+use crate::components::adder::{add_bus_cin, AdderKind};
+use crate::netlist::{Builder, Bus, Net};
+
+/// Converts an unsigned magnitude into a two's-complement word that is
+/// negated when `negate` is 1. The result is `mag.width() + 1` bits wide so
+/// the largest magnitude still has a sign bit.
+pub fn conditional_negate(b: &mut Builder, mag: &Bus, negate: Net) -> Bus {
+    let w = mag.width() + 1;
+    let ext = b.resize_bus(mag, w);
+    let flipped = Bus::from_nets((0..w).map(|i| b.xor(ext.net(i), negate)).collect());
+    let zero = b.const_bus(0, w);
+    let sum = add_bus_cin(b, &flipped, &zero, negate, AdderKind::Ripple);
+    sum.slice(0..w)
+}
+
+/// Sign-extends a two's-complement bus to `width` bits (pure wiring).
+pub fn sign_extend(bus: &Bus, width: usize) -> Bus {
+    assert!(width >= bus.width(), "cannot sign-extend to a narrower bus");
+    let msb = bus.net(bus.width() - 1);
+    let mut nets = bus.nets().to_vec();
+    nets.resize(width, msb);
+    Bus::from_nets(nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::netlist::Builder;
+
+    fn signed_of(value: u64, bits: u32) -> i64 {
+        let m = 1u64 << (bits - 1);
+        (value as i64 & (m as i64 - 1)) - (value as i64 & m as i64)
+    }
+
+    #[test]
+    fn negates_exhaustively() {
+        let mut b = Builder::new("neg");
+        let mag = b.input_bus("mag", 5);
+        let s = b.input_bus("s", 1);
+        let out = conditional_negate(&mut b, &mag, s.net(0));
+        b.output_bus("out", &out);
+        let nl = b.finish();
+        let mut sim = Evaluator::new(&nl);
+        for m in 0..32u64 {
+            for s in 0..2u64 {
+                sim.step(&[("mag", m), ("s", s)]);
+                let got = signed_of(sim.output("out"), 6);
+                let want = if s == 1 { -(m as i64) } else { m as i64 };
+                assert_eq!(got, want, "mag={m} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_extension_replicates_msb() {
+        let mut b = Builder::new("sx");
+        let x = b.input_bus("x", 4);
+        let y = sign_extend(&x, 8);
+        b.output_bus("y", &y);
+        let nl = b.finish();
+        let mut sim = Evaluator::new(&nl);
+        sim.step(&[("x", 0b1010)]); // -6 in 4 bits
+        assert_eq!(signed_of(sim.output("y"), 8), -6);
+        sim.step(&[("x", 0b0101)]); // +5
+        assert_eq!(signed_of(sim.output("y"), 8), 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Vector-pair logic simulation with per-gate toggle counting.
+//!
+//! This is the activity engine behind the power model: a netlist is driven
+//! with a stream of input vectors (sampled from *real* operand traces of the
+//! neural network), and every output transition of every gate is counted.
+//! Dynamic energy is then `Σ toggles(g) · E_switch(cell(g))`. The simulation
+//! is zero-delay, so glitching inside deep combinational logic is not
+//! captured directly; circuit generators annotate a glitch factor instead
+//! (see [`crate::circuit::Circuit::glitch_factor`]).
+
+use crate::cell::CellLibrary;
+use crate::netlist::{Netlist, NodeOp};
+
+/// Simulates a netlist over a stream of input vectors, accumulating per-gate
+/// toggle counts.
+///
+/// # Example
+///
+/// ```
+/// use man_hw::components::adder::{adder, AdderKind};
+/// use man_hw::eval::Evaluator;
+///
+/// let circuit = adder(8, AdderKind::Ripple);
+/// let mut sim = Evaluator::new(circuit.netlist());
+/// sim.step(&[("a", 100), ("b", 55)]);
+/// assert_eq!(sim.output("sum"), 155);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    toggles: Vec<u64>,
+    vectors: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for `netlist` with all signals initially 0.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let n = netlist.nodes().len();
+        let mut values = vec![false; n];
+        for (i, op) in netlist.nodes().iter().enumerate() {
+            if let NodeOp::Const(v) = op {
+                values[i] = *v;
+            }
+        }
+        Self {
+            netlist,
+            values,
+            toggles: vec![0; n],
+            vectors: 0,
+        }
+    }
+
+    /// Applies one input vector and propagates it through the netlist.
+    ///
+    /// Toggle counting starts from the second vector (the first establishes
+    /// the baseline state). Unassigned input buses keep their previous
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input bus name is unknown.
+    pub fn step(&mut self, inputs: &[(&str, u64)]) {
+        for (name, value) in inputs {
+            let nets = self
+                .netlist
+                .input(name)
+                .unwrap_or_else(|| panic!("unknown input bus {name:?}"));
+            for (bit, net) in nets.iter().enumerate() {
+                let v = (value >> bit) & 1 == 1;
+                let idx = net.index();
+                if self.values[idx] != v {
+                    self.values[idx] = v;
+                    if self.vectors > 0 {
+                        self.toggles[idx] += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..self.netlist.nodes().len() {
+            let new = match self.netlist.nodes()[i] {
+                NodeOp::Input | NodeOp::Const(_) => continue,
+                NodeOp::Unary(kind, a) => {
+                    let va = self.values[a.index()];
+                    match kind {
+                        crate::cell::CellKind::Inv => !va,
+                        _ => va,
+                    }
+                }
+                NodeOp::Binary(kind, a, b) => {
+                    use crate::cell::CellKind::*;
+                    let (va, vb) = (self.values[a.index()], self.values[b.index()]);
+                    match kind {
+                        And2 => va & vb,
+                        Or2 => va | vb,
+                        Nand2 => !(va & vb),
+                        Nor2 => !(va | vb),
+                        Xor2 => va ^ vb,
+                        Xnor2 => !(va ^ vb),
+                        _ => unreachable!("non-binary cell in binary node"),
+                    }
+                }
+                NodeOp::Mux { sel, a, b } => {
+                    if self.values[sel.index()] {
+                        self.values[b.index()]
+                    } else {
+                        self.values[a.index()]
+                    }
+                }
+            };
+            if self.values[i] != new {
+                self.values[i] = new;
+                if self.vectors > 0 {
+                    self.toggles[i] += 1;
+                }
+            }
+        }
+        self.vectors += 1;
+    }
+
+    /// Reads an output bus as an LSB-first integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output bus name is unknown.
+    pub fn output(&self, name: &str) -> u64 {
+        let nets = self
+            .netlist
+            .output(name)
+            .unwrap_or_else(|| panic!("unknown output bus {name:?}"));
+        nets.iter()
+            .enumerate()
+            .fold(0u64, |acc, (bit, net)| {
+                acc | ((self.values[net.index()] as u64) << bit)
+            })
+    }
+
+    /// Number of vectors applied so far.
+    pub fn vectors(&self) -> u64 {
+        self.vectors
+    }
+
+    /// Number of *transitions* observed so far (vectors beyond the first).
+    pub fn transitions(&self) -> u64 {
+        self.vectors.saturating_sub(1)
+    }
+
+    /// Total toggle count across all gates.
+    pub fn total_toggles(&self) -> u64 {
+        self.netlist
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.cell().is_some())
+            .map(|(i, _)| self.toggles[i])
+            .sum()
+    }
+
+    /// Dynamic energy in fJ accumulated over all observed transitions:
+    /// `Σ toggles(gate) · switch_fj(cell)`.
+    pub fn dynamic_energy_fj(&self, lib: &CellLibrary) -> f64 {
+        self.netlist
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| op.cell().map(|k| (i, k)))
+            .map(|(i, kind)| self.toggles[i] as f64 * lib.params(kind).switch_fj)
+            .sum()
+    }
+
+    /// Resets toggle statistics (signal state is kept).
+    pub fn reset_stats(&mut self) {
+        self.toggles.fill(0);
+        self.vectors = if self.vectors > 0 { 1 } else { 0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Builder, Bus};
+
+    fn xor_netlist() -> Netlist {
+        let mut b = Builder::new("xor");
+        let x = b.input_bus("x", 2);
+        let y = b.xor(x.net(0), x.net(1));
+        b.output_bus("y", &Bus::from_nets(vec![y]));
+        b.finish()
+    }
+
+    #[test]
+    fn evaluates_truth_table() {
+        let nl = xor_netlist();
+        let mut sim = Evaluator::new(&nl);
+        for (x, want) in [(0b00u64, 0), (0b01, 1), (0b10, 1), (0b11, 0)] {
+            sim.step(&[("x", x)]);
+            assert_eq!(sim.output("y"), want, "x={x:02b}");
+        }
+    }
+
+    #[test]
+    fn first_vector_establishes_baseline() {
+        let nl = xor_netlist();
+        let mut sim = Evaluator::new(&nl);
+        sim.step(&[("x", 0b01)]); // baseline, no toggles counted
+        assert_eq!(sim.total_toggles(), 0);
+        sim.step(&[("x", 0b10)]); // output stays 1: no gate toggle
+        assert_eq!(sim.total_toggles(), 0);
+        sim.step(&[("x", 0b11)]); // output 1 -> 0
+        assert_eq!(sim.total_toggles(), 1);
+    }
+
+    #[test]
+    fn constant_inputs_cause_no_activity() {
+        let nl = xor_netlist();
+        let mut sim = Evaluator::new(&nl);
+        for _ in 0..10 {
+            sim.step(&[("x", 0b11)]);
+        }
+        assert_eq!(sim.total_toggles(), 0);
+        assert_eq!(sim.dynamic_energy_fj(&CellLibrary::nominal_45nm()), 0.0);
+    }
+
+    #[test]
+    fn random_data_consumes_energy() {
+        let nl = xor_netlist();
+        let mut sim = Evaluator::new(&nl);
+        for i in 0..16u64 {
+            sim.step(&[("x", i % 4)]);
+        }
+        assert!(sim.dynamic_energy_fj(&CellLibrary::nominal_45nm()) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown input bus")]
+    fn unknown_bus_panics() {
+        let nl = xor_netlist();
+        let mut sim = Evaluator::new(&nl);
+        sim.step(&[("nope", 0)]);
+    }
+}

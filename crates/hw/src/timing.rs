@@ -1,0 +1,104 @@
+//! Static timing analysis: longest combinational path through a netlist.
+//!
+//! Arrival times propagate forward in topological order (the node table is
+//! already topologically sorted by construction). The critical path of a
+//! [`crate::circuit::Circuit`] additionally accounts for flip-flop
+//! clock-to-Q and setup time when the circuit is registered.
+
+use crate::cell::CellLibrary;
+use crate::netlist::{Netlist, NodeOp};
+
+/// Per-node arrival times and the overall critical path.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    arrivals: Vec<f64>,
+    critical_ps: f64,
+}
+
+impl TimingReport {
+    /// The worst arrival time at any node, in ps.
+    pub fn critical_ps(&self) -> f64 {
+        self.critical_ps
+    }
+
+    /// Arrival time of a specific node.
+    pub fn arrival_ps(&self, node: usize) -> f64 {
+        self.arrivals[node]
+    }
+}
+
+/// Computes arrival times for every node and the critical (longest) path.
+pub fn analyze(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
+    let nodes = netlist.nodes();
+    let mut arrivals = vec![0.0f64; nodes.len()];
+    let mut critical = 0.0f64;
+    for (i, op) in nodes.iter().enumerate() {
+        let arr = match *op {
+            NodeOp::Input | NodeOp::Const(_) => 0.0,
+            NodeOp::Unary(kind, a) => arrivals[a.index()] + lib.params(kind).delay_ps,
+            NodeOp::Binary(kind, a, b) => {
+                arrivals[a.index()].max(arrivals[b.index()]) + lib.params(kind).delay_ps
+            }
+            NodeOp::Mux { sel, a, b } => {
+                arrivals[sel.index()]
+                    .max(arrivals[a.index()])
+                    .max(arrivals[b.index()])
+                    + lib.params(crate::cell::CellKind::Mux2).delay_ps
+            }
+        };
+        arrivals[i] = arr;
+        if arr > critical {
+            critical = arr;
+        }
+    }
+    TimingReport {
+        arrivals,
+        critical_ps: critical,
+    }
+}
+
+/// Longest combinational path in ps (convenience wrapper over [`analyze`]).
+pub fn critical_path_ps(netlist: &Netlist, lib: &CellLibrary) -> f64 {
+    analyze(netlist, lib).critical_ps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::netlist::{Builder, Bus};
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = CellLibrary::nominal_45nm();
+        let mut b = Builder::new("chain");
+        let x = b.input_bus("x", 1);
+        let mut n = x.net(0);
+        for _ in 0..4 {
+            let k = b.constant(true);
+            // xor with constant folds; use a fresh input-dependent gate chain
+            let _ = k;
+            n = {
+                let other = x.net(0);
+                b.nand(n, other)
+            };
+        }
+        b.output_bus("y", &Bus::from_nets(vec![n]));
+        let nl = b.finish();
+        let d = critical_path_ps(&nl, &lib);
+        let nand = lib.params(crate::cell::CellKind::Nand2).delay_ps;
+        // First nand(x, x) folds to not(x); remaining chain alternates but
+        // every stage adds at least an inverter delay.
+        assert!(d > nand, "chain delay {d} too small");
+    }
+
+    #[test]
+    fn empty_cone_has_zero_delay() {
+        let lib = CellLibrary::nominal_45nm();
+        let mut b = Builder::new("wire");
+        let x = b.input_bus("x", 4);
+        b.output_bus("y", &x);
+        let nl = b.finish();
+        assert_eq!(critical_path_ps(&nl, &lib), 0.0);
+    }
+}

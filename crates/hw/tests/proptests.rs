@@ -1,0 +1,137 @@
+//! Property-based tests for the gate-level substrate: arithmetic blocks
+//! must agree with integer arithmetic for arbitrary operands and widths,
+//! and the cost model must behave monotonically.
+
+use man_hw::cell::CellLibrary;
+use man_hw::components::activation::{plan_sigmoid_fixed, PlanParams};
+use man_hw::components::adder::{adder, AdderKind};
+use man_hw::components::mac::{acc_stage, carry_save_step, product_bits};
+use man_hw::components::multiplier::{multiplier, MultiplierKind};
+use man_hw::components::shifter::shifter;
+use man_hw::eval::Evaluator;
+use proptest::prelude::*;
+
+fn adder_kind() -> impl Strategy<Value = AdderKind> {
+    prop_oneof![
+        Just(AdderKind::Ripple),
+        Just(AdderKind::CarrySelect),
+        Just(AdderKind::KoggeStone),
+    ]
+}
+
+fn mult_kind() -> impl Strategy<Value = MultiplierKind> {
+    prop_oneof![
+        Just(MultiplierKind::Array),
+        Just(MultiplierKind::Wallace(AdderKind::Ripple)),
+        Just(MultiplierKind::Wallace(AdderKind::KoggeStone)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every adder architecture computes integer addition at any width.
+    #[test]
+    fn adders_add(kind in adder_kind(), width in 2usize..20, seed in any::<u64>()) {
+        let c = adder(width, kind);
+        let mut sim = Evaluator::new(c.netlist());
+        let mask = (1u64 << width) - 1;
+        let mut x = seed | 1;
+        for _ in 0..16 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = x & mask;
+            let b = (x >> 20) & mask;
+            sim.step(&[("a", a), ("b", b)]);
+            prop_assert_eq!(sim.output("sum"), a + b);
+        }
+    }
+
+    /// Every multiplier architecture computes integer products.
+    #[test]
+    fn multipliers_multiply(kind in mult_kind(), w_a in 2usize..9, w_b in 2usize..9, seed in any::<u64>()) {
+        let c = multiplier(w_a, w_b, kind);
+        let mut sim = Evaluator::new(c.netlist());
+        let mut x = seed | 1;
+        for _ in 0..12 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let a = x & ((1 << w_a) - 1);
+            let b = (x >> 24) & ((1 << w_b) - 1);
+            sim.step(&[("a", a), ("b", b)]);
+            prop_assert_eq!(sim.output("p"), a * b);
+        }
+    }
+
+    /// The barrel shifter is a left shift for every amount.
+    #[test]
+    fn shifter_shifts(width in 2usize..12, data in any::<u64>(), s in 0u64..4) {
+        let c = shifter(width, 2);
+        let mut sim = Evaluator::new(c.netlist());
+        let data = data & ((1 << width) - 1);
+        sim.step(&[("data", data), ("shift", s)]);
+        prop_assert_eq!(sim.output("out"), data << s);
+    }
+
+    /// The carry-propagate accumulate stage integrates signed
+    /// sign-magnitude products exactly (modulo the accumulator width).
+    #[test]
+    fn acc_stage_accumulates(products in prop::collection::vec(-16129i64..=16129, 1..12)) {
+        let acc_bits = 20u32;
+        let c = acc_stage(8, acc_bits, AdderKind::KoggeStone);
+        let mut sim = Evaluator::new(c.netlist());
+        let mask = (1u64 << acc_bits) - 1;
+        let mut acc = 0i64;
+        for p in products {
+            sim.step(&[
+                ("p_mag", p.unsigned_abs()),
+                ("p_sign", (p < 0) as u64),
+                ("acc", (acc as u64) & mask),
+            ]);
+            acc += p;
+            let got = sim.output("acc_next");
+            prop_assert_eq!(got, (acc as u64) & mask);
+        }
+    }
+
+    /// The carry-save software twin preserves the sum invariant:
+    /// s' + c' == s + c ± p (mod 2^bits).
+    #[test]
+    fn carry_save_invariant(p in 0u64..=16129, sign in any::<bool>(), s in any::<u64>(), c in any::<u64>()) {
+        let acc_bits = 25u32;
+        let mask = (1u64 << acc_bits) - 1;
+        let (s, c) = (s & mask, c & mask);
+        let (s2, c2) = carry_save_step(p, sign, s, c, acc_bits);
+        let before = s.wrapping_add(c);
+        let delta = if sign { before.wrapping_sub(p) } else { before.wrapping_add(p) };
+        prop_assert_eq!((s2.wrapping_add(c2)) & mask, delta & mask);
+    }
+
+    /// PLAN is monotone non-decreasing and bounded to [0, 1).
+    #[test]
+    fn plan_is_monotone_and_bounded(a in -30000i64..30000, b in -30000i64..30000) {
+        let p = PlanParams { in_bits: 16, in_frac: 10, out_bits: 8 };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ylo = plan_sigmoid_fixed(lo, &p);
+        let yhi = plan_sigmoid_fixed(hi, &p);
+        prop_assert!(ylo <= yhi, "PLAN must be monotone: f({lo})={ylo} > f({hi})={yhi}");
+        prop_assert!(yhi < (1 << p.out_bits));
+    }
+
+    /// Area and leakage scale exactly linearly with a library area/energy
+    /// scale, and delays with the delay scale (sanity of the cost model).
+    #[test]
+    fn library_scaling_is_linear(width in 3usize..12, area_k in 1.0f64..3.0, delay_k in 1.0f64..3.0) {
+        let base = CellLibrary::nominal_45nm();
+        let scaled = base.scaled(area_k, delay_k, 1.0);
+        let c = adder(width, AdderKind::Ripple);
+        prop_assert!((c.area_um2(&scaled) - area_k * c.area_um2(&base)).abs() < 1e-6);
+        prop_assert!((c.comb_delay_ps(&scaled) - delay_k * c.comb_delay_ps(&base)).abs() < 1e-6);
+    }
+
+    /// Product width bookkeeping: a magnitude product always fits the
+    /// declared product width.
+    #[test]
+    fn product_width_covers_magnitudes(bits in 3u32..13) {
+        let max = (1u64 << (bits - 1)) - 1;
+        prop_assert!(max * max < (1u64 << product_bits(bits)));
+    }
+}

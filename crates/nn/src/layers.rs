@@ -1,0 +1,612 @@
+//! Network layers: dense, 2-D convolution, LeNet-style trainable scaled
+//! average pooling, element-wise activations and flatten.
+//!
+//! Layers are an enum (not trait objects) so the fixed-point inference
+//! engine in the `man` crate can pattern-match on the architecture and
+//! replay it bit-accurately on the ASM datapath.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which parameter tensor of a layer is being visited.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Multiplicative weights (the tensors the ASM constraint applies to).
+    Weights,
+    /// Additive biases (never constrained — they feed the accumulator
+    /// directly without a multiplier).
+    Bias,
+}
+
+/// Element-wise activation functions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid (the paper's soft-limiting neuron).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// Applies the function.
+    pub fn eval(&self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed through the *output* value `y = eval(x)`.
+    pub fn derivative_from_output(&self, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Fully connected layer: `y = W·x + b`, weights stored row-major
+/// `[out][in]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    pub(crate) weights: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) grad_w: Vec<f32>,
+    pub(crate) grad_b: Vec<f32>,
+    pub(crate) cached_input: Vec<f32>,
+}
+
+impl Dense {
+    /// A dense layer with Xavier-uniform initialized weights.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "degenerate dense layer");
+        let bound = (6.0f32 / (in_dim + out_dim) as f32).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            weights,
+            bias: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+            cached_input: Vec::new(),
+        }
+    }
+
+    /// The weight matrix, row-major `[out][in]`.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Overwrites the biases (e.g. sigmoid-centering initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the output width.
+    pub fn set_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.bias.len(), "bias length mismatch");
+        self.bias.copy_from_slice(bias);
+    }
+
+    fn forward(&mut self, x: Vec<f32>, train: bool) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut y = self.bias.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0f32;
+            for (w, xi) in row.iter().zip(&x) {
+                acc += w * xi;
+            }
+            *yo += acc;
+        }
+        if train {
+            self.cached_input = x;
+        }
+        y
+    }
+
+    fn backward(&mut self, g: Vec<f32>) -> Vec<f32> {
+        debug_assert_eq!(g.len(), self.out_dim);
+        let x = &self.cached_input;
+        let mut gx = vec![0.0f32; self.in_dim];
+        for (o, go) in g.iter().enumerate() {
+            self.grad_b[o] += go;
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut self.grad_w[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += go * x[i];
+                gx[i] += go * row[i];
+            }
+        }
+        gx
+    }
+}
+
+/// 2-D convolution (stride 1, valid padding), channels-first
+/// `[C, H, W]`; kernels `[OC, IC, K, K]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Input height/width.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    pub(crate) weights: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) grad_w: Vec<f32>,
+    pub(crate) grad_b: Vec<f32>,
+    pub(crate) cached_input: Vec<f32>,
+}
+
+impl Conv2d {
+    /// A convolution layer with He-uniform initialized kernels.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        in_h: usize,
+        in_w: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(kernel <= in_h && kernel <= in_w, "kernel larger than input");
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = (3.0f32 / fan_in).sqrt();
+        let n = out_channels * in_channels * kernel * kernel;
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            in_h,
+            in_w,
+            weights: (0..n).map(|_| rng.gen_range(-bound..bound)).collect(),
+            bias: vec![0.0; out_channels],
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_channels],
+            cached_input: Vec::new(),
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.in_h - self.kernel + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w - self.kernel + 1
+    }
+
+    /// The kernel tensor, `[OC, IC, K, K]` row-major.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Per-output-channel biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Overwrites the biases (e.g. sigmoid-centering initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the output channel count.
+    pub fn set_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.bias.len(), "bias length mismatch");
+        self.bias.copy_from_slice(bias);
+    }
+
+    fn forward(&mut self, x: Vec<f32>, train: bool) -> Vec<f32> {
+        let (ic, k, ih, iw) = (self.in_channels, self.kernel, self.in_h, self.in_w);
+        debug_assert_eq!(x.len(), ic * ih * iw);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut y = vec![0.0f32; self.out_channels * oh * ow];
+        for oc in 0..self.out_channels {
+            let kbase = oc * ic * k * k;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    for c in 0..ic {
+                        let kc = kbase + c * k * k;
+                        let xc = c * ih * iw;
+                        for ky in 0..k {
+                            let xrow = xc + (oy + ky) * iw + ox;
+                            let krow = kc + ky * k;
+                            for kx in 0..k {
+                                acc += self.weights[krow + kx] * x[xrow + kx];
+                            }
+                        }
+                    }
+                    y[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        if train {
+            self.cached_input = x;
+        }
+        y
+    }
+
+    fn backward(&mut self, g: Vec<f32>) -> Vec<f32> {
+        let (ic, k, ih, iw) = (self.in_channels, self.kernel, self.in_h, self.in_w);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let x = &self.cached_input;
+        let mut gx = vec![0.0f32; ic * ih * iw];
+        for oc in 0..self.out_channels {
+            let kbase = oc * ic * k * k;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = g[oc * oh * ow + oy * ow + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[oc] += go;
+                    for c in 0..ic {
+                        let kc = kbase + c * k * k;
+                        let xc = c * ih * iw;
+                        for ky in 0..k {
+                            let xrow = xc + (oy + ky) * iw + ox;
+                            let krow = kc + ky * k;
+                            for kx in 0..k {
+                                self.grad_w[krow + kx] += go * x[xrow + kx];
+                                gx[xrow + kx] += go * self.weights[krow + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+}
+
+/// LeNet-style trainable subsampling: a 2×2 average pool scaled by one
+/// trainable coefficient and bias per channel — exactly the S2/S4 layers
+/// whose 12 + 32 parameters make the paper's CNN total 51,946 synapses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScaledAvgPool {
+    /// Channels.
+    pub channels: usize,
+    /// Input height (must be even).
+    pub in_h: usize,
+    /// Input width (must be even).
+    pub in_w: usize,
+    pub(crate) weights: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) grad_w: Vec<f32>,
+    pub(crate) grad_b: Vec<f32>,
+    pub(crate) cached_avg: Vec<f32>,
+}
+
+impl ScaledAvgPool {
+    /// A trainable 2×2 average pool (coefficients start at 1, biases at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial dimensions are not even.
+    pub fn new(channels: usize, in_h: usize, in_w: usize) -> Self {
+        assert!(in_h % 2 == 0 && in_w % 2 == 0, "pool needs even dimensions");
+        Self {
+            channels,
+            in_h,
+            in_w,
+            weights: vec![1.0; channels],
+            bias: vec![0.0; channels],
+            grad_w: vec![0.0; channels],
+            grad_b: vec![0.0; channels],
+            cached_avg: Vec::new(),
+        }
+    }
+
+    /// Per-channel scale coefficients.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Per-channel biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Overwrites coefficients and biases (sigmoid-centering init).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ from the channel count.
+    pub fn set_params(&mut self, weights: &[f32], bias: &[f32]) {
+        assert_eq!(weights.len(), self.weights.len(), "weight length mismatch");
+        assert_eq!(bias.len(), self.bias.len(), "bias length mismatch");
+        self.weights.copy_from_slice(weights);
+        self.bias.copy_from_slice(bias);
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.in_h / 2
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w / 2
+    }
+
+    fn forward(&mut self, x: Vec<f32>, train: bool) -> Vec<f32> {
+        let (c, ih, iw) = (self.channels, self.in_h, self.in_w);
+        debug_assert_eq!(x.len(), c * ih * iw);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut avg = vec![0.0f32; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = ch * ih * iw + 2 * oy * iw + 2 * ox;
+                    avg[ch * oh * ow + oy * ow + ox] =
+                        0.25 * (x[base] + x[base + 1] + x[base + iw] + x[base + iw + 1]);
+                }
+            }
+        }
+        let y = avg
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let ch = i / (oh * ow);
+                self.weights[ch] * a + self.bias[ch]
+            })
+            .collect();
+        if train {
+            self.cached_avg = avg;
+        }
+        y
+    }
+
+    fn backward(&mut self, g: Vec<f32>) -> Vec<f32> {
+        let (c, ih, iw) = (self.channels, self.in_h, self.in_w);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut gx = vec![0.0f32; c * ih * iw];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let idx = ch * oh * ow + oy * ow + ox;
+                    let go = g[idx];
+                    self.grad_w[ch] += go * self.cached_avg[idx];
+                    self.grad_b[ch] += go;
+                    let spread = go * self.weights[ch] * 0.25;
+                    let base = ch * ih * iw + 2 * oy * iw + 2 * ox;
+                    gx[base] += spread;
+                    gx[base + 1] += spread;
+                    gx[base + iw] += spread;
+                    gx[base + iw + 1] += spread;
+                }
+            }
+        }
+        gx
+    }
+}
+
+/// Element-wise activation layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ActivationLayer {
+    /// The function applied.
+    pub activation: Activation,
+    pub(crate) cached_output: Vec<f32>,
+}
+
+impl ActivationLayer {
+    /// Wraps an [`Activation`] as a layer.
+    pub fn new(activation: Activation) -> Self {
+        Self {
+            activation,
+            cached_output: Vec::new(),
+        }
+    }
+}
+
+/// One network layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected.
+    Dense(Dense),
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// LeNet-style trainable scaled average pooling.
+    ScaledAvgPool(ScaledAvgPool),
+    /// Element-wise activation.
+    Activation(ActivationLayer),
+}
+
+impl Layer {
+    /// Forward pass. With `train == true` the layer caches what backward
+    /// needs.
+    pub fn forward(&mut self, x: Vec<f32>, train: bool) -> Vec<f32> {
+        match self {
+            Layer::Dense(l) => l.forward(x, train),
+            Layer::Conv2d(l) => l.forward(x, train),
+            Layer::ScaledAvgPool(l) => l.forward(x, train),
+            Layer::Activation(l) => {
+                let y: Vec<f32> = x.iter().map(|&v| l.activation.eval(v)).collect();
+                if train {
+                    l.cached_output = y.clone();
+                }
+                y
+            }
+        }
+    }
+
+    /// Inference-only forward pass (no caching, immutable).
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        // Forward never mutates observable state when train == false; clone
+        // the cheap parts instead of duplicating the arithmetic.
+        match self {
+            Layer::Dense(l) => {
+                let mut tmp = l.clone();
+                tmp.forward(x.to_vec(), false)
+            }
+            Layer::Conv2d(l) => {
+                let mut tmp = l.clone();
+                tmp.forward(x.to_vec(), false)
+            }
+            Layer::ScaledAvgPool(l) => {
+                let mut tmp = l.clone();
+                tmp.forward(x.to_vec(), false)
+            }
+            Layer::Activation(l) => x.iter().map(|&v| l.activation.eval(v)).collect(),
+        }
+    }
+
+    /// Backward pass: consumes the upstream gradient, accumulates parameter
+    /// gradients and returns the gradient w.r.t. the layer input.
+    pub fn backward(&mut self, g: Vec<f32>) -> Vec<f32> {
+        match self {
+            Layer::Dense(l) => l.backward(g),
+            Layer::Conv2d(l) => l.backward(g),
+            Layer::ScaledAvgPool(l) => l.backward(g),
+            Layer::Activation(l) => g
+                .iter()
+                .zip(&l.cached_output)
+                .map(|(go, &y)| go * l.activation.derivative_from_output(y))
+                .collect(),
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        let (gw, gb) = match self {
+            Layer::Dense(l) => (&mut l.grad_w, &mut l.grad_b),
+            Layer::Conv2d(l) => (&mut l.grad_w, &mut l.grad_b),
+            Layer::ScaledAvgPool(l) => (&mut l.grad_w, &mut l.grad_b),
+            Layer::Activation(_) => return,
+        };
+        gw.fill(0.0);
+        gb.fill(0.0);
+    }
+
+    /// Number of trainable parameters (the paper's "synapses", biases
+    /// included as in Table IV).
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Dense(l) => l.weights.len() + l.bias.len(),
+            Layer::Conv2d(l) => l.weights.len() + l.bias.len(),
+            Layer::ScaledAvgPool(l) => l.weights.len() + l.bias.len(),
+            Layer::Activation(_) => 0,
+        }
+    }
+
+    /// Visits `(kind, values, grads)` for every parameter tensor.
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(ParamKind, &mut [f32], &mut [f32])) {
+        match self {
+            Layer::Dense(l) => {
+                f(ParamKind::Weights, &mut l.weights, &mut l.grad_w);
+                f(ParamKind::Bias, &mut l.bias, &mut l.grad_b);
+            }
+            Layer::Conv2d(l) => {
+                f(ParamKind::Weights, &mut l.weights, &mut l.grad_w);
+                f(ParamKind::Bias, &mut l.bias, &mut l.grad_b);
+            }
+            Layer::ScaledAvgPool(l) => {
+                f(ParamKind::Weights, &mut l.weights, &mut l.grad_w);
+                f(ParamKind::Bias, &mut l.bias, &mut l.grad_b);
+            }
+            Layer::Activation(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.weights = vec![1.0, 2.0, 3.0, 4.0];
+        d.bias = vec![0.5, -0.5];
+        let y = d.forward(vec![1.0, -1.0], false);
+        assert_eq!(y, vec![1.0 - 2.0 + 0.5, 3.0 - 4.0 - 0.5]);
+    }
+
+    #[test]
+    fn conv_forward_matches_manual() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut c = Conv2d::new(1, 1, 2, 3, 3, &mut rng);
+        c.weights = vec![1.0, 0.0, 0.0, 1.0]; // identity-ish: x[0,0] + x[1,1]
+        c.bias = vec![0.0];
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let y = c.forward(x, false);
+        assert_eq!(y, vec![1.0 + 5.0, 2.0 + 6.0, 4.0 + 8.0, 5.0 + 9.0]);
+    }
+
+    #[test]
+    fn pool_averages_and_scales() {
+        let mut p = ScaledAvgPool::new(1, 2, 2);
+        p.weights = vec![2.0];
+        p.bias = vec![1.0];
+        let y = p.forward(vec![1.0, 2.0, 3.0, 4.0], false);
+        assert_eq!(y, vec![2.0 * 2.5 + 1.0]);
+    }
+
+    #[test]
+    fn activation_shapes_preserved() {
+        let mut a = Layer::Activation(ActivationLayer::new(Activation::Sigmoid));
+        let y = a.forward(vec![0.0; 10], true);
+        assert_eq!(y.len(), 10);
+        assert!((y[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lenet_param_counts_match_paper_table4() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let c1 = Layer::Conv2d(Conv2d::new(1, 6, 5, 32, 32, &mut rng));
+        let s2 = Layer::ScaledAvgPool(ScaledAvgPool::new(6, 28, 28));
+        let c3 = Layer::Conv2d(Conv2d::new(6, 16, 5, 14, 14, &mut rng));
+        let s4 = Layer::ScaledAvgPool(ScaledAvgPool::new(16, 10, 10));
+        let f5 = Layer::Dense(Dense::new(400, 120, &mut rng));
+        let f6 = Layer::Dense(Dense::new(120, 10, &mut rng));
+        let total: usize = [&c1, &s2, &c3, &s4, &f5, &f6]
+            .iter()
+            .map(|l| l.param_count())
+            .sum();
+        assert_eq!(c1.param_count(), 156);
+        assert_eq!(s2.param_count(), 12);
+        assert_eq!(c3.param_count(), 2416);
+        assert_eq!(s4.param_count(), 32);
+        assert_eq!(f5.param_count(), 48120);
+        assert_eq!(f6.param_count(), 1210);
+        assert_eq!(total, 51_946, "Table IV: 51,946 trainable synapses");
+    }
+
+    #[test]
+    fn relu_and_tanh_derivatives() {
+        assert_eq!(Activation::Relu.derivative_from_output(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        let y = Activation::Tanh.eval(0.3);
+        assert!((Activation::Tanh.derivative_from_output(y) - (1.0 - y * y)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,84 @@
+//! Loss functions: softmax cross-entropy for classification, MSE for
+//! regression-style training.
+
+/// Loss function choice.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax over the outputs followed by cross-entropy against the
+    /// class label.
+    SoftmaxCrossEntropy,
+    /// Mean squared error against a one-hot target (the classic MLP
+    /// formulation used by the toolboxes the paper modified).
+    Mse,
+}
+
+impl Loss {
+    /// Computes the loss value and the gradient w.r.t. the network output
+    /// for a classification target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= output.len()`.
+    pub fn loss_and_grad(&self, output: &[f32], label: usize) -> (f32, Vec<f32>) {
+        assert!(label < output.len(), "label out of range");
+        match self {
+            Loss::SoftmaxCrossEntropy => {
+                let max = output.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = output.iter().map(|&v| (v - max).exp()).collect();
+                let sum: f32 = exps.iter().sum();
+                let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+                let loss = -(probs[label].max(1e-12)).ln();
+                let grad = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| p - (i == label) as u8 as f32)
+                    .collect();
+                (loss, grad)
+            }
+            Loss::Mse => {
+                let mut loss = 0.0;
+                let mut grad = Vec::with_capacity(output.len());
+                for (i, &y) in output.iter().enumerate() {
+                    let t = (i == label) as u8 as f32;
+                    let d = y - t;
+                    loss += 0.5 * d * d;
+                    grad.push(d);
+                }
+                (loss / output.len() as f32, grad)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        let (_, g) = Loss::SoftmaxCrossEntropy.loss_and_grad(&[1.0, 2.0, 0.5], 1);
+        let sum: f32 = g.iter().sum();
+        assert!(sum.abs() < 1e-6);
+        assert!(g[1] < 0.0, "correct class gradient pushes up");
+    }
+
+    #[test]
+    fn softmax_loss_decreases_with_confidence() {
+        let (l_bad, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&[2.0, 0.0], 1);
+        let (l_good, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&[0.0, 2.0], 1);
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    fn mse_is_zero_at_target() {
+        let (l, g) = Loss::Mse.loss_and_grad(&[0.0, 1.0, 0.0], 1);
+        assert_eq!(l, 0.0);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_rejected() {
+        let _ = Loss::Mse.loss_and_grad(&[0.0], 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! The sequential network container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Layer, ParamKind};
+use crate::loss::Loss;
+
+/// A feedforward network: an ordered stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+/// use man_nn::network::Network;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let net = Network::new(vec![
+///     Layer::Dense(Dense::new(4, 8, &mut rng)),
+///     Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+///     Layer::Dense(Dense::new(8, 2, &mut rng)),
+/// ]);
+/// assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Builds a network from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        Self { layers }
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (used by the constraint
+    /// projector).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameter count (the paper's "synapses").
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Number of neurons: the output width of every parameterized layer
+    /// (dense outputs, convolution maps, pooling maps), matching how
+    /// Table IV counts them.
+    pub fn neuron_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => d.out_dim,
+                Layer::Conv2d(c) => c.out_channels * c.out_h() * c.out_w(),
+                Layer::ScaledAvgPool(p) => p.channels * p.out_h() * p.out_w(),
+                Layer::Activation(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Inference forward pass (no gradient caches touched).
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut v = x.to_vec();
+        for layer in &self.layers {
+            v = layer.infer(&v);
+        }
+        v
+    }
+
+    /// Training forward pass (caches activations for backward).
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut v = x.to_vec();
+        for layer in &mut self.layers {
+            v = layer.forward(v, true);
+        }
+        v
+    }
+
+    /// Backpropagates a loss gradient, accumulating parameter gradients.
+    pub fn backward(&mut self, grad_out: Vec<f32>) {
+        let mut g = grad_out;
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(g);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Runs forward + backward for one sample, returning the loss.
+    pub fn accumulate_sample(&mut self, x: &[f32], label: usize, loss: Loss) -> f32 {
+        let out = self.forward(x);
+        let (l, g) = loss.loss_and_grad(&out, label);
+        self.backward(g);
+        l
+    }
+
+    /// The predicted class (argmax of the output).
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let out = self.infer(x);
+        argmax(&out)
+    }
+
+    /// Classification accuracy over a dataset given as flat samples.
+    pub fn accuracy(&self, samples: &[Vec<f32>], labels: &[usize]) -> f64 {
+        assert_eq!(samples.len(), labels.len(), "sample/label count mismatch");
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .zip(labels)
+            .filter(|(x, &l)| self.predict(x) == l)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Visits every parameter tensor as `(layer_index, kind, values,
+    /// grads)`, in a stable order.
+    pub fn visit_params_mut(
+        &mut self,
+        mut f: impl FnMut(usize, ParamKind, &mut [f32], &mut [f32]),
+    ) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.visit_params_mut(&mut |kind, values, grads| f(i, kind, values, grads));
+        }
+    }
+}
+
+/// Index of the largest element (first on ties).
+pub fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate().skip(1) {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, ActivationLayer, Dense};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::Dense(Dense::new(3, 5, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(5, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn infer_and_forward_agree() {
+        let mut net = tiny_net(7);
+        let x = [0.3, -0.2, 0.9];
+        let a = net.infer(&x);
+        let b = net.forward(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_mlp_synapse_counts() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        // Digit recognition: 1024-100-10 -> 103,510 synapses, 110 neurons.
+        let digits = Network::new(vec![
+            Layer::Dense(Dense::new(1024, 100, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(100, 10, &mut rng)),
+        ]);
+        assert_eq!(digits.param_count(), 103_510);
+        assert_eq!(digits.neuron_count(), 110);
+        // Face detection: 1024-100-2 -> 102,702 synapses, 102 neurons.
+        let faces = Network::new(vec![
+            Layer::Dense(Dense::new(1024, 100, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(100, 2, &mut rng)),
+        ]);
+        assert_eq!(faces.param_count(), 102_702);
+        assert_eq!(faces.neuron_count(), 102);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut net = tiny_net(42);
+        let x = [0.5, -1.0, 0.25];
+        let label = 1;
+        let loss = Loss::SoftmaxCrossEntropy;
+        net.zero_grads();
+        let _ = net.accumulate_sample(&x, label, loss);
+        // Collect analytic gradients.
+        let mut analytic = Vec::new();
+        net.visit_params_mut(|_, _, _, grads| analytic.extend_from_slice(grads));
+        // Finite differences over every parameter.
+        let eps = 1e-3f32;
+        let mut idx = 0;
+        let mut max_err = 0.0f32;
+        let n_params = analytic.len();
+        for p in 0..n_params {
+            let mut bump = |net: &mut Network, delta: f32| {
+                let mut k = 0;
+                net.visit_params_mut(|_, _, values, _| {
+                    for v in values.iter_mut() {
+                        if k == p {
+                            *v += delta;
+                        }
+                        k += 1;
+                    }
+                });
+            };
+            bump(&mut net, eps);
+            let (lp, _) = loss.loss_and_grad(&net.infer(&x), label);
+            bump(&mut net, -2.0 * eps);
+            let (lm, _) = loss.loss_and_grad(&net.infer(&x), label);
+            bump(&mut net, eps);
+            let numeric = (lp - lm) / (2.0 * eps);
+            max_err = max_err.max((numeric - analytic[idx]).abs());
+            idx += 1;
+        }
+        assert!(max_err < 1e-2, "max gradient error {max_err}");
+    }
+
+    #[test]
+    fn argmax_picks_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let net = tiny_net(3);
+        let samples = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]];
+        let p0 = net.predict(&samples[0]);
+        let p1 = net.predict(&samples[1]);
+        let acc = net.accuracy(&samples, &[p0, p1]);
+        assert_eq!(acc, 1.0);
+    }
+}

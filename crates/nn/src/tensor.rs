@@ -1,0 +1,112 @@
+//! A minimal shaped `f32` buffer.
+//!
+//! The layers in this crate operate on flat slices with explicit shape
+//! bookkeeping; `Tensor` exists for the places where a shape must travel
+//! with its data (dataset samples, intermediate feature maps in tests).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` tensor.
+///
+/// # Example
+///
+/// ```
+/// use man_nn::tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[6, 28, 28]);
+/// assert_eq!(t.len(), 6 * 28 * 28);
+/// assert_eq!(t.shape(), &[6, 28, 28]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor needs at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension");
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Wraps existing data with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_shape_and_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.data()[4], 5.0);
+        assert_eq!(t.into_vec().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_shape_rejected() {
+        let _ = Tensor::from_vec(&[2, 2], vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_dimension_rejected() {
+        let _ = Tensor::zeros(&[3, 0]);
+    }
+}

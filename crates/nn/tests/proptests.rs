@@ -1,0 +1,110 @@
+//! Property-based tests for the training substrate: analytic gradients
+//! must match finite differences for randomly shaped networks, and losses
+//! must behave like losses.
+
+use man_nn::layers::{Activation, ActivationLayer, Conv2d, Dense, Layer, ScaledAvgPool};
+use man_nn::loss::Loss;
+use man_nn::network::Network;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Checks analytic vs central-difference gradients for all parameters.
+fn max_gradient_error(net: &mut Network, x: &[f32], label: usize) -> f32 {
+    let loss = Loss::SoftmaxCrossEntropy;
+    net.zero_grads();
+    let _ = net.accumulate_sample(x, label, loss);
+    let mut analytic = Vec::new();
+    net.visit_params_mut(|_, _, _, grads| analytic.extend_from_slice(grads));
+    let eps = 1e-3f32;
+    let mut max_err = 0.0f32;
+    for p in 0..analytic.len() {
+        let mut bump = |net: &mut Network, delta: f32| {
+            let mut k = 0;
+            net.visit_params_mut(|_, _, values, _| {
+                for v in values.iter_mut() {
+                    if k == p {
+                        *v += delta;
+                    }
+                    k += 1;
+                }
+            });
+        };
+        bump(net, eps);
+        let (lp, _) = loss.loss_and_grad(&net.infer(x), label);
+        bump(net, -2.0 * eps);
+        let (lm, _) = loss.loss_and_grad(&net.infer(x), label);
+        bump(net, eps);
+        max_err = max_err.max(((lp - lm) / (2.0 * eps) - analytic[p]).abs());
+    }
+    max_err
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Dense/sigmoid stacks of random shape have correct gradients.
+    #[test]
+    fn random_mlp_gradients_check(
+        seed in any::<u64>(),
+        hidden in 2usize..8,
+        inputs in 2usize..6,
+        classes in 2usize..4,
+        act in prop_oneof![Just(Activation::Sigmoid), Just(Activation::Tanh), Just(Activation::Relu)],
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(inputs, hidden, &mut rng)),
+            Layer::Activation(ActivationLayer::new(act)),
+            Layer::Dense(Dense::new(hidden, classes, &mut rng)),
+        ]);
+        let x: Vec<f32> = (0..inputs).map(|i| ((seed as usize + i) % 7) as f32 / 7.0 - 0.4).collect();
+        let err = max_gradient_error(&mut net, &x, seed as usize % classes);
+        prop_assert!(err < 2e-2, "gradient error {err}");
+    }
+
+    /// Conv + trainable-pool stacks have correct gradients.
+    #[test]
+    fn random_cnn_gradients_check(seed in any::<u64>(), channels in 1usize..3) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Layer::Conv2d(Conv2d::new(1, channels, 3, 6, 6, &mut rng)),
+            Layer::ScaledAvgPool(ScaledAvgPool::new(channels, 4, 4)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(channels * 4, 2, &mut rng)),
+        ]);
+        let x: Vec<f32> = (0..36).map(|i| ((i * 13 + seed as usize) % 11) as f32 / 11.0).collect();
+        let err = max_gradient_error(&mut net, &x, seed as usize % 2);
+        prop_assert!(err < 2e-2, "gradient error {err}");
+    }
+
+    /// Softmax cross-entropy: loss non-negative, gradient sums to ~0, and
+    /// nudging the correct logit up always reduces the loss.
+    #[test]
+    fn softmax_ce_properties(logits in prop::collection::vec(-5.0f32..5.0, 2..8), pick in any::<usize>()) {
+        let label = pick % logits.len();
+        let (l, g) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, label);
+        prop_assert!(l >= 0.0);
+        prop_assert!(g.iter().sum::<f32>().abs() < 1e-4);
+        let mut better = logits.clone();
+        better[label] += 0.1;
+        let (l2, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&better, label);
+        prop_assert!(l2 <= l + 1e-6);
+    }
+
+    /// Inference is deterministic and independent of training caches.
+    #[test]
+    fn infer_is_pure(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(4, 3, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(3, 2, &mut rng)),
+        ]);
+        let x = [0.1f32, -0.2, 0.3, 0.7];
+        let a = net.infer(&x);
+        let _ = net.forward(&[0.9, 0.9, 0.9, 0.9]); // pollute caches
+        let b = net.infer(&x);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's credibility experiment (Section IV-C / Table II): train the
+//! 1024-100-2 face-detection MLP, quantize, constrain, retrain, and
+//! compare conventional vs ASM accuracy on the fixed-point engine.
+//!
+//! Run with: `cargo run --release --example face_detection`
+
+use man_repro::man::train::{run_methodology, MethodologyConfig};
+use man_repro::man::zoo::Benchmark;
+use man_repro::man_datasets::GenOptions;
+
+fn main() {
+    let benchmark = Benchmark::Faces;
+    let ds = benchmark.dataset(&GenOptions {
+        train: 2000,
+        test: 500,
+        seed: 7,
+    });
+    let mut cfg = MethodologyConfig::paper(8);
+    cfg.initial_epochs = 10;
+    cfg.retrain_epochs = 5;
+    println!("training {} on {} samples ...", benchmark.name(), ds.train_len());
+    let outcome = run_methodology(
+        benchmark.build_network(cfg.seed),
+        &ds.train_images,
+        &ds.train_labels,
+        &ds.test_images,
+        &ds.test_labels,
+        &cfg,
+    );
+    println!(
+        "float accuracy        : {:.2}%",
+        100.0 * outcome.float_accuracy
+    );
+    println!(
+        "conventional NN (J)   : {:.2}% (8-bit fixed point, exact multiplier)",
+        100.0 * outcome.conventional_accuracy
+    );
+    for attempt in &outcome.attempts {
+        println!(
+            "ASM {:<12} (K)   : {:.2}%  loss {:+.2} pp  accepted: {}",
+            attempt.label,
+            attempt.accuracy * 100.0,
+            attempt.loss_pp,
+            attempt.accepted
+        );
+    }
+    match outcome.selected {
+        Some(i) => println!(
+            "Algorithm 2 selected the smallest set meeting K >= J*Q: {}",
+            outcome.attempts[i].label
+        ),
+        None => println!("no candidate met the quality constraint Q"),
+    }
+}

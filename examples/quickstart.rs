@@ -1,0 +1,47 @@
+//! Quickstart: multiply with an ASM, constrain a weight, and see why the
+//! MAN neuron needs no multiplier at all.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use man_repro::man::alphabet::AlphabetSet;
+use man_repro::man::asm::AsmMultiplier;
+use man_repro::man::constrain::WeightLattice;
+
+fn main() {
+    // 1. An 8-bit ASM with the 4-alphabet set {1,3,5,7}.
+    let asm = AsmMultiplier::new(8, AlphabetSet::a4());
+    let input = 77u32;
+    let bank = asm.precompute(input); // the "pre-computer bank": [1,3,5,7]·77
+    println!("pre-computer bank of {input}: {bank:?}");
+
+    // 2. Fig. 2's example weight 0b0100_1010: quartet 10 = 5<<1, quartet
+    //    4 = 1<<2 — a pure select/shift/add multiplication.
+    let w = 0b0100_1010u32;
+    let product = asm.multiply(w, &bank).expect("supported weight");
+    assert_eq!(product, w as u64 * input as u64);
+    println!("{w} x {input} = {product} via select, shift, add");
+
+    // 3. Unsupported weights are rejected — Table I's W1 = 105 contains
+    //    quartet 9, which {1,3,5,7} cannot produce.
+    let err = asm.multiply(105, &bank).unwrap_err();
+    println!("unconstrained weight: {err}");
+
+    // 4. Algorithm 1 rounds it onto the representable lattice.
+    let lattice = WeightLattice::new(8, &AlphabetSet::a4());
+    let constrained = lattice.project_exact(105);
+    println!("Algorithm 1: 105 -> {constrained}");
+    let product = asm.multiply(constrained, &bank).expect("now supported");
+    println!("{constrained} x {input} = {product} (exact on the ASM)");
+
+    // 5. The MAN: alphabet {1} — no pre-computer bank at all, the input
+    //    itself is the only 'alphabet'; multiplication is shift-and-add.
+    let man = AsmMultiplier::new(8, AlphabetSet::a1());
+    let man_bank = man.precompute(input);
+    assert_eq!(man_bank, vec![input as u64]);
+    let man_lattice = WeightLattice::new(8, &AlphabetSet::a1());
+    let w_man = man_lattice.project_exact(105);
+    println!(
+        "MAN: 105 -> {w_man}; {w_man} x {input} = {}",
+        man.multiply(w_man, &man_bank).unwrap()
+    );
+}

@@ -1,0 +1,13 @@
+//! Workspace facade for the MAN (Multiplier-less Artificial Neuron)
+//! reproduction.
+//!
+//! This crate only re-exports the member crates so that the repository's
+//! `examples/` and `tests/` can reach everything through one dependency.
+//! Start with [`man`] — the paper's primary contribution — and see
+//! `DESIGN.md` at the repository root for the full system inventory.
+
+pub use man;
+pub use man_datasets;
+pub use man_fixed;
+pub use man_hw;
+pub use man_nn;

@@ -1,0 +1,187 @@
+//! Cross-crate integration: dataset -> training -> constraint -> fixed
+//! inference -> hardware cost, on small-but-real configurations.
+
+use man_repro::man::alphabet::AlphabetSet;
+use man_repro::man::engine::{kinds_conventional, kinds_from_alphabets, CostModel};
+use man_repro::man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
+use man_repro::man::train::{run_methodology, MethodologyConfig};
+use man_repro::man::zoo::Benchmark;
+use man_repro::man_datasets::GenOptions;
+
+fn small_opts(seed: u64) -> GenOptions {
+    GenOptions {
+        train: 500,
+        test: 150,
+        seed,
+    }
+}
+
+fn quick_cfg(bits: u32) -> MethodologyConfig {
+    let mut cfg = MethodologyConfig::paper(bits);
+    cfg.initial_epochs = 6;
+    cfg.retrain_epochs = 3;
+    cfg
+}
+
+#[test]
+fn faces_methodology_reaches_usable_accuracy() {
+    let ds = Benchmark::Faces.dataset(&small_opts(42));
+    let cfg = quick_cfg(8);
+    let outcome = run_methodology(
+        Benchmark::Faces.build_network(cfg.seed),
+        &ds.train_images,
+        &ds.train_labels,
+        &ds.test_images,
+        &ds.test_labels,
+        &cfg,
+    );
+    assert!(
+        outcome.conventional_accuracy > 0.75,
+        "8-bit conventional baseline too weak: {}",
+        outcome.conventional_accuracy
+    );
+    // Error resilience: even the first attempted (smallest) alphabet set
+    // stays within a few points of the conventional baseline.
+    let first = &outcome.attempts[0];
+    assert!(
+        first.accuracy > outcome.conventional_accuracy - 0.08,
+        "MAN lost too much: {} vs {}",
+        first.accuracy,
+        outcome.conventional_accuracy
+    );
+}
+
+#[test]
+fn digits_energy_ordering_matches_paper() {
+    // MAN < ASM2 < conventional in energy, at identical cycle counts.
+    let ds = Benchmark::DigitsMlp.dataset(&small_opts(7));
+    let cfg = quick_cfg(8);
+    let mut net = Benchmark::DigitsMlp.build_network(cfg.seed);
+    man_repro::man::train::train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
+    let spec = QuantSpec::fit(&net, 8);
+    let mut model = CostModel::default();
+    model.stream_limit = 300;
+
+    let mut energy = Vec::new();
+    let mut cycles = Vec::new();
+    for set in [None, Some(AlphabetSet::a2()), Some(AlphabetSet::a1())] {
+        let (alphabets, kinds, label) = match &set {
+            None => {
+                let a = LayerAlphabets::uniform(AlphabetSet::a8(), 2);
+                (a, kinds_conventional(2), "conv")
+            }
+            Some(s) => {
+                let a = LayerAlphabets::uniform(s.clone(), 2);
+                let k = kinds_from_alphabets(&a);
+                (a, k, "asm")
+            }
+        };
+        let mut candidate = net.clone();
+        man_repro::man::train::ConstraintProjector::new(&spec, &alphabets).project(&mut candidate);
+        let fixed = FixedNet::compile(&candidate, &spec, &alphabets).unwrap();
+        let traces = fixed.sample_traces(&ds.test_images, 300);
+        let report = model.network_cost(&fixed, &kinds, &traces, label).unwrap();
+        energy.push(report.energy_pj);
+        cycles.push(report.cycles);
+    }
+    assert!(energy[2] < energy[1], "MAN {} !< ASM2 {}", energy[2], energy[1]);
+    assert!(energy[1] < energy[0], "ASM2 {} !< conv {}", energy[1], energy[0]);
+    assert_eq!(cycles[0], cycles[1], "iso-speed engines share cycle counts");
+    assert_eq!(cycles[1], cycles[2]);
+}
+
+#[test]
+fn cnn_compiles_and_infers_in_fixed_point() {
+    let ds = Benchmark::DigitsCnn.dataset(&GenOptions {
+        train: 150,
+        test: 40,
+        seed: 3,
+    });
+    let mut cfg = quick_cfg(12);
+    cfg.initial_epochs = 2;
+    let mut net = Benchmark::DigitsCnn.build_network(cfg.seed);
+    man_repro::man::train::train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
+    let spec = QuantSpec::fit(&net, 12);
+    let layers = spec.layer_formats().len();
+    assert_eq!(layers, 6, "LeNet has 6 parameterized layers");
+    // Conventional path.
+    let fixed = FixedNet::compile(
+        &net,
+        &spec,
+        &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
+    )
+    .unwrap();
+    let float_acc = net.accuracy(&ds.test_images, &ds.test_labels);
+    let fixed_acc = fixed.accuracy(&ds.test_images, &ds.test_labels);
+    assert!(
+        (float_acc - fixed_acc).abs() < 0.25,
+        "12-bit quantization should track float: {float_acc} vs {fixed_acc}"
+    );
+    // MAN path after projection.
+    let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), layers);
+    let mut constrained = net.clone();
+    man_repro::man::train::ConstraintProjector::new(&spec, &alphabets).project(&mut constrained);
+    let man_fixed = FixedNet::compile(&constrained, &spec, &alphabets).unwrap();
+    let _ = man_fixed.accuracy(&ds.test_images, &ds.test_labels);
+}
+
+#[test]
+fn asm_functional_model_matches_gate_level_datapath() {
+    // The software ASM and the synthesized netlist agree bit-for-bit.
+    use man_repro::man_hw::components::asm::asm_mult_stage;
+    use man_repro::man_hw::components::adder::AdderKind;
+    use man_repro::man_hw::eval::Evaluator;
+
+    let alphabet = AlphabetSet::a2();
+    let asm = man_repro::man::asm::AsmMultiplier::new(8, alphabet.clone());
+    let stage = asm_mult_stage(8, alphabet.members(), AdderKind::Ripple);
+    let mut sim = Evaluator::new(stage.netlist());
+    for w_mag in 0..128u32 {
+        if asm.decode(w_mag).is_err() {
+            continue;
+        }
+        for x in [1u32, 55, 127] {
+            let bank = asm.precompute(x);
+            sim.step(&[
+                ("w_mag", w_mag as u64),
+                ("alpha1", bank[0]),
+                ("alpha3", bank[1]),
+                ("w_sign", 0),
+                ("x_sign", 0),
+            ]);
+            assert_eq!(
+                sim.output("p_mag"),
+                asm.multiply(w_mag, &bank).unwrap(),
+                "w={w_mag} x={x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_activation_shared_between_engine_and_hardware() {
+    use man_repro::man_hw::components::activation::{
+        activation_unit, activation_unit_fixed, PlanParams,
+    };
+    use man_repro::man_hw::components::adder::AdderKind;
+    use man_repro::man_hw::eval::Evaluator;
+
+    let params = PlanParams {
+        in_bits: 11,
+        in_frac: 7,
+        out_bits: 7,
+    };
+    let acc_bits = 20u32;
+    let acc_frac = 13u32;
+    let unit = activation_unit(acc_bits, acc_frac, &params, AdderKind::Ripple);
+    let mut sim = Evaluator::new(unit.netlist());
+    let mask = (1u64 << acc_bits) - 1;
+    for acc in (-400_000i64..400_000).step_by(17_771) {
+        sim.step(&[("acc", (acc as u64) & mask)]);
+        assert_eq!(
+            sim.output("y"),
+            activation_unit_fixed(acc, acc_bits, acc_frac, &params),
+            "acc={acc}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Failure injection: every typed error path fires with a useful message,
+//! and extreme inputs exercise the saturating paths without panicking.
+
+use man_repro::man::alphabet::AlphabetSet;
+use man_repro::man::asm::AsmMultiplier;
+use man_repro::man::fixed::{CompileError, FixedNet, LayerAlphabets, QuantSpec};
+use man_repro::man::train::ConstraintProjector;
+use man_repro::man_hw::cell::CellLibrary;
+use man_repro::man_hw::synth::synthesize_adder;
+use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+use man_repro::man_nn::network::Network;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn mlp(seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Network::new(vec![
+        Layer::Dense(Dense::new(8, 6, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(6, 2, &mut rng)),
+    ])
+}
+
+#[test]
+fn unconstrained_compile_reports_layer_and_magnitude() {
+    let net = mlp(1);
+    let spec = QuantSpec::fit(&net, 8);
+    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a1(), 2))
+        .unwrap_err();
+    match err {
+        CompileError::UnconstrainedWeight { layer, magnitude } => {
+            assert!(layer < 2);
+            assert!(magnitude <= 127);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    assert!(err.to_string().contains("constrain the network first"));
+}
+
+#[test]
+fn layer_count_mismatch_is_reported() {
+    let net = mlp(2);
+    let spec = QuantSpec::fit(&net, 8);
+    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a8(), 5))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CompileError::LayerCountMismatch {
+            expected: 2,
+            got: 5
+        }
+    ));
+}
+
+#[test]
+fn bare_activation_architecture_is_rejected() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    // Two stacked activations: the second has no parameterized layer
+    // before it.
+    let net = Network::new(vec![
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(4, 2, &mut rng)),
+    ]);
+    let spec = QuantSpec::fit(&net, 8);
+    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a8(), 1))
+        .unwrap_err();
+    assert!(matches!(err, CompileError::UnsupportedArchitecture(_)));
+}
+
+#[test]
+fn non_sigmoid_activation_is_rejected() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(4, 4, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Relu)),
+        Layer::Dense(Dense::new(4, 2, &mut rng)),
+    ]);
+    let spec = QuantSpec::fit(&net, 8);
+    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a8(), 2))
+        .unwrap_err();
+    assert!(err.to_string().contains("sigmoid"));
+}
+
+#[test]
+fn asm_error_identifies_the_offending_quartet() {
+    let asm = AsmMultiplier::new(12, AlphabetSet::a2());
+    // Magnitude with the middle quartet set to the unsupported value 9.
+    let err = asm.decode(9 << 4).unwrap_err();
+    assert_eq!(err.index, 1);
+    assert_eq!(err.value, 9);
+}
+
+#[test]
+fn impossible_clock_is_a_typed_error_not_a_panic() {
+    let lib = CellLibrary::nominal_45nm();
+    let err = synthesize_adder(32, &lib, 1.0).unwrap_err();
+    assert!(err.best_ps > err.clock_ps);
+    assert!(err.block.contains("adder32"));
+}
+
+#[test]
+fn extreme_inputs_saturate_gracefully() {
+    let mut net = mlp(5);
+    // Blow the weights up so accumulators hit the PLAN saturation region.
+    net.visit_params_mut(|_, _, values, _| {
+        for v in values.iter_mut() {
+            *v *= 50.0;
+        }
+    });
+    let spec = QuantSpec::fit(&net, 8);
+    let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
+    ConstraintProjector::new(&spec, &alphabets).project(&mut net);
+    let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+    for pixel in [0.0f32, 0.999, 1.0, 123.0, -5.0] {
+        // Out-of-range pixels clamp at quantization; nothing panics.
+        let logits = fixed.infer_raw(&vec![pixel; 8]);
+        assert_eq!(logits.len(), 2);
+    }
+}

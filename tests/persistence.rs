@@ -1,0 +1,51 @@
+//! Model persistence: trained (and constrained) networks serialize with
+//! serde and reload to bit-identical fixed-point behavior — the workflow a
+//! downstream user needs to deploy a constrained model.
+
+use man_repro::man::alphabet::AlphabetSet;
+use man_repro::man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
+use man_repro::man::train::ConstraintProjector;
+use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+use man_repro::man_nn::network::Network;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn constrained_network_roundtrips_through_json() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(24, 12, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(12, 4, &mut rng)),
+    ]);
+    let spec = QuantSpec::fit(&net, 8);
+    let alphabets = LayerAlphabets::uniform(AlphabetSet::a2(), 2);
+    ConstraintProjector::new(&spec, &alphabets).project(&mut net);
+
+    let json_net = serde_json::to_string(&net).expect("network serializes");
+    let json_spec = serde_json::to_string(&spec).expect("spec serializes");
+    let net2: Network = serde_json::from_str(&json_net).expect("network deserializes");
+    let spec2: QuantSpec = serde_json::from_str(&json_spec).expect("spec deserializes");
+
+    let a = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+    let b = FixedNet::compile(&net2, &spec2, &alphabets).unwrap();
+    for i in 0..16 {
+        let x: Vec<f32> = (0..24).map(|j| ((i * 5 + j * 3) % 11) as f32 / 11.0).collect();
+        assert_eq!(
+            a.infer_raw(&x),
+            b.infer_raw(&x),
+            "reloaded model must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn quant_spec_is_stable_across_serialization() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let net = Network::new(vec![Layer::Dense(Dense::new(5, 3, &mut rng))]);
+    let spec = QuantSpec::fit(&net, 12);
+    let spec2: QuantSpec =
+        serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    assert_eq!(spec, spec2);
+    assert_eq!(spec2.bits(), 12);
+}
