@@ -7,49 +7,57 @@
 
 use man::alphabet::AlphabetSet;
 use man::constrain::{project_greedy, WeightLattice};
-use man::engine::{kinds_from_alphabets, CostModel};
-use man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
-use man::train::{constrained_retrain, train_unconstrained, ConstraintProjector};
+use man::engine::CostModel;
+use man::fixed::{FixedNet, LayerAlphabets};
 use man::zoo::Benchmark;
-use man_bench::RunMode;
+use man_bench::{apply_mode, RunMode};
 use man_fixed::bits::{apply_sign, sign_magnitude};
 use man_hw::cell::CellLibrary;
 use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
+use man_repro::Pipeline;
 
 fn main() {
     let mode = RunMode::from_args();
     let b = Benchmark::Faces;
     let bits = 8;
     let ds = b.dataset(&mode.gen_options(0xAB1A));
-    let mut cfg = mode.methodology(bits);
-    b.tune(&mut cfg);
-    let mut net = b.build_network(cfg.seed);
-    train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
-    let spec = QuantSpec::fit(&net, bits);
+    let baseline = Pipeline::for_benchmark(b)
+        .with_bits(bits)
+        .with_data(&ds)
+        .configure(move |cfg| apply_mode(cfg, mode, b))
+        .train_baseline()
+        .expect("baseline trains");
+    let net = baseline.network().clone();
+    let spec = baseline.spec().clone();
     let layers = spec.layer_formats().len();
+
+    // Projection-only helper on the trained restore point.
+    let project = |alphabets: &LayerAlphabets| {
+        Pipeline::from_network(net.clone())
+            .with_bits(bits)
+            .with_assignment(alphabets.clone())
+            .constrain()
+            .expect("projection")
+            .compile()
+            .expect("projected weights compile")
+    };
 
     // --- 1. retraining vs projection-only ------------------------------
     println!("== Ablation 1: does retraining matter? (faces, 8-bit, MAN) ==");
     let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), layers);
-    let conv = FixedNet::compile(
-        &net,
-        &spec,
-        &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
-    )
-    .unwrap();
-    let j = conv.accuracy(&ds.test_images, &ds.test_labels);
-    let mut projected = net.clone();
-    ConstraintProjector::new(&spec, &alphabets).project(&mut projected);
-    let acc_proj = FixedNet::compile(&projected, &spec, &alphabets)
-        .unwrap()
-        .accuracy(&ds.test_images, &ds.test_labels);
-    let retrained = constrained_retrain(&net, &spec, &alphabets, &ds.train_images, &ds.train_labels, &cfg);
-    let acc_retr = FixedNet::compile(&retrained, &spec, &alphabets)
-        .unwrap()
-        .accuracy(&ds.test_images, &ds.test_labels);
+    let j = baseline.conventional_accuracy;
+    let acc_proj = project(&alphabets).accuracy(&ds.test_images, &ds.test_labels);
+    let acc_retr = baseline
+        .retrain(&alphabets)
+        .expect("retraining runs")
+        .attempts[0]
+        .accuracy;
     println!("  conventional baseline J : {:.2}%", 100.0 * j);
     println!("  projection only         : {:.2}%", 100.0 * acc_proj);
-    println!("  projection + retraining : {:.2}%  (the paper's Algorithm 2)", 100.0 * acc_retr);
+    println!(
+        "  projection + retraining : {:.2}%  (the paper's Algorithm 2)",
+        100.0 * acc_retr
+    );
 
     // --- 2. greedy Algorithm 1 vs exact nearest ------------------------
     println!("\n== Ablation 2: greedy Algorithm 1 vs exact projection ==");
@@ -84,11 +92,7 @@ fn main() {
         let acc_greedy = FixedNet::compile(&greedy_net, &spec, &alphas)
             .unwrap()
             .accuracy(&ds.test_images, &ds.test_labels);
-        let mut exact_net = net.clone();
-        ConstraintProjector::new(&spec, &alphas).project(&mut exact_net);
-        let acc_exact = FixedNet::compile(&exact_net, &spec, &alphas)
-            .unwrap()
-            .accuracy(&ds.test_images, &ds.test_labels);
+        let acc_exact = project(&alphas).accuracy(&ds.test_images, &ds.test_labels);
         println!(
             "  {:12} identical {:5.1}%  Σ|err| exact {:5} greedy {:5}  acc exact {:.2}% greedy {:.2}%",
             set.label(),
@@ -116,12 +120,10 @@ fn main() {
     // --- 4. trace-driven activity vs constant-α estimate ----------------
     println!("\n== Ablation 4: real-trace activity vs constant-alpha power model ==");
     let alphabets = LayerAlphabets::uniform(AlphabetSet::a2(), layers);
-    let mut constrained = net.clone();
-    ConstraintProjector::new(&spec, &alphabets).project(&mut constrained);
-    let fixed = FixedNet::compile(&constrained, &spec, &alphabets).unwrap();
-    let traces = fixed.sample_traces(&ds.test_images, 600);
+    let compiled = project(&alphabets);
+    let traces = compiled.fixed().sample_traces(&ds.test_images, 600);
     let mut model = CostModel::default();
-    let kinds = kinds_from_alphabets(&alphabets);
+    let kinds = man::engine::kinds_from_alphabets(&alphabets);
     for (li, trace) in traces.iter().enumerate() {
         let le = model.layer_energy(bits, &kinds[li], trace).unwrap();
         // Constant-α estimate: every gate toggles with probability 0.5

@@ -6,8 +6,17 @@ use std::process::Command;
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "ablations",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ablations",
     ];
     for bin in bins {
         println!("\n======================== {bin} ========================");

@@ -1,9 +1,9 @@
 //! Fig. 10: neuron area, conventional vs ASM, 8- and 12-bit, under
 //! iso-speed synthesis, normalized to conventional.
 
+use man_bench::save_json;
 use man_hw::cell::CellLibrary;
 use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
-use man_bench::save_json;
 use serde::Serialize;
 
 #[derive(Serialize)]

@@ -1,13 +1,15 @@
 //! Fig. 11: mixed-alphabet configurations — 1 alphabet {1} in the large
 //! early layers, 2/4 alphabets in the small concluding layers — trading a
-//! little energy for recovered accuracy (Section VI-E).
+//! little energy for recovered accuracy (Section VI-E). Runs on the
+//! pipeline's baseline/retrain split: one unconstrained training per
+//! benchmark, then each assignment retrains from the same restore point.
 
 use man::alphabet::AlphabetSet;
-use man::engine::{kinds_from_alphabets, CostModel};
-use man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
-use man::train::{constrained_retrain, train_unconstrained};
+use man::engine::CostModel;
+use man::fixed::LayerAlphabets;
 use man::zoo::Benchmark;
-use man_bench::{save_json, RunMode};
+use man_bench::{apply_mode, save_json, RunMode};
+use man_repro::Pipeline;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -48,57 +50,48 @@ fn main() {
     let mode = RunMode::from_args();
     println!("Fig. 11 — mixed alphabet configurations ({mode:?})\n");
     let mut model = CostModel::default();
+    model.stream_limit = 600;
     let mut rows = Vec::new();
     for b in [Benchmark::DigitsMlp, Benchmark::Svhn, Benchmark::Tich] {
-        let bits = 8;
         let ds = b.dataset(&mode.gen_options(0xF16 + b.paper_neurons() as u64));
-        let mut cfg = mode.methodology(bits);
-        b.tune(&mut cfg);
-        let mut net = b.build_network(cfg.seed);
-        train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
-        let spec = QuantSpec::fit(&net, bits);
-        let layers = spec.layer_formats().len();
-        // Conventional reference for accuracy context.
-        let conv = FixedNet::compile(
-            &net,
-            &spec,
-            &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
-        )
-        .unwrap();
-        let j = 100.0 * conv.accuracy(&ds.test_images, &ds.test_labels);
-        println!("{} (conventional fixed-point: {j:.2}%)", b.name());
+        let baseline = Pipeline::for_benchmark(b)
+            .with_bits(8)
+            .with_data(&ds)
+            .configure(move |cfg| apply_mode(cfg, mode, b))
+            .train_baseline()
+            .expect("baseline trains");
+        println!(
+            "{} (conventional fixed-point: {:.2}%)",
+            b.name(),
+            100.0 * baseline.conventional_accuracy
+        );
         let mut base_energy = 0.0;
         for (label, sets) in configs(b) {
-            let alphabets = LayerAlphabets::mixed(sets);
-            let retrained = constrained_retrain(
-                &net,
-                &spec,
-                &alphabets,
-                &ds.train_images,
-                &ds.train_labels,
-                &cfg,
-            );
-            let fixed = FixedNet::compile(&retrained, &spec, &alphabets).unwrap();
-            let acc = 100.0 * fixed.accuracy(&ds.test_images, &ds.test_labels);
-            let traces = fixed.sample_traces(&ds.test_images, 600);
-            let cost = model
-                .network_cost(&fixed, &kinds_from_alphabets(&alphabets), &traces, label)
-                .unwrap();
+            let retrained = baseline
+                .retrain(&LayerAlphabets::mixed(sets))
+                .expect("retraining runs");
+            // retrain() already measured K on this test set.
+            let acc = 100.0 * retrained.attempts[0].accuracy;
+            let costed = retrained
+                .compile()
+                .expect("constrained networks compile")
+                .cost(&mut model, &ds.test_images)
+                .expect("synthesis at paper clocks succeeds");
             if base_energy == 0.0 {
-                base_energy = cost.energy_pj;
+                base_energy = costed.report.energy_pj;
             }
             println!(
                 "  {:<12} accuracy {:>6.2}%  energy {:>10.1} pJ ({:+.1}% vs all-MAN)",
                 label,
                 acc,
-                cost.energy_pj,
-                100.0 * (cost.energy_pj / base_energy - 1.0)
+                costed.report.energy_pj,
+                100.0 * (costed.report.energy_pj / base_energy - 1.0)
             );
             rows.push(MixedRow {
                 benchmark: b.name().into(),
                 config: label.into(),
                 accuracy_pct: acc,
-                energy_pj: cost.energy_pj,
+                energy_pj: costed.report.energy_pj,
             });
         }
     }

@@ -1,8 +1,8 @@
 //! Fig. 7: classification accuracy of conventional vs ASM-based NNs across
 //! all five applications, normalized to the conventional implementation.
 
-use man_bench::{accuracy_experiment, save_json, RunMode};
 use man::zoo::Benchmark;
+use man_bench::{accuracy_experiment, save_json, RunMode};
 
 fn main() {
     let mode = RunMode::from_args();

@@ -10,7 +10,10 @@ fn main() {
     println!("Fig. 9 — energy per inference ({mode:?})");
     let mut model = CostModel::default();
     let groups: [(&str, Vec<Benchmark>); 3] = [
-        ("(a) 2-layer MLPs", vec![Benchmark::DigitsMlp, Benchmark::Faces]),
+        (
+            "(a) 2-layer MLPs",
+            vec![Benchmark::DigitsMlp, Benchmark::Faces],
+        ),
         ("(b) 5-6 layer MLPs", vec![Benchmark::Svhn, Benchmark::Tich]),
         ("(c) 6-layer CNN", vec![Benchmark::DigitsCnn]),
     ];

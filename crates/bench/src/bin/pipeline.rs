@@ -1,0 +1,102 @@
+//! Batched-inference throughput of the `Pipeline` serving path: builds
+//! each of the five Table-IV benchmark networks at the A1/A2/A4 alphabet
+//! sets (projection-only — throughput does not depend on training),
+//! opens an `InferenceSession`, and measures inferences/second with and
+//! without the session's shared pre-computer bank cache.
+//!
+//! Emits `BENCH_pipeline.json` in the working directory — the seed of
+//! the perf trajectory for the ROADMAP's batching/throughput work.
+//!
+//! Run with: `cargo run --release -p man-bench --bin pipeline [--full]`
+
+use std::time::Instant;
+
+use man::alphabet::AlphabetSet;
+use man::zoo::Benchmark;
+use man_datasets::GenOptions;
+use man_repro::Pipeline;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ThroughputRow {
+    benchmark: String,
+    bits: u32,
+    alphabet: String,
+    batch: usize,
+    /// Inferences per second through `infer_batch` (shared bank cache).
+    batched_ips: f64,
+    /// Inferences per second with a fresh session per input (no sharing).
+    cold_ips: f64,
+    /// batched_ips / cold_ips.
+    speedup: f64,
+    /// Multiply-accumulates per inference.
+    macs: u64,
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let batch_size = if full { 128 } else { 24 };
+    println!("Pipeline serving throughput (batch = {batch_size})\n");
+    println!(
+        "{:<30} {:>4} {:<14} {:>12} {:>12} {:>8}",
+        "Benchmark", "bits", "alphabet", "batched i/s", "cold i/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let bits = b.default_bits();
+        let ds = b.dataset(&GenOptions {
+            train: 1,
+            test: batch_size,
+            seed: 0xBE9C + bits as u64,
+        });
+        for set in [AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()] {
+            let compiled = Pipeline::for_benchmark(b)
+                .with_bits(bits)
+                .with_alphabets(vec![set.clone()])
+                .constrain()
+                .expect("projection")
+                .compile()
+                .expect("projected weights compile");
+            let macs: u64 = compiled.fixed().macs_per_layer().iter().sum();
+
+            // Warm path: one session, banks shared across the batch.
+            let mut session = compiled.session();
+            let start = Instant::now();
+            let predictions = session.infer_batch(&ds.test_images);
+            let batched_s = start.elapsed().as_secs_f64();
+            assert_eq!(predictions.len(), batch_size);
+
+            // Cold path: a fresh session (empty cache) per input.
+            let start = Instant::now();
+            for image in &ds.test_images {
+                let mut fresh = compiled.session();
+                let p = fresh.infer(image);
+                assert!(p.class < 64);
+            }
+            let cold_s = start.elapsed().as_secs_f64();
+
+            let row = ThroughputRow {
+                benchmark: b.name().to_owned(),
+                bits,
+                alphabet: set.label(),
+                batch: batch_size,
+                batched_ips: batch_size as f64 / batched_s,
+                cold_ips: batch_size as f64 / cold_s,
+                speedup: cold_s / batched_s,
+                macs,
+            };
+            println!(
+                "{:<30} {:>4} {:<14} {:>12.1} {:>12.1} {:>7.2}x",
+                row.benchmark, row.bits, row.alphabet, row.batched_ips, row.cold_ips, row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    match serde_json::to_string_pretty(&rows) {
+        Ok(json) => match std::fs::write("BENCH_pipeline.json", json) {
+            Ok(()) => println!("\n[saved BENCH_pipeline.json]"),
+            Err(e) => eprintln!("warning: could not write BENCH_pipeline.json: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize throughput rows: {e}"),
+    }
+}

@@ -1,8 +1,8 @@
 //! Table II: NN accuracy results for face detection (8- and 12-bit
 //! synapses, conventional vs ASM with 4/2/1 alphabets).
 
-use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
 use man::zoo::Benchmark;
+use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
 
 fn main() {
     let mode = RunMode::from_args();

@@ -1,8 +1,8 @@
 //! Table III: NN accuracy results for digit recognition — 8-bit MLP and
 //! 12-bit LeNet-style CNN on the MNIST-like set.
 
-use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
 use man::zoo::Benchmark;
+use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
 
 fn main() {
     let mode = RunMode::from_args();

@@ -6,8 +6,8 @@ use man::zoo::Benchmark;
 fn main() {
     println!("Table IV — benchmarks\n");
     println!(
-        "{:<30} {:<12} {:>7} {:>9} {:>12}  {}",
-        "Application", "NN Model", "Layers", "Neurons", "Synapses", "(paper synapses)"
+        "{:<30} {:<12} {:>7} {:>9} {:>12}  (paper synapses)",
+        "Application", "NN Model", "Layers", "Neurons", "Synapses"
     );
     for b in Benchmark::ALL {
         let net = b.build_network(0);

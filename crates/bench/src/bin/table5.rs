@@ -7,7 +7,10 @@ use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
 fn main() {
     let lib = CellLibrary::nominal_45nm();
     println!("Table V — experimental parameters\n");
-    println!("Feature size                      45nm-class library ({})", lib.name());
+    println!(
+        "Feature size                      45nm-class library ({})",
+        lib.name()
+    );
     println!("Clock frequency for 8-bit neuron  3 GHz (333 ps)");
     println!("Clock frequency for 12-bit neuron 2.5 GHz (400 ps)\n");
     println!("Timing closure at iso-speed:");

@@ -10,13 +10,12 @@ use std::fs;
 use std::path::PathBuf;
 
 use man::alphabet::AlphabetSet;
-use man::engine::{kinds_conventional, kinds_from_alphabets, CostModel, CostReport};
-use man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
-use man::train::{
-    constrained_retrain, train_unconstrained, ConstraintProjector, MethodologyConfig,
-};
+use man::engine::{CostModel, CostReport};
+use man::fixed::LayerAlphabets;
+use man::train::MethodologyConfig;
 use man::zoo::Benchmark;
 use man_datasets::GenOptions;
+use man_repro::Pipeline;
 use serde::Serialize;
 
 /// Quick vs. full (paper-scale) execution.
@@ -53,22 +52,25 @@ impl RunMode {
             },
         }
     }
-
-    /// Methodology hyper-parameters for this mode.
-    pub fn methodology(self, bits: u32) -> MethodologyConfig {
-        let mut cfg = MethodologyConfig::paper(bits);
-        if self == RunMode::Quick {
-            cfg.initial_epochs = 8;
-            cfg.retrain_epochs = 4;
-        }
-        cfg
-    }
 }
 
 /// The alphabet sweep of the paper's tables, largest first (as Tables II
 /// and III list them): `{1,3,5,7}`, `{1,3}`, `{1}`.
 pub fn table_alphabets() -> Vec<AlphabetSet> {
     vec![AlphabetSet::a4(), AlphabetSet::a2(), AlphabetSet::a1()]
+}
+
+/// Applies a [`RunMode`]'s epoch budget for `benchmark` — the closure
+/// the experiment pipelines register with `configure`. Since pipeline
+/// overrides run *after* benchmark tuning, the tune pass is re-applied
+/// so Quick mode cannot drop below a tuned floor (the CNN's 12-epoch
+/// minimum).
+pub fn apply_mode(cfg: &mut MethodologyConfig, mode: RunMode, benchmark: Benchmark) {
+    if mode == RunMode::Quick {
+        cfg.initial_epochs = 8;
+        cfg.retrain_epochs = 4;
+    }
+    benchmark.tune(cfg);
 }
 
 /// One accuracy row: configuration label, accuracy %, loss vs conventional
@@ -96,54 +98,40 @@ pub struct AccuracyExperiment {
     pub rows: Vec<AccuracyRow>,
 }
 
-/// Trains the benchmark, measures the conventional fixed-point baseline,
-/// then constrained-retrains and measures each alphabet set in
-/// [`table_alphabets`] order — the procedure behind Tables II/III and
-/// Fig. 7.
+/// Trains the benchmark once (pipeline baseline stage), measures the
+/// conventional fixed-point accuracy `J`, then constrained-retrains and
+/// measures each alphabet set in [`table_alphabets`] order — the
+/// procedure behind Tables II/III and Fig. 7.
 pub fn accuracy_experiment(benchmark: Benchmark, bits: u32, mode: RunMode) -> AccuracyExperiment {
     let ds = benchmark.dataset(&mode.gen_options(0xDA7E + bits as u64));
-    let mut cfg = mode.methodology(bits);
-    benchmark.tune(&mut cfg);
-    let mut net = benchmark.build_network(cfg.seed);
-    train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
-    let float_pct = 100.0 * net.accuracy(&ds.test_images, &ds.test_labels);
-    let spec = QuantSpec::fit(&net, bits);
-    let layers = spec.layer_formats().len();
-    let conventional = FixedNet::compile(
-        &net,
-        &spec,
-        &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
-    )
-    .expect("full alphabet always compiles");
-    let j = 100.0 * conventional.accuracy(&ds.test_images, &ds.test_labels);
+    let baseline = Pipeline::for_benchmark(benchmark)
+        .with_bits(bits)
+        .with_data(&ds)
+        .configure(move |cfg| apply_mode(cfg, mode, benchmark))
+        .train_baseline()
+        .expect("baseline training runs");
+    let layers = baseline.spec().layer_formats().len();
+    let j = 100.0 * baseline.conventional_accuracy;
     let mut rows = vec![AccuracyRow {
         config: "conventional NN".into(),
         accuracy_pct: j,
         loss_pct: 0.0,
     }];
     for set in table_alphabets() {
-        let alphabets = LayerAlphabets::uniform(set.clone(), layers);
-        let retrained = constrained_retrain(
-            &net,
-            &spec,
-            &alphabets,
-            &ds.train_images,
-            &ds.train_labels,
-            &cfg,
-        );
-        let fixed = FixedNet::compile(&retrained, &spec, &alphabets)
+        let alphabets = LayerAlphabets::uniform(set, layers);
+        let retrained = baseline
+            .retrain(&alphabets)
             .expect("projected weights always compile");
-        let k = 100.0 * fixed.accuracy(&ds.test_images, &ds.test_labels);
         rows.push(AccuracyRow {
-            config: set.label(),
-            accuracy_pct: k,
-            loss_pct: j - k,
+            config: retrained.alphabets().label(),
+            accuracy_pct: 100.0 * retrained.attempts[0].accuracy,
+            loss_pct: retrained.attempts[0].loss_pp,
         });
     }
     AccuracyExperiment {
         benchmark: benchmark.name().to_owned(),
         bits,
-        float_pct,
+        float_pct: 100.0 * baseline.float_accuracy,
         rows,
     }
 }
@@ -199,38 +187,39 @@ pub fn cost_experiment(
         test: 64,
         seed: 0xC057 + bits as u64,
     });
-    let mut cfg = mode.methodology(bits);
-    benchmark.tune(&mut cfg);
-    cfg.initial_epochs = cfg.initial_epochs.min(4);
-    let mut net = benchmark.build_network(cfg.seed);
-    train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
-    let spec = QuantSpec::fit(&net, bits);
-    let layers = spec.layer_formats().len();
+    let baseline = Pipeline::for_benchmark(benchmark)
+        .with_bits(bits)
+        .with_data(&ds)
+        .configure(move |cfg| {
+            apply_mode(cfg, mode, benchmark);
+            cfg.initial_epochs = cfg.initial_epochs.min(4);
+        })
+        .train_baseline()
+        .expect("brief training runs");
+    model.stream_limit = trace_limit(mode);
     let mut reports = Vec::new();
     // Conventional baseline: full-alphabet weights, conventional datapath.
-    let conv_alpha = LayerAlphabets::uniform(AlphabetSet::a8(), layers);
-    let fixed = FixedNet::compile(&net, &spec, &conv_alpha).expect("a8 compiles");
-    let traces = fixed.sample_traces(&ds.test_images, trace_limit(mode));
+    let project = |set: AlphabetSet| {
+        Pipeline::from_network(baseline.network().clone())
+            .with_bits(bits)
+            .with_alphabets(vec![set])
+            .constrain()
+            .expect("projection")
+            .compile()
+            .expect("projected weights always compile")
+    };
     reports.push(
-        model
-            .network_cost(&fixed, &kinds_conventional(layers), &traces, "conventional")
-            .expect("synthesis at paper clocks succeeds"),
+        project(AlphabetSet::a8())
+            .cost_conventional(model, &ds.test_images)
+            .expect("synthesis at paper clocks succeeds")
+            .report,
     );
     for set in table_alphabets() {
-        let alphabets = LayerAlphabets::uniform(set.clone(), layers);
-        let mut constrained = net.clone();
-        ConstraintProjector::new(&spec, &alphabets).project(&mut constrained);
-        let fixed = FixedNet::compile(&constrained, &spec, &alphabets).expect("projected");
-        let traces = fixed.sample_traces(&ds.test_images, trace_limit(mode));
         reports.push(
-            model
-                .network_cost(
-                    &fixed,
-                    &kinds_from_alphabets(&alphabets),
-                    &traces,
-                    set.label(),
-                )
-                .expect("synthesis at paper clocks succeeds"),
+            project(set)
+                .cost(model, &ds.test_images)
+                .expect("synthesis at paper clocks succeeds")
+                .report,
         );
     }
     CostExperiment {

@@ -41,7 +41,9 @@ impl AlphabetSet {
             return Err(InvalidAlphabetError("alphabet set must contain 1"));
         }
         if !members.windows(2).all(|w| w[0] < w[1]) {
-            return Err(InvalidAlphabetError("alphabets must be strictly increasing"));
+            return Err(InvalidAlphabetError(
+                "alphabets must be strictly increasing",
+            ));
         }
         if !members.iter().all(|&a| a % 2 == 1 && a <= 15) {
             return Err(InvalidAlphabetError("alphabets must be odd and <= 15"));
@@ -56,7 +58,9 @@ impl AlphabetSet {
 
     /// The 2-alphabet set `{1,3}`.
     pub fn a2() -> Self {
-        Self { members: vec![1, 3] }
+        Self {
+            members: vec![1, 3],
+        }
     }
 
     /// The 4-alphabet set `{1,3,5,7}`.

@@ -268,7 +268,11 @@ impl CostModel {
         label: impl Into<String>,
     ) -> Result<CostReport, TimingClosureError> {
         assert_eq!(kinds.len(), fixed.layer_count(), "kind per layer required");
-        assert_eq!(traces.len(), fixed.layer_count(), "trace per layer required");
+        assert_eq!(
+            traces.len(),
+            fixed.layer_count(),
+            "trace per layer required"
+        );
         let bits = fixed.bits();
         let macs = fixed.macs_per_layer();
         let neurons = fixed.neurons_per_layer();
@@ -294,7 +298,11 @@ impl CostModel {
             label: label.into(),
             cycles,
             energy_pj: energy_fj / 1000.0,
-            power_mw: if time_ps > 0.0 { energy_fj / time_ps } else { 0.0 },
+            power_mw: if time_ps > 0.0 {
+                energy_fj / time_ps
+            } else {
+                0.0
+            },
             neuron_area_um2: if neuron_total > 0 {
                 area_weighted / neuron_total as f64
             } else {
@@ -385,11 +393,7 @@ mod tests {
         let report = model
             .network_cost(&fixed, &kinds_from_alphabets(&alphabets), &traces, "x")
             .unwrap();
-        let expected: u64 = fixed
-            .macs_per_layer()
-            .iter()
-            .map(|m| m.div_ceil(4))
-            .sum();
+        let expected: u64 = fixed.macs_per_layer().iter().map(|m| m.div_ceil(4)).sum();
         assert_eq!(report.cycles, expected);
     }
 }

@@ -14,7 +14,7 @@
 use man_fixed::{quantize::fit_format, QFormat};
 use man_hw::components::activation::{activation_unit_fixed, PlanParams};
 use man_nn::layers::Layer;
-use man_nn::network::{argmax, Network};
+use man_nn::network::Network;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -24,7 +24,7 @@ use crate::asm::AsmMultiplier;
 /// Per-layer alphabet assignment (uniform or mixed, as in the paper's
 /// Section VI-E where early layers use `{1}` and late layers `{1,3}` /
 /// `{1,3,5,7}`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LayerAlphabets {
     sets: Vec<AlphabetSet>,
 }
@@ -47,9 +47,10 @@ impl LayerAlphabets {
         Self { sets }
     }
 
-    /// The set for parameterized layer `i`.
-    pub fn get(&self, i: usize) -> &AlphabetSet {
-        &self.sets[i]
+    /// The set for parameterized layer `i`, or `None` past the last
+    /// configured layer.
+    pub fn get(&self, i: usize) -> Option<&AlphabetSet> {
+        self.sets.get(i)
     }
 
     /// Number of layers configured.
@@ -57,7 +58,9 @@ impl LayerAlphabets {
         self.sets.len()
     }
 
-    /// Never true by construction.
+    /// `true` when no layer is configured. The constructors reject an
+    /// empty assignment, but a value deserialized from an artifact can
+    /// still be empty — callers validating untrusted input should check.
     pub fn is_empty(&self) -> bool {
         self.sets.is_empty()
     }
@@ -235,12 +238,47 @@ enum FixedLayer {
     },
 }
 
+impl FixedLayer {
+    fn mac(&self) -> &MacParams {
+        match self {
+            FixedLayer::Dense { mac, .. }
+            | FixedLayer::Conv { mac, .. }
+            | FixedLayer::Pool { mac, .. } => mac,
+        }
+    }
+}
+
 /// A compiled fixed-point network.
 #[derive(Clone, Debug)]
 pub struct FixedNet {
     bits: u32,
     act_frac: u32,
     layers: Vec<FixedLayer>,
+}
+
+/// Reusable per-layer pre-computer bank caches.
+///
+/// A bank depends only on the input magnitude and the layer's alphabet
+/// set, so it can be shared across every inference of a session — the
+/// mechanism behind [`FixedNet::infer_raw_with_cache`] and the batched
+/// `InferenceSession` in the facade crate. Banks are stored in a dense
+/// table indexed by magnitude (activation magnitudes are strictly below
+/// `2^(bits-1)`), so the hot path is an array index, not a hash lookup.
+#[derive(Clone, Debug)]
+pub struct SessionCache {
+    /// Word length plus each layer's alphabet members: a bank's value
+    /// depends on exactly these, so two networks sharing this
+    /// fingerprint may share a cache and any other pairing is rejected.
+    bits: u32,
+    layer_alphabets: Vec<Vec<u8>>,
+    layers: Vec<Vec<Option<Box<[u64]>>>>,
+}
+
+impl SessionCache {
+    fn bank<'a>(&'a mut self, layer: usize, mac: &MacParams, mag: u32) -> &'a [u64] {
+        self.layers[layer][mag as usize]
+            .get_or_insert_with(|| mac.asm.precompute(mag).into_boxed_slice())
+    }
 }
 
 impl FixedNet {
@@ -310,7 +348,10 @@ impl FixedNet {
                     "layer {i} feeds the next layer without an activation"
                 )));
             }
-            let set = alphabets.get(pi).clone();
+            let set = alphabets
+                .get(pi)
+                .expect("length verified against param_layers above")
+                .clone();
             let format = spec.layer_formats()[pi];
             let (weights, bias_f) = match layer {
                 Layer::Dense(d) => (d.weights(), d.bias()),
@@ -405,13 +446,31 @@ impl FixedNet {
         self.layers.len()
     }
 
+    /// Flat input length the network expects (pixels per image).
+    pub fn input_len(&self) -> usize {
+        match &self.layers[0] {
+            FixedLayer::Dense { in_dim, .. } => *in_dim,
+            FixedLayer::Conv {
+                in_ch, in_h, in_w, ..
+            } => in_ch * in_h * in_w,
+            FixedLayer::Pool {
+                channels,
+                in_h,
+                in_w,
+                ..
+            } => channels * in_h * in_w,
+        }
+    }
+
     /// Multiply-accumulate operations per inference, per layer — the cycle
     /// model's input (4 MACs per cycle on the 4-lane unit).
     pub fn macs_per_layer(&self) -> Vec<u64> {
         self.layers
             .iter()
             .map(|l| match l {
-                FixedLayer::Dense { in_dim, out_dim, .. } => (in_dim * out_dim) as u64,
+                FixedLayer::Dense {
+                    in_dim, out_dim, ..
+                } => (in_dim * out_dim) as u64,
                 FixedLayer::Conv {
                     in_ch,
                     out_ch,
@@ -441,7 +500,11 @@ impl FixedNet {
             .map(|l| match l {
                 FixedLayer::Dense { out_dim, .. } => *out_dim as u64,
                 FixedLayer::Conv {
-                    out_ch, k, in_h, in_w, ..
+                    out_ch,
+                    k,
+                    in_h,
+                    in_w,
+                    ..
                 } => (out_ch * (in_h - k + 1) * (in_w - k + 1)) as u64,
                 FixedLayer::Pool {
                     channels,
@@ -470,25 +533,23 @@ impl FixedNet {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_mac_layer(
         &self,
+        li: usize,
         mac: &MacParams,
         acc_init: impl Fn(usize) -> i64,
         fan_ins: impl Fn(usize) -> Vec<(usize, SignedAct)>,
         outputs: usize,
-        banks: &dyn Fn(u32) -> Vec<u64>,
-        bank_cache: &mut std::collections::HashMap<u32, Vec<u64>>,
+        cache: &mut SessionCache,
         trace: &mut Option<&mut LayerTrace>,
     ) -> Vec<i64> {
         let mut accs = Vec::with_capacity(outputs);
         for o in 0..outputs {
             let mut acc = acc_init(o);
             for (wi, x) in fan_ins(o) {
-                let bank = bank_cache
-                    .entry(x.mag)
-                    .or_insert_with(|| banks(x.mag))
-                    .clone();
-                let mag = mac.asm.apply(&mac.plans[wi], &bank);
+                let bank = cache.bank(li, mac, x.mag);
+                let mag = mac.asm.apply(&mac.plans[wi], bank);
                 let neg = mac.w_neg[wi] ^ x.neg;
                 let p = man_fixed::bits::apply_sign(mag, neg);
                 if let Some(t) = trace.as_deref_mut() {
@@ -501,7 +562,19 @@ impl FixedNet {
         accs
     }
 
-    fn forward_layers(&self, image: &[f32], mut traces: Option<&mut Vec<LayerTrace>>) -> Vec<i64> {
+    fn forward_layers(
+        &self,
+        image: &[f32],
+        mut traces: Option<&mut Vec<LayerTrace>>,
+        cache: &mut SessionCache,
+    ) -> Vec<i64> {
+        assert_eq!(
+            image.len(),
+            self.input_len(),
+            "input has {} values but the network expects {}",
+            image.len(),
+            self.input_len()
+        );
         let plan = self.plan_params();
         let mut x: Vec<SignedAct> = self
             .quantize_input(image)
@@ -510,13 +583,8 @@ impl FixedNet {
             .collect();
         let mut logits = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
-            let mac = match layer {
-                FixedLayer::Dense { mac, .. }
-                | FixedLayer::Conv { mac, .. }
-                | FixedLayer::Pool { mac, .. } => mac,
-            };
+            let mac = layer.mac();
             let acc_frac = self.act_frac + mac.w_format.frac();
-            let mut bank_cache = std::collections::HashMap::new();
             let mut layer_trace = traces
                 .as_deref_mut()
                 .map(|ts| &mut ts[li])
@@ -527,6 +595,7 @@ impl FixedNet {
                 } => {
                     let xs = x.clone();
                     self.run_mac_layer(
+                        li,
                         mac,
                         |o| mac.bias[o],
                         |o| {
@@ -535,8 +604,7 @@ impl FixedNet {
                                 .collect::<Vec<(usize, SignedAct)>>()
                         },
                         *out_dim,
-                        &|xr| mac.asm.precompute(xr),
-                        &mut bank_cache,
+                        cache,
                         &mut layer_trace,
                     )
                 }
@@ -552,6 +620,7 @@ impl FixedNet {
                     let xs = x.clone();
                     let (in_h, in_w, in_ch, k) = (*in_h, *in_w, *in_ch, *k);
                     self.run_mac_layer(
+                        li,
                         mac,
                         |o| mac.bias[o / (oh * ow)],
                         |o| {
@@ -571,8 +640,7 @@ impl FixedNet {
                             fan
                         },
                         out_ch * oh * ow,
-                        &|xr| mac.asm.precompute(xr),
-                        &mut bank_cache,
+                        cache,
                         &mut layer_trace,
                     )
                 }
@@ -587,6 +655,7 @@ impl FixedNet {
                     let (in_h, in_w) = (*in_h, *in_w);
                     let max_mag = (1i64 << (self.bits - 1)) - 1;
                     self.run_mac_layer(
+                        li,
                         mac,
                         |o| mac.bias[o / (oh * ow)],
                         |o| {
@@ -597,9 +666,8 @@ impl FixedNet {
                             // Signed average of the 2×2 window (truncating
                             // arithmetic shift, as the hardware adder tree
                             // plus wiring would produce).
-                            let signed = |a: SignedAct| {
-                                man_fixed::bits::apply_sign(a.mag as u64, a.neg)
-                            };
+                            let signed =
+                                |a: SignedAct| man_fixed::bits::apply_sign(a.mag as u64, a.neg);
                             let sum = (signed(xs[base])
                                 + signed(xs[base + 1])
                                 + signed(xs[base + in_w])
@@ -612,8 +680,7 @@ impl FixedNet {
                             vec![(ch, avg)]
                         },
                         channels * oh * ow,
-                        &|xr| mac.asm.precompute(xr),
-                        &mut bank_cache,
+                        cache,
                         &mut layer_trace,
                     )
                 }
@@ -650,29 +717,82 @@ impl FixedNet {
         logits
     }
 
+    /// A fresh, empty bank cache shaped for this network. Reuse one cache
+    /// across the inferences of a batch or session: every bank computed
+    /// for one image is then shared by all later images.
+    pub fn session_cache(&self) -> SessionCache {
+        let slots = 1usize << (self.bits - 1);
+        SessionCache {
+            bits: self.bits,
+            layer_alphabets: self.layer_alphabet_members(),
+            layers: self.layers.iter().map(|_| vec![None; slots]).collect(),
+        }
+    }
+
+    fn layer_alphabet_members(&self) -> Vec<Vec<u8>> {
+        self.layers
+            .iter()
+            .map(|l| l.mac().asm.alphabet().members().to_vec())
+            .collect()
+    }
+
+    /// `true` if `cache` was created by a network with this word length
+    /// and alphabet assignment (the inputs a bank's value depends on).
+    fn cache_matches(&self, cache: &SessionCache) -> bool {
+        cache.bits == self.bits
+            && cache.layer_alphabets.len() == self.layers.len()
+            && cache
+                .layer_alphabets
+                .iter()
+                .zip(&self.layers)
+                .all(|(members, l)| members == l.mac().asm.alphabet().members())
+    }
+
     /// Runs one inference, returning the raw output-layer accumulators
     /// ("logits" at the final layer's accumulator fraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not hold [`FixedNet::input_len`] values.
     pub fn infer_raw(&self, image: &[f32]) -> Vec<i64> {
-        self.forward_layers(image, None)
+        self.forward_layers(image, None, &mut self.session_cache())
     }
 
-    /// Predicted class (argmax over raw logits).
+    /// [`FixedNet::infer_raw`] reusing a caller-held [`SessionCache`] —
+    /// the batched hot path. Results are bit-identical to `infer_raw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was created by a network with a different word
+    /// length or alphabet assignment — its banks would silently corrupt
+    /// this network's products.
+    pub fn infer_raw_with_cache(&self, image: &[f32], cache: &mut SessionCache) -> Vec<i64> {
+        assert!(
+            self.cache_matches(cache),
+            "session cache belongs to a network with a different word \
+             length or alphabet assignment"
+        );
+        self.forward_layers(image, None, cache)
+    }
+
+    /// Predicted class (exact argmax over the raw integer logits).
     pub fn predict(&self, image: &[f32]) -> usize {
-        let logits = self.infer_raw(image);
-        let floats: Vec<f32> = logits.iter().map(|&v| v as f32).collect();
-        argmax(&floats)
+        argmax_raw(&self.infer_raw(image))
     }
 
-    /// Classification accuracy over a test set.
+    /// Classification accuracy over a test set. Pre-computer banks are
+    /// shared across the whole set (results are bit-identical to
+    /// per-image [`FixedNet::predict`] calls).
     pub fn accuracy(&self, images: &[Vec<f32>], labels: &[usize]) -> f64 {
         assert_eq!(images.len(), labels.len());
         if images.is_empty() {
             return 0.0;
         }
+        let mut cache = self.session_cache();
         let correct = images
             .iter()
             .zip(labels)
-            .filter(|(img, &l)| self.predict(img) == l)
+            .filter(|(img, &l)| argmax_raw(&self.forward_layers(img, None, &mut cache)) == l)
             .count();
         correct as f64 / images.len() as f64
     }
@@ -684,14 +804,56 @@ impl FixedNet {
         let mut traces: Vec<LayerTrace> = (0..self.layers.len())
             .map(|_| LayerTrace::new(limit))
             .collect();
+        let mut cache = self.session_cache();
         for image in images {
-            let _ = self.forward_layers(image, Some(&mut traces));
+            let _ = self.forward_layers(image, Some(&mut traces), &mut cache);
             if traces.iter().all(LayerTrace::full) {
                 break;
             }
         }
         traces
     }
+
+    /// Runs one traced inference: raw logits plus the full per-layer
+    /// operand streams (up to `limit` MACs per layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was created by a network with a different word
+    /// length or alphabet assignment (as
+    /// [`FixedNet::infer_raw_with_cache`]).
+    pub fn infer_raw_traced(
+        &self,
+        image: &[f32],
+        limit: usize,
+        cache: &mut SessionCache,
+    ) -> (Vec<i64>, Vec<LayerTrace>) {
+        assert!(
+            self.cache_matches(cache),
+            "session cache belongs to a network with a different word \
+             length or alphabet assignment"
+        );
+        let mut traces: Vec<LayerTrace> = (0..self.layers.len())
+            .map(|_| LayerTrace::new(limit))
+            .collect();
+        let logits = self.forward_layers(image, Some(&mut traces), cache);
+        (logits, traces)
+    }
+}
+
+/// First-maximum argmax over exact integer logits. Working on the raw
+/// `i64` values (instead of casting to `f32`) keeps large accumulators
+/// that differ by a few LSBs from collapsing to the same float and
+/// misordering; every consumer of a [`FixedNet`]'s scores should use
+/// this so served classes match measured accuracy.
+pub fn argmax_raw(scores: &[i64]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// Operand trace of one layer: the real `(weight, input, product,
@@ -827,7 +989,9 @@ mod tests {
         let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
         let mut agree = 0;
         for i in 0..20 {
-            let x: Vec<f32> = (0..16).map(|j| ((i * 7 + j * 3) % 10) as f32 / 10.0).collect();
+            let x: Vec<f32> = (0..16)
+                .map(|j| ((i * 7 + j * 3) % 10) as f32 / 10.0)
+                .collect();
             if fixed.predict(&x) == net.predict(&x) {
                 agree += 1;
             }
@@ -854,7 +1018,7 @@ mod tests {
         let images: Vec<Vec<f32>> = (0..4).map(|i| vec![0.1 * i as f32; 16]).collect();
         let traces = fixed.sample_traces(&images, 64);
         assert_eq!(traces.len(), 2);
-        assert!(traces[0].len() > 0);
+        assert!(!traces[0].is_empty());
         for t in &traces {
             for i in 0..t.len() {
                 let sign = if t.w_neg[i] ^ t.x_neg[i] { -1i64 } else { 1 };

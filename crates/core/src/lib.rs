@@ -52,4 +52,4 @@ pub mod zoo;
 
 pub use alphabet::AlphabetSet;
 pub use asm::AsmMultiplier;
-pub use fixed::{FixedNet, LayerAlphabets, QuantSpec};
+pub use fixed::{FixedNet, LayerAlphabets, QuantSpec, SessionCache};

@@ -206,6 +206,12 @@ pub fn constrained_retrain(
 /// `train_data` drives both training phases; `test_data` measures `J` and
 /// `K` (the paper's TrData / TsData).
 ///
+/// The facade crate's `Pipeline` (`man-repro`) is the canonical staged
+/// orchestration of this loop; it differs in one policy: when no
+/// candidate meets the quality constraint its `select()` keeps the
+/// best-`K` attempt, whereas this function reports `selected: None`
+/// without choosing a model.
+///
 /// # Example
 ///
 /// ```no_run
@@ -238,7 +244,10 @@ pub fn run_methodology(
     test_labels: &[usize],
     cfg: &MethodologyConfig,
 ) -> MethodologyOutcome {
-    assert!(!cfg.candidates.is_empty(), "need at least one candidate set");
+    assert!(
+        !cfg.candidates.is_empty(),
+        "need at least one candidate set"
+    );
     assert!(
         cfg.quality > 0.0 && cfg.quality <= 1.0,
         "quality constraint must be in (0, 1]"
@@ -262,14 +271,8 @@ pub fn run_methodology(
     let mut selected = None;
     for (idx, set) in cfg.candidates.iter().enumerate() {
         let alphabets = LayerAlphabets::uniform(set.clone(), layers);
-        let candidate = constrained_retrain(
-            &net,
-            &spec,
-            &alphabets,
-            train_images,
-            train_labels,
-            cfg,
-        );
+        let candidate =
+            constrained_retrain(&net, &spec, &alphabets, train_images, train_labels, cfg);
         let fixed = FixedNet::compile(&candidate, &spec, &alphabets)
             .expect("projected weights always compile");
         let k = fixed.accuracy(test_images, test_labels);

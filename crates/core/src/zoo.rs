@@ -231,7 +231,13 @@ mod tests {
             assert_eq!(net.neuron_count(), b.paper_neurons(), "{}", b.name());
             let rel = (net.param_count() as f64 - b.paper_synapses() as f64).abs()
                 / b.paper_synapses() as f64;
-            assert!(rel < 0.005, "{}: {} vs {}", b.name(), net.param_count(), b.paper_synapses());
+            assert!(
+                rel < 0.005,
+                "{}: {} vs {}",
+                b.name(),
+                net.param_count(),
+                b.paper_synapses()
+            );
         }
     }
 
@@ -239,11 +245,7 @@ mod tests {
     fn layer_counts_match_table4() {
         for b in Benchmark::ALL {
             let net = b.build_network(1);
-            let params = net
-                .layers()
-                .iter()
-                .filter(|l| l.param_count() > 0)
-                .count();
+            let params = net.layers().iter().filter(|l| l.param_count() > 0).count();
             assert_eq!(params, b.paper_layers(), "{}", b.name());
         }
     }

@@ -252,10 +252,7 @@ mod tests {
         let a = digits(&quick());
         let b = digits(&quick());
         assert_eq!(a.train_images, b.train_images);
-        let c = digits(&GenOptions {
-            seed: 2,
-            ..quick()
-        });
+        let c = digits(&GenOptions { seed: 2, ..quick() });
         assert_ne!(a.train_images, c.train_images);
     }
 

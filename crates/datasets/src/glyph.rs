@@ -84,8 +84,8 @@ mod tests {
 
     #[test]
     fn every_glyph_is_well_formed() {
-        for class in 0..CLASS_COUNT {
-            for row in FONT[class] {
+        for (class, font) in FONT.iter().enumerate().take(CLASS_COUNT) {
+            for row in *font {
                 assert_eq!(row.len(), GLYPH_W, "class {class}");
                 assert!(row.bytes().all(|b| b == b'0' || b == b'1'));
             }

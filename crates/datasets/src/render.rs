@@ -104,8 +104,7 @@ pub fn draw_glyph(
                 let rx = rx - deform.shear * ry;
                 let u = rx / cell + gx0;
                 let v = ry / cell + gy0;
-                if u < -1.0 || v < -1.0 || u >= GLYPH_W as f32 + 1.0 || v >= GLYPH_H as f32 + 1.0
-                {
+                if u < -1.0 || v < -1.0 || u >= GLYPH_W as f32 + 1.0 || v >= GLYPH_H as f32 + 1.0 {
                     continue;
                 }
                 // Distance to the nearest set cell center (checking the

@@ -26,7 +26,7 @@
 ///
 /// Panics if `raw` does not fit in `bits` bits (two's complement).
 pub fn sign_magnitude(raw: i32, bits: u32) -> (bool, u32) {
-    assert!(bits >= 2 && bits <= 32, "word length must be in 2..=32");
+    assert!((2..=32).contains(&bits), "word length must be in 2..=32");
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
     assert!(
@@ -80,7 +80,10 @@ pub fn apply_sign(magnitude: u64, negative: bool) -> i64 {
 /// bits beyond the total width.
 pub fn split_groups(value: u32, widths: &[u32]) -> Vec<u32> {
     let total: u32 = widths.iter().sum();
-    assert!(widths.iter().all(|&w| w > 0), "group widths must be nonzero");
+    assert!(
+        widths.iter().all(|&w| w > 0),
+        "group widths must be nonzero"
+    );
     assert!(total <= 32, "total group width must be <= 32");
     assert!(
         total == 32 || value < (1u32 << total),
@@ -108,7 +111,10 @@ pub fn join_groups(groups: &[u32], widths: &[u32]) -> u32 {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     for (&g, &w) in groups.iter().zip(widths) {
-        assert!(w == 32 || (g as u64) < (1u64 << w), "group {g} overflows {w} bits");
+        assert!(
+            w == 32 || (g as u64) < (1u64 << w),
+            "group {g} overflows {w} bits"
+        );
         value |= (g as u64) << shift;
         shift += w;
     }

@@ -38,7 +38,7 @@ impl QFormat {
     /// the sign bit must remain).
     pub const fn new(bits: u32, frac: u32) -> Self {
         assert!(bits >= 2 && bits <= 32, "word length must be in 2..=32");
-        assert!(frac <= bits - 1, "fractional bits must leave a sign bit");
+        assert!(frac < bits, "fractional bits must leave a sign bit");
         Self { bits, frac }
     }
 

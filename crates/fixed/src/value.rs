@@ -248,7 +248,13 @@ impl Accum {
 
 impl fmt::Display for Accum {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (raw {} @ frac {})", self.to_f64(), self.raw, self.frac)
+        write!(
+            f,
+            "{} (raw {} @ frac {})",
+            self.to_f64(),
+            self.raw,
+            self.frac
+        )
     }
 }
 

@@ -72,6 +72,6 @@ proptest! {
             prop_assert!((q.to_f64() - max_abs).abs() <= fmt.resolution() / 2.0 + 1e-12);
         }
         // Even when max_abs exceeds the widest format, the fraction is valid.
-        prop_assert!(fmt.frac() <= bits - 1);
+        prop_assert!(fmt.frac() < bits);
     }
 }

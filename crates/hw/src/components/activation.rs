@@ -114,9 +114,7 @@ pub fn plan_sigmoid(params: &PlanParams, kind: AdderKind) -> Circuit {
     params.validate();
     let mut b = Builder::new(format!(
         "plan_sigmoid_{}q{}_to_q{}_{kind:?}",
-        params.in_bits,
-        params.in_frac,
-        params.out_bits
+        params.in_bits, params.in_frac, params.out_bits
     ));
     let x = b.input_bus("x", params.in_bits as usize);
     let y = plan_sigmoid_body(&mut b, &x, params, kind);
@@ -200,7 +198,10 @@ fn plan_sigmoid_body(b: &mut Builder, x: &Bus, params: &PlanParams, kind: AdderK
 /// Panics if `acc_frac < params.in_frac` (the compressor only drops
 /// precision, never manufactures it).
 pub fn range_compress_fixed(acc_raw: i64, acc_frac: u32, params: &PlanParams) -> i64 {
-    assert!(acc_frac >= params.in_frac, "compressor cannot add precision");
+    assert!(
+        acc_frac >= params.in_frac,
+        "compressor cannot add precision"
+    );
     let shift = acc_frac - params.in_frac;
     let shifted = acc_raw >> shift; // truncating arithmetic shift
     let max = (1i64 << (params.in_bits - 1)) - 1;
@@ -223,7 +224,10 @@ pub fn activation_unit(
     kind: AdderKind,
 ) -> Circuit {
     params.validate();
-    assert!(acc_frac >= params.in_frac, "compressor cannot add precision");
+    assert!(
+        acc_frac >= params.in_frac,
+        "compressor cannot add precision"
+    );
     let shift = (acc_frac - params.in_frac) as usize;
     assert!(
         acc_bits as usize > shift,
@@ -255,7 +259,7 @@ pub fn activation_unit(
         .map(|i| b.xor(acc.net(i), sign))
         .collect();
     let overflow = crate::components::logic::or_tree(&mut b, &high);
-    let max = b.const_bus(((1u64 << (params.in_bits - 1)) - 1) as u64, iw);
+    let max = b.const_bus((1u64 << (params.in_bits - 1)) - 1, iw);
     let min = b.const_bus(1u64 << (params.in_bits - 1), iw);
     let clamp = b.mux_bus(sign, &max, &min);
     let x = b.mux_bus(overflow, &window, &clamp);
@@ -268,7 +272,12 @@ pub fn activation_unit(
 }
 
 /// Bit-exact reference of the whole activation unit.
-pub fn activation_unit_fixed(acc_raw: i64, acc_bits: u32, acc_frac: u32, params: &PlanParams) -> u64 {
+pub fn activation_unit_fixed(
+    acc_raw: i64,
+    acc_bits: u32,
+    acc_frac: u32,
+    params: &PlanParams,
+) -> u64 {
     let _ = acc_bits;
     plan_sigmoid_fixed(range_compress_fixed(acc_raw, acc_frac, params), params)
 }
@@ -313,10 +322,7 @@ mod tests {
             let x = raw as f64 / (1u64 << p.in_frac) as f64;
             let y = plan_sigmoid_fixed(raw, &p) as f64 / (1u64 << p.out_frac()) as f64;
             let s = 1.0 / (1.0 + (-x).exp());
-            assert!(
-                (y - s).abs() < 0.04,
-                "x={x} plan={y} sigmoid={s}"
-            );
+            assert!((y - s).abs() < 0.04, "x={x} plan={y} sigmoid={s}");
         }
     }
 

@@ -112,7 +112,7 @@ fn kogge_stone_with_cin(b: &mut Builder, a: &Bus, bb: &Bus, cin: Net) -> (Vec<Ne
     (sums, carries[w])
 }
 
-fn equalize<'a>(b: &mut Builder, a: &Bus, bb: &Bus) -> (Bus, Bus) {
+fn equalize(b: &mut Builder, a: &Bus, bb: &Bus) -> (Bus, Bus) {
     let w = a.width().max(bb.width());
     (b.resize_bus(a, w), b.resize_bus(bb, w))
 }
@@ -164,7 +164,7 @@ pub fn sub_bus(b: &mut Builder, a: &Bus, bb: &Bus, kind: AdderKind) -> Bus {
 ///
 /// Panics if `width` is 0 or greater than 63.
 pub fn adder(width: usize, kind: AdderKind) -> Circuit {
-    assert!(width >= 1 && width <= 63, "adder width must be in 1..=63");
+    assert!((1..=63).contains(&width), "adder width must be in 1..=63");
     let mut b = Builder::new(format!("adder{width}_{kind:?}"));
     let a = b.input_bus("a", width);
     let bb = b.input_bus("b", width);

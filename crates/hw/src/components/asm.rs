@@ -57,9 +57,7 @@ fn decode_table(alphabets: &[u8], qwidth: u32, sel_bits: u32) -> Vec<u64> {
     let n = 1usize << qwidth;
     (0..n as u32)
         .map(|v| match quartet_controls(alphabets, v) {
-            Some((sel, shift)) if v != 0 => {
-                1u64 | ((shift as u64) << 1) | ((sel as u64) << 3)
-            }
+            Some((sel, shift)) if v != 0 => 1u64 | ((shift as u64) << 1) | ((sel as u64) << 3),
             _ => 0,
         })
         .map(move |entry| entry & ((1u64 << (3 + sel_bits)) - 1))
@@ -80,7 +78,7 @@ fn decode_table(alphabets: &[u8], qwidth: u32, sel_bits: u32) -> Vec<u64> {
 ///
 /// Panics if the alphabet set is invalid or `bits` is out of `3..=16`.
 pub fn asm_mult_stage(bits: u32, alphabets: &[u8], combine: AdderKind) -> Circuit {
-    assert!(bits >= 3 && bits <= 16, "neuron width must be in 3..=16");
+    assert!((3..=16).contains(&bits), "neuron width must be in 3..=16");
     validate_alphabets(alphabets);
     let sel_bits = usize::BITS - (alphabets.len() - 1).leading_zeros(); // ceil(log2(len))
     let alpha_w = bits as usize + 3;
@@ -247,13 +245,19 @@ mod tests {
     fn supported_counts_match_paper_section_iv() {
         // "if we use 4 alphabets {1,3,5,7}, we can generate 12 (including 0)
         // out of 16 possible combinations"
-        let n4 = (0..16).filter(|&v| quartet_controls(&[1, 3, 5, 7], v).is_some()).count();
+        let n4 = (0..16)
+            .filter(|&v| quartet_controls(&[1, 3, 5, 7], v).is_some())
+            .count();
         assert_eq!(n4, 12);
         // {1,3}: supported {0,1,2,3,4,6,8,12} = 8 of 16.
-        let n2 = (0..16).filter(|&v| quartet_controls(&[1, 3], v).is_some()).count();
+        let n2 = (0..16)
+            .filter(|&v| quartet_controls(&[1, 3], v).is_some())
+            .count();
         assert_eq!(n2, 8);
         // {1}: powers of two plus zero = 5.
-        let n1 = (0..16).filter(|&v| quartet_controls(&[1], v).is_some()).count();
+        let n1 = (0..16)
+            .filter(|&v| quartet_controls(&[1], v).is_some())
+            .count();
         assert_eq!(n1, 5);
     }
 }

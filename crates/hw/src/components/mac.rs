@@ -35,7 +35,7 @@ pub fn accumulator_bits(bits: u32, max_fan_in: u32) -> u32 {
 /// Inputs: `w_mag`, `x_mag` (`bits-1` each), `w_sign`, `x_sign` (1 each).
 /// Outputs: `p_mag` (`2·(bits-1)`), `p_sign` (1).
 pub fn conventional_mult_stage(bits: u32, kind: MultiplierKind) -> Circuit {
-    assert!(bits >= 3 && bits <= 16, "neuron width must be in 3..=16");
+    assert!((3..=16).contains(&bits), "neuron width must be in 3..=16");
     let w = bits as usize - 1;
     let mut b = Builder::new(format!("mult_stage{bits}_{kind:?}"));
     let w_mag = b.input_bus("w_mag", w);
@@ -46,9 +46,8 @@ pub fn conventional_mult_stage(bits: u32, kind: MultiplierKind) -> Circuit {
     let sign = b.xor(w_sign.net(0), x_sign.net(0));
     b.output_bus("p_mag", &mag);
     b.output_bus("p_sign", &Bus::from_nets(vec![sign]));
-    Circuit::combinational(b.finish()).with_glitch_factor(
-        crate::components::multiplier::multiplier_glitch(kind, w),
-    )
+    Circuit::combinational(b.finish())
+        .with_glitch_factor(crate::components::multiplier::multiplier_glitch(kind, w))
 }
 
 /// XOR-conditioned product: zero-extend `p_mag` to `acc_bits` and flip every
@@ -109,12 +108,8 @@ pub fn acc_stage_carry_save(bits: u32, acc_bits: u32) -> Circuit {
     let mut c_next = Vec::with_capacity(acc_bits as usize);
     c_next.push(p_sign.net(0)); // the +1 of the two's-complement negation
     for i in 0..acc_bits as usize {
-        let (s, c) = crate::components::adder::full_adder(
-            &mut b,
-            p_x.net(i),
-            acc_s.net(i),
-            acc_c.net(i),
-        );
+        let (s, c) =
+            crate::components::adder::full_adder(&mut b, p_x.net(i), acc_s.net(i), acc_c.net(i));
         s_next.push(s);
         if i + 1 < acc_bits as usize {
             c_next.push(c);

@@ -120,7 +120,10 @@ pub fn mul_bus(b: &mut Builder, a: &Bus, bb: &Bus, kind: MultiplierKind) -> Bus 
 ///
 /// Panics if either width is 0 or the product exceeds 63 bits.
 pub fn multiplier(w_a: usize, w_b: usize, kind: MultiplierKind) -> Circuit {
-    assert!(w_a >= 1 && w_b >= 1 && w_a + w_b <= 63, "unsupported widths");
+    assert!(
+        w_a >= 1 && w_b >= 1 && w_a + w_b <= 63,
+        "unsupported widths"
+    );
     let mut b = Builder::new(format!("mult{w_a}x{w_b}_{kind:?}"));
     let a = b.input_bus("a", w_a);
     let bb = b.input_bus("b", w_b);

@@ -89,7 +89,7 @@ mod tests {
         let mut b = Builder::new("mux1");
         let sel = b.input_bus("sel", 1);
         let o0 = b.input_bus("o0", 4);
-        let out = mux_tree(&mut b, &sel, &[o0.clone()]);
+        let out = mux_tree(&mut b, &sel, std::slice::from_ref(&o0));
         b.output_bus("out", &out);
         assert_eq!(out.nets(), o0.nets());
     }

@@ -93,7 +93,7 @@ fn alphabet_product(b: &mut Builder, x: &Bus, a: u8, kind: AdderKind) -> Bus {
 /// Panics if `bits < 3` or the alphabet set is invalid (see
 /// [`validate_alphabets`]).
 pub fn precompute_bank(bits: u32, alphabets: &[u8], kind: AdderKind) -> Circuit {
-    assert!(bits >= 3 && bits <= 16, "neuron width must be in 3..=16");
+    assert!((3..=16).contains(&bits), "neuron width must be in 3..=16");
     validate_alphabets(alphabets);
     let mut b = Builder::new(format!("precompute{bits}_{}a", alphabets.len()));
     let x = b.input_bus("x_mag", bits as usize - 1);
@@ -148,8 +148,7 @@ mod tests {
         let a1 = precompute_bank(8, &[1], AdderKind::Ripple).area_um2(&lib);
         let a2 = precompute_bank(8, &[1, 3], AdderKind::Ripple).area_um2(&lib);
         let a4 = precompute_bank(8, &[1, 3, 5, 7], AdderKind::Ripple).area_um2(&lib);
-        let a8 =
-            precompute_bank(8, &[1, 3, 5, 7, 9, 11, 13, 15], AdderKind::Ripple).area_um2(&lib);
+        let a8 = precompute_bank(8, &[1, 3, 5, 7, 9, 11, 13, 15], AdderKind::Ripple).area_um2(&lib);
         assert!(a1 < a2 && a2 < a4 && a4 < a8);
     }
 

@@ -128,11 +128,9 @@ impl<'a> Evaluator<'a> {
             .netlist
             .output(name)
             .unwrap_or_else(|| panic!("unknown output bus {name:?}"));
-        nets.iter()
-            .enumerate()
-            .fold(0u64, |acc, (bit, net)| {
-                acc | ((self.values[net.index()] as u64) << bit)
-            })
+        nets.iter().enumerate().fold(0u64, |acc, (bit, net)| {
+            acc | ((self.values[net.index()] as u64) << bit)
+        })
     }
 
     /// Number of vectors applied so far.

@@ -236,7 +236,11 @@ impl Builder {
 
     /// A constant-0 or constant-1 net (cached).
     pub fn constant(&mut self, value: bool) -> Net {
-        let slot = if value { &mut self.const1 } else { &mut self.const0 };
+        let slot = if value {
+            &mut self.const1
+        } else {
+            &mut self.const0
+        };
         if let Some(net) = *slot {
             return net;
         }
@@ -261,7 +265,7 @@ impl Builder {
             self.inputs.iter().all(|(n, _)| *n != name),
             "duplicate input bus {name:?}"
         );
-        assert!(width >= 1 && width <= 64, "bus width must be in 1..=64");
+        assert!((1..=64).contains(&width), "bus width must be in 1..=64");
         let nets: Vec<Net> = (0..width).map(|_| self.push(NodeOp::Input)).collect();
         self.inputs.push((name, nets.clone()));
         Bus(nets)
@@ -567,7 +571,7 @@ mod tests {
         let m = b.mux(x.net(0), x.net(1), zero);
         b.output_bus("y", &Bus::from_nets(vec![m]));
         let nl = b.finish();
-        assert!(nl.cell_counts().get(&CellKind::Mux2).is_none());
+        assert!(!nl.cell_counts().contains_key(&CellKind::Mux2));
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl NeuronDatapath {
                 let stage = synthesize_asm_mult(spec.bits, alphabets, lib, spec.clock_ps)?;
                 // The MAN bank has no gates; drop it so reports show the
                 // pre-computer genuinely disappearing.
-                let bank = if bank.gate_count() == 0 { None } else { Some(bank) };
+                let bank = if bank.gate_count() == 0 {
+                    None
+                } else {
+                    Some(bank)
+                };
                 (bank, stage)
             }
         };
@@ -258,17 +262,11 @@ mod tests {
     #[test]
     fn man_has_no_precompute_bank() {
         let lib = CellLibrary::nominal_45nm();
-        let dp = NeuronDatapath::build(
-            NeuronSpec::paper(8, NeuronKind::Asm(vec![1])),
-            &lib,
-        )
-        .unwrap();
+        let dp =
+            NeuronDatapath::build(NeuronSpec::paper(8, NeuronKind::Asm(vec![1])), &lib).unwrap();
         assert!(dp.precompute.is_none());
-        let dp2 = NeuronDatapath::build(
-            NeuronSpec::paper(8, NeuronKind::Asm(vec![1, 3])),
-            &lib,
-        )
-        .unwrap();
+        let dp2 =
+            NeuronDatapath::build(NeuronSpec::paper(8, NeuronKind::Asm(vec![1, 3])), &lib).unwrap();
         assert!(dp2.precompute.is_some());
     }
 

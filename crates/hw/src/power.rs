@@ -87,7 +87,10 @@ pub fn measure_stream_energy(
     stream: &[Vec<(&str, u64)>],
     clock_ps: f64,
 ) -> EnergyBreakdown {
-    assert!(stream.len() >= 2, "need at least 2 vectors to measure energy");
+    assert!(
+        stream.len() >= 2,
+        "need at least 2 vectors to measure energy"
+    );
     let mut sim = Evaluator::new(circuit.netlist());
     for vector in stream {
         sim.step(vector);

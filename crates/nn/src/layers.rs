@@ -311,7 +311,10 @@ impl ScaledAvgPool {
     ///
     /// Panics if the spatial dimensions are not even.
     pub fn new(channels: usize, in_h: usize, in_w: usize) -> Self {
-        assert!(in_h % 2 == 0 && in_w % 2 == 0, "pool needs even dimensions");
+        assert!(
+            in_h.is_multiple_of(2) && in_w.is_multiple_of(2),
+            "pool needs even dimensions"
+        );
         Self {
             channels,
             in_h,

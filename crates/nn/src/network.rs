@@ -213,11 +213,9 @@ mod tests {
         net.visit_params_mut(|_, _, _, grads| analytic.extend_from_slice(grads));
         // Finite differences over every parameter.
         let eps = 1e-3f32;
-        let mut idx = 0;
         let mut max_err = 0.0f32;
-        let n_params = analytic.len();
-        for p in 0..n_params {
-            let mut bump = |net: &mut Network, delta: f32| {
+        for (p, &expected) in analytic.iter().enumerate() {
+            let bump = |net: &mut Network, delta: f32| {
                 let mut k = 0;
                 net.visit_params_mut(|_, _, values, _| {
                     for v in values.iter_mut() {
@@ -234,8 +232,7 @@ mod tests {
             let (lm, _) = loss.loss_and_grad(&net.infer(&x), label);
             bump(&mut net, eps);
             let numeric = (lp - lm) / (2.0 * eps);
-            max_err = max_err.max((numeric - analytic[idx]).abs());
-            idx += 1;
+            max_err = max_err.max((numeric - expected).abs());
         }
         assert!(max_err < 1e-2, "max gradient error {max_err}");
     }

@@ -118,7 +118,11 @@ mod tests {
         };
         let stats = train(&mut net, &mut sgd, &xs, &ys, &config, &mut rng, |_| {});
         assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss);
-        assert!(net.accuracy(&xs, &ys) > 0.95, "acc={}", net.accuracy(&xs, &ys));
+        assert!(
+            net.accuracy(&xs, &ys) > 0.95,
+            "acc={}",
+            net.accuracy(&xs, &ys)
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ fn max_gradient_error(net: &mut Network, x: &[f32], label: usize) -> f32 {
     net.visit_params_mut(|_, _, _, grads| analytic.extend_from_slice(grads));
     let eps = 1e-3f32;
     let mut max_err = 0.0f32;
-    for p in 0..analytic.len() {
-        let mut bump = |net: &mut Network, delta: f32| {
+    for (p, &expected) in analytic.iter().enumerate() {
+        let bump = |net: &mut Network, delta: f32| {
             let mut k = 0;
             net.visit_params_mut(|_, _, values, _| {
                 for v in values.iter_mut() {
@@ -35,7 +35,7 @@ fn max_gradient_error(net: &mut Network, x: &[f32], label: usize) -> f32 {
         bump(net, -2.0 * eps);
         let (lm, _) = loss.loss_and_grad(&net.infer(x), label);
         bump(net, eps);
-        max_err = max_err.max(((lp - lm) / (2.0 * eps) - analytic[p]).abs());
+        max_err = max_err.max(((lp - lm) / (2.0 * eps) - expected).abs());
     }
     max_err
 }

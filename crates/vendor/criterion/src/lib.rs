@@ -1,0 +1,198 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface this workspace's benches use —
+//! [`Criterion`], [`BenchmarkId`], `benchmark_group` / `bench_function` /
+//! `bench_with_input`, `criterion_group!`, `criterion_main!` — backed by
+//! a plain wall-clock sampler (no statistics, plots or comparisons).
+//! Each benchmark reports the mean and minimum time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target duration of one measurement sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function(&mut self, name: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(&name.to_string());
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            report: None,
+        };
+        f(&mut bencher, input);
+        bencher.print(&label);
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(&label);
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self(param.to_string())
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+}
+
+/// Measures a closure.
+pub struct Bencher {
+    sample_size: usize,
+    report: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating how many iterations fill one sample
+    /// budget, then taking `sample_size` timed samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate: how many iterations fit the per-sample budget?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET || iters >= 1 << 20 {
+                break;
+            }
+            let factor =
+                (SAMPLE_BUDGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(2.0, 128.0);
+            iters = ((iters as f64) * factor).ceil() as u64;
+        }
+        let mut total = 0.0f64;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+            total += per_iter;
+            best = best.min(per_iter);
+        }
+        self.report = Some((total / self.sample_size as f64, best));
+    }
+
+    fn print(&self, label: &str) {
+        match self.report {
+            Some((mean, best)) => println!(
+                "bench {label:<50} mean {:>12}  min {:>12}",
+                format_time(mean),
+                format_time(best)
+            ),
+            None => println!("bench {label:<50} (no measurement taken)"),
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,254 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the small slice of the `rand` 0.8 API its crates actually use:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over (inclusive) ranges of the common numeric
+//! types, [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the same
+//! stream as upstream `SmallRng`, but every consumer in this workspace
+//! only relies on *determinism for a fixed seed*, which this provides.
+
+#![forbid(unsafe_code)]
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: distributions::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full state,
+            // as upstream rand does for xoshiro-family generators.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Uniform range sampling.
+pub mod distributions {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types uniformly samplable from a bounded range. Mirrors upstream
+    /// rand's design: the *blanket* `SampleRange` impls below are what
+    /// lets an unsuffixed literal like `0.3..0.6` unify with the f32 the
+    /// call site needs instead of defaulting to f64.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Samples uniformly from `[lo, hi)` (`inclusive == false`) or
+        /// `[lo, hi]` (`inclusive == true`).
+        fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+    }
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one sample.
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "empty range");
+            T::sample_uniform(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "empty range");
+            T::sample_uniform(lo, hi, true, rng)
+        }
+    }
+
+    fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 random bits in [0, 1).
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn unit_f64_inclusive<R: RngCore>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) / ((1u64 << 53) - 1) as f64
+    }
+
+    macro_rules! impl_float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let (flo, fhi) = (lo as f64, hi as f64);
+                    if inclusive {
+                        (flo + (fhi - flo) * unit_f64_inclusive(rng)) as $t
+                    } else {
+                        // Rounding — in the f64 arithmetic or in the
+                        // narrowing cast — can land exactly on `hi`;
+                        // check in the target type to keep the
+                        // half-open contract.
+                        let v = (flo + (fhi - flo) * unit_f64(rng)) as $t;
+                        if v >= hi { lo } else { v }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_float_uniform!(f32, f64);
+
+    macro_rules! impl_int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let (wlo, whi) = (lo as i128, hi as i128);
+                    let span = (whi - wlo) as u128 + u128::from(inclusive);
+                    (wlo + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random reordering of slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-0.25f32..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let i = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&i));
+            let j = rng.gen_range(-4i32..=4);
+            assert!((-4..=4).contains(&j));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a small serde lookalike built around an explicit JSON-like [`Value`]
+//! model: [`Serialize`] renders a type into a [`Value`], [`Deserialize`]
+//! rebuilds it, and the companion `serde_json` crate converts values to
+//! and from JSON text. The derive macros (re-exported from
+//! `serde_derive`) cover the shapes this workspace uses: structs with
+//! named fields, unit enums, and enums with tuple variants — using
+//! serde's externally-tagged enum representation.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialization value (JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Ordered key/value map.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of an object value.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable description of the value's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable mismatch description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing Y" convenience constructor.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Helpers used by generated code and `serde_json`.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Looks up `name` in an object's entries and deserializes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the field is missing or mistyped.
+    pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| DeError::custom(format!("in field `{name}`: {e}")))
+            }
+            None => Err(DeError::custom(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match *v {
+                    Value::I64(n) => n as i128,
+                    Value::U64(n) => n as i128,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.3e18 => f as i128,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!(
+                        "{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: u128 = match *v {
+                    Value::I64(n) if n >= 0 => n as u128,
+                    Value::U64(n) => n as u128,
+                    Value::F64(f) if f.fract() == 0.0 && (0.0..1.8e19).contains(&f) => f as u128,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!(
+                        "{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element array", "tuple")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,41 +1,43 @@
 //! The paper's credibility experiment (Section IV-C / Table II): train the
 //! 1024-100-2 face-detection MLP, quantize, constrain, retrain, and
-//! compare conventional vs ASM accuracy on the fixed-point engine.
+//! compare conventional vs ASM accuracy on the fixed-point engine — all
+//! through the typed-stage [`Pipeline`].
 //!
 //! Run with: `cargo run --release --example face_detection`
 
-use man_repro::man::train::{run_methodology, MethodologyConfig};
 use man_repro::man::zoo::Benchmark;
 use man_repro::man_datasets::GenOptions;
+use man_repro::{ManError, Pipeline};
 
-fn main() {
+fn main() -> Result<(), ManError> {
     let benchmark = Benchmark::Faces;
     let ds = benchmark.dataset(&GenOptions {
         train: 2000,
         test: 500,
         seed: 7,
     });
-    let mut cfg = MethodologyConfig::paper(8);
-    cfg.initial_epochs = 10;
-    cfg.retrain_epochs = 5;
-    println!("training {} on {} samples ...", benchmark.name(), ds.train_len());
-    let outcome = run_methodology(
-        benchmark.build_network(cfg.seed),
-        &ds.train_images,
-        &ds.train_labels,
-        &ds.test_images,
-        &ds.test_labels,
-        &cfg,
+    println!(
+        "training {} on {} samples ...",
+        benchmark.name(),
+        ds.train_len()
     );
+    let trained = Pipeline::for_benchmark(benchmark)
+        .with_bits(8)
+        .with_data(&ds)
+        .configure(|cfg| {
+            cfg.initial_epochs = 10;
+            cfg.retrain_epochs = 5;
+        })
+        .train()?;
     println!(
         "float accuracy        : {:.2}%",
-        100.0 * outcome.float_accuracy
+        100.0 * trained.float_accuracy.expect("trained pipeline")
     );
     println!(
         "conventional NN (J)   : {:.2}% (8-bit fixed point, exact multiplier)",
-        100.0 * outcome.conventional_accuracy
+        100.0 * trained.conventional_accuracy.expect("trained pipeline")
     );
-    for attempt in &outcome.attempts {
+    for attempt in &trained.attempts {
         println!(
             "ASM {:<12} (K)   : {:.2}%  loss {:+.2} pp  accepted: {}",
             attempt.label,
@@ -44,11 +46,22 @@ fn main() {
             attempt.accepted
         );
     }
-    match outcome.selected {
+    match trained.selected {
         Some(i) => println!(
             "Algorithm 2 selected the smallest set meeting K >= J*Q: {}",
-            outcome.attempts[i].label
+            trained.attempts[i].label
         ),
-        None => println!("no candidate met the quality constraint Q"),
+        None => println!(
+            "no candidate met the quality constraint Q; kept the best: {}",
+            trained.alphabets().label()
+        ),
     }
+    // The selected model compiles straight into a deployable artifact.
+    let compiled = trained.compile()?;
+    println!(
+        "compiled: {} layers at {} bits, ready for save()/session()",
+        compiled.fixed().layer_count(),
+        compiled.bits()
+    );
+    Ok(())
 }

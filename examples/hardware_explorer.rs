@@ -1,11 +1,17 @@
 //! Explore the gate-level neuron datapaths: synthesize every variant at
 //! the paper's iso-speed clocks and print gates / area / timing, plus a
-//! library-scaling sensitivity check.
+//! library-scaling sensitivity check and a whole-network cost measurement
+//! through the pipeline's `cost()` stage.
 //!
 //! Run with: `cargo run --release --example hardware_explorer`
 
+use man_repro::man::alphabet::AlphabetSet;
+use man_repro::man::engine::CostModel;
+use man_repro::man::zoo::Benchmark;
+use man_repro::man_datasets::GenOptions;
 use man_repro::man_hw::cell::CellLibrary;
 use man_repro::man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
+use man_repro::{ManError, Pipeline};
 
 fn explore(lib: &CellLibrary, title: &str) {
     println!("\n== {title} ==");
@@ -36,11 +42,42 @@ fn explore(lib: &CellLibrary, title: &str) {
     }
 }
 
-fn main() {
+fn main() -> Result<(), ManError> {
     let nominal = CellLibrary::nominal_45nm();
     explore(&nominal, "nominal 45nm-class library");
     // Sensitivity: the conventional-vs-MAN ratio barely moves when the
     // whole library is scaled — the savings come from structure.
     let scaled = nominal.scaled(1.3, 1.1, 0.8);
-    explore(&scaled, "scaled library (area x1.3, delay x1.1, energy x0.8)");
+    explore(
+        &scaled,
+        "scaled library (area x1.3, delay x1.1, energy x0.8)",
+    );
+
+    // Whole-network cost via the pipeline's final stage: train the digit
+    // MLP briefly (so operand traces carry realistic activity), project
+    // onto each lattice — cost studies skip the constrained *retraining*
+    // — compile, and drive the synthesized datapaths with real traces.
+    println!("\n== per-inference network cost (digit MLP, real operand traces) ==");
+    let ds = Benchmark::DigitsMlp.dataset(&GenOptions::quick(3));
+    let baseline = Pipeline::for_benchmark(Benchmark::DigitsMlp)
+        .with_bits(8)
+        .with_data(&ds)
+        .configure(|cfg| cfg.initial_epochs = 4)
+        .train_baseline()?;
+    let mut model = CostModel::default();
+    model.stream_limit = 400;
+    for set in [AlphabetSet::a4(), AlphabetSet::a2(), AlphabetSet::a1()] {
+        let costed = Pipeline::from_network(baseline.network().clone())
+            .with_bits(8)
+            .with_alphabets(vec![set])
+            .constrain()?
+            .compile()?
+            .cost(&mut model, &ds.test_images)?;
+        let r = &costed.report;
+        println!(
+            "{:<14} {:>8} cycles  {:>9.1} pJ  {:>7.2} mW  {:>8.1} um^2/neuron",
+            r.label, r.cycles, r.energy_pj, r.power_mw, r.neuron_area_um2
+        );
+    }
+    Ok(())
 }

@@ -1,29 +1,33 @@
 //! Section VI-E: use MAN ({1}) neurons in the large early layers and
 //! richer alphabet sets only in the small concluding layers — better
-//! accuracy for a tiny energy overhead.
+//! accuracy for a tiny energy overhead. Uses the pipeline's
+//! baseline/retrain split so the expensive unconstrained training runs
+//! once and both assignments retrain from the same restore point.
 //!
 //! Run with: `cargo run --release --example mixed_alphabets`
 
 use man_repro::man::alphabet::AlphabetSet;
-use man_repro::man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
-use man_repro::man::train::{constrained_retrain, train_unconstrained, MethodologyConfig};
+use man_repro::man::fixed::LayerAlphabets;
 use man_repro::man::zoo::Benchmark;
 use man_repro::man_datasets::GenOptions;
+use man_repro::{ManError, Pipeline};
 
-fn main() {
+fn main() -> Result<(), ManError> {
     let benchmark = Benchmark::Tich;
     let ds = benchmark.dataset(&GenOptions {
         train: 2500,
         test: 600,
         seed: 11,
     });
-    let mut cfg = MethodologyConfig::paper(8);
-    cfg.initial_epochs = 10;
-    cfg.retrain_epochs = 5;
-    let mut net = benchmark.build_network(cfg.seed);
     println!("training the 5-layer TICH-like MLP ...");
-    train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
-    let spec = QuantSpec::fit(&net, 8);
+    let baseline = Pipeline::for_benchmark(benchmark)
+        .with_bits(8)
+        .with_data(&ds)
+        .configure(|cfg| {
+            cfg.initial_epochs = 10;
+            cfg.retrain_epochs = 5;
+        })
+        .train_baseline()?;
 
     let (a1, a2, a4) = (AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4());
     let configs = [
@@ -34,18 +38,15 @@ fn main() {
         ),
     ];
     for (label, alphabets) in configs {
-        let retrained = constrained_retrain(
-            &net,
-            &spec,
-            &alphabets,
-            &ds.train_images,
-            &ds.train_labels,
-            &cfg,
+        let retrained = baseline.retrain(&alphabets)?;
+        let attempt = &retrained.attempts[0];
+        println!(
+            "{label:<34} accuracy {:.2}% (loss {:+.2} pp vs conventional)",
+            100.0 * attempt.accuracy,
+            attempt.loss_pp
         );
-        let fixed = FixedNet::compile(&retrained, &spec, &alphabets).expect("constrained");
-        let acc = fixed.accuracy(&ds.test_images, &ds.test_labels);
-        println!("{label:<34} accuracy {:.2}%", 100.0 * acc);
     }
     println!("\nThe concluding layers hold few neurons (here 90+36 of 786), so the");
     println!("richer alphabets cost almost no extra cycles — the paper's Fig. 11.");
+    Ok(())
 }

@@ -1,47 +1,81 @@
-//! Quickstart: multiply with an ASM, constrain a weight, and see why the
-//! MAN neuron needs no multiplier at all.
+//! Quickstart: what an Alphabet Set Multiplier is, and the whole
+//! methodology as a four-line pipeline — constrain, compile, save/load,
+//! serve.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man::asm::AsmMultiplier;
 use man_repro::man::constrain::WeightLattice;
+use man_repro::man::zoo::Benchmark;
+use man_repro::{CompiledModel, ManError, Pipeline};
 
-fn main() {
-    // 1. An 8-bit ASM with the 4-alphabet set {1,3,5,7}.
+fn main() -> Result<(), ManError> {
+    // ---- Part 1: the multiplier the paper replaces multiplication with.
+
+    // An 8-bit ASM with the 4-alphabet set {1,3,5,7}.
     let asm = AsmMultiplier::new(8, AlphabetSet::a4());
     let input = 77u32;
     let bank = asm.precompute(input); // the "pre-computer bank": [1,3,5,7]·77
     println!("pre-computer bank of {input}: {bank:?}");
 
-    // 2. Fig. 2's example weight 0b0100_1010: quartet 10 = 5<<1, quartet
-    //    4 = 1<<2 — a pure select/shift/add multiplication.
+    // Fig. 2's example weight 0b0100_1010: quartet 10 = 5<<1, quartet
+    // 4 = 1<<2 — a pure select/shift/add multiplication.
     let w = 0b0100_1010u32;
     let product = asm.multiply(w, &bank).expect("supported weight");
     assert_eq!(product, w as u64 * input as u64);
     println!("{w} x {input} = {product} via select, shift, add");
 
-    // 3. Unsupported weights are rejected — Table I's W1 = 105 contains
-    //    quartet 9, which {1,3,5,7} cannot produce.
+    // Unsupported weights are rejected — Table I's W1 = 105 contains
+    // quartet 9, which {1,3,5,7} cannot produce...
     let err = asm.multiply(105, &bank).unwrap_err();
     println!("unconstrained weight: {err}");
 
-    // 4. Algorithm 1 rounds it onto the representable lattice.
+    // ...so Algorithm 1 rounds it onto the representable lattice.
     let lattice = WeightLattice::new(8, &AlphabetSet::a4());
     let constrained = lattice.project_exact(105);
     println!("Algorithm 1: 105 -> {constrained}");
-    let product = asm.multiply(constrained, &bank).expect("now supported");
-    println!("{constrained} x {input} = {product} (exact on the ASM)");
 
-    // 5. The MAN: alphabet {1} — no pre-computer bank at all, the input
-    //    itself is the only 'alphabet'; multiplication is shift-and-add.
+    // The MAN: alphabet {1} — no pre-computer bank at all; multiplication
+    // is shift-and-add only.
     let man = AsmMultiplier::new(8, AlphabetSet::a1());
-    let man_bank = man.precompute(input);
-    assert_eq!(man_bank, vec![input as u64]);
-    let man_lattice = WeightLattice::new(8, &AlphabetSet::a1());
-    let w_man = man_lattice.project_exact(105);
+    assert_eq!(man.precompute(input), vec![input as u64]);
+
+    // ---- Part 2: the same idea at network scale, via the Pipeline.
+    //
+    // `constrain()` projects a freshly built benchmark network onto the
+    // MAN lattice without training (fast); swap in `.train()?` for the
+    // full Algorithm-2 methodology.
+    let compiled = Pipeline::for_benchmark(Benchmark::Faces)
+        .with_bits(8)
+        .with_alphabets(vec![AlphabetSet::a1()])
+        .constrain()?
+        .compile()?;
     println!(
-        "MAN: 105 -> {w_man}; {w_man} x {input} = {}",
-        man.multiply(w_man, &man_bank).unwrap()
+        "compiled {}-bit model: {} parameterized layers, alphabets {}",
+        compiled.bits(),
+        compiled.fixed().layer_count(),
+        compiled.alphabets().label(),
     );
+
+    // One-file artifact: save, reload, and verify bit-identical logits.
+    let path = std::env::temp_dir().join("man_quickstart.man.json");
+    compiled.save(&path)?;
+    let reloaded = CompiledModel::load(&path)?;
+    let pixels = vec![0.5f32; 1024];
+    assert_eq!(
+        compiled.fixed().infer_raw(&pixels),
+        reloaded.fixed().infer_raw(&pixels),
+        "artifact reloads bit-identically"
+    );
+    println!("artifact round-trip OK: {}", path.display());
+
+    // Serve a batch: pre-computer banks are shared across the batch.
+    let mut session = reloaded.session();
+    let batch: Vec<Vec<f32>> = (0..4).map(|i| vec![0.2 * i as f32; 1024]).collect();
+    for (i, p) in session.infer_batch(&batch).iter().enumerate() {
+        println!("batch[{i}] -> class {} (scores {:?})", p.class, p.scores);
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
 }

@@ -1,0 +1,99 @@
+//! The unified error type of the pipeline API.
+//!
+//! Every stage of the [`crate::Pipeline`] is `Result`-first: failures that
+//! the member crates report through their own typed errors
+//! ([`CompileError`], [`UnsupportedQuartetError`], [`TimingClosureError`])
+//! or through `std::io` are wrapped into one [`ManError`] enum, so a
+//! caller can drive train → compile → cost → serve with `?` throughout.
+
+use std::fmt;
+
+use man::asm::UnsupportedQuartetError;
+use man::fixed::CompileError;
+use man_hw::synth::TimingClosureError;
+
+/// Any failure of the pipeline API.
+#[derive(Debug)]
+pub enum ManError {
+    /// A float network failed to compile onto the fixed-point engine.
+    Compile(CompileError),
+    /// A weight's quartets are not producible under an alphabet set.
+    UnsupportedQuartet(UnsupportedQuartetError),
+    /// Gate-level synthesis could not close timing at the target clock.
+    TimingClosure(TimingClosureError),
+    /// Reading or writing a model artifact failed at the I/O layer.
+    Io(std::io::Error),
+    /// A model artifact is malformed: bad JSON, wrong format tag or an
+    /// unsupported version.
+    Artifact(String),
+    /// The pipeline was configured inconsistently (missing data, empty
+    /// candidate list, out-of-range word length, ...).
+    Config(String),
+}
+
+impl ManError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        ManError::Config(msg.into())
+    }
+
+    /// Convenience constructor for artifact errors.
+    pub fn artifact(msg: impl Into<String>) -> Self {
+        ManError::Artifact(msg.into())
+    }
+}
+
+impl fmt::Display for ManError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManError::Compile(e) => write!(f, "compile error: {e}"),
+            ManError::UnsupportedQuartet(e) => write!(f, "unsupported quartet: {e}"),
+            ManError::TimingClosure(e) => write!(f, "timing closure: {e}"),
+            ManError::Io(e) => write!(f, "i/o error: {e}"),
+            ManError::Artifact(msg) => write!(f, "artifact error: {msg}"),
+            ManError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ManError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManError::Compile(e) => Some(e),
+            ManError::UnsupportedQuartet(e) => Some(e),
+            ManError::TimingClosure(e) => Some(e),
+            ManError::Io(e) => Some(e),
+            ManError::Artifact(_) | ManError::Config(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for ManError {
+    fn from(e: CompileError) -> Self {
+        ManError::Compile(e)
+    }
+}
+
+impl From<UnsupportedQuartetError> for ManError {
+    fn from(e: UnsupportedQuartetError) -> Self {
+        ManError::UnsupportedQuartet(e)
+    }
+}
+
+impl From<TimingClosureError> for ManError {
+    fn from(e: TimingClosureError) -> Self {
+        ManError::TimingClosure(e)
+    }
+}
+
+impl From<std::io::Error> for ManError {
+    fn from(e: std::io::Error) -> Self {
+        ManError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ManError {
+    fn from(e: serde_json::Error) -> Self {
+        ManError::Artifact(e.to_string())
+    }
+}

@@ -1,0 +1,106 @@
+//! The serving entry point: batched inference sessions.
+//!
+//! An [`InferenceSession`] owns a compiled [`man::fixed::FixedNet`] plus
+//! a persistent [`SessionCache`] of pre-computer banks. A bank depends
+//! only on the input magnitude and the layer's alphabet set, so across a
+//! batch most multiplications find their bank already computed — the
+//! software analogue of the paper's CSHM sharing, and the hot path the
+//! ROADMAP's batching/throughput work builds on.
+
+use std::sync::Arc;
+
+use man::fixed::{argmax_raw, FixedNet, LayerTrace, SessionCache};
+
+use crate::artifact::CompiledModel;
+
+/// The outcome of one inference.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Argmax class over the raw scores.
+    pub class: usize,
+    /// Raw output-layer accumulators ("logits" at the final layer's
+    /// accumulator fraction) — bit-identical to
+    /// [`man::fixed::FixedNet::infer_raw`].
+    pub scores: Vec<i64>,
+    /// Per-layer operand traces, captured when the session was opened
+    /// with [`InferenceSession::with_trace`].
+    pub traces: Option<Vec<LayerTrace>>,
+}
+
+/// A batched inference session over a compiled model.
+///
+/// # Example
+///
+/// ```no_run
+/// # use man_repro::CompiledModel;
+/// # fn demo(model: &CompiledModel, batch: &[Vec<f32>]) {
+/// let mut session = model.session();
+/// for p in session.infer_batch(batch) {
+///     println!("class {} (scores {:?})", p.class, p.scores);
+/// }
+/// # }
+/// ```
+pub struct InferenceSession {
+    fixed: Arc<FixedNet>,
+    cache: SessionCache,
+    trace_limit: Option<usize>,
+}
+
+impl InferenceSession {
+    /// Opens a session over a compiled model. The compiled engine is
+    /// shared, not copied — opening many sessions is cheap.
+    pub fn new(model: &CompiledModel) -> Self {
+        let fixed = model.fixed_shared();
+        let cache = fixed.session_cache();
+        Self {
+            fixed,
+            cache,
+            trace_limit: None,
+        }
+    }
+
+    /// Enables per-layer operand tracing on every prediction (up to
+    /// `limit` MACs per layer). Tracing costs time and memory; leave it
+    /// off for throughput serving.
+    #[must_use]
+    pub fn with_trace(mut self, limit: usize) -> Self {
+        self.trace_limit = Some(limit);
+        self
+    }
+
+    /// The compiled engine the session serves.
+    pub fn fixed(&self) -> &FixedNet {
+        &self.fixed
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if `input` does not hold
+    /// exactly `self.fixed().input_len()` values.
+    pub fn infer(&mut self, input: &[f32]) -> Prediction {
+        let (scores, traces) = match self.trace_limit {
+            Some(limit) => {
+                let (scores, traces) = self.fixed.infer_raw_traced(input, limit, &mut self.cache);
+                (scores, Some(traces))
+            }
+            None => (
+                self.fixed.infer_raw_with_cache(input, &mut self.cache),
+                None,
+            ),
+        };
+        Prediction {
+            class: argmax_raw(&scores),
+            scores,
+            traces,
+        }
+    }
+
+    /// Runs a batch of inferences, sharing pre-computer banks across the
+    /// whole batch. Equivalent to (and bit-identical with) calling
+    /// [`InferenceSession::infer`] once per input.
+    pub fn infer_batch(&mut self, inputs: &[Vec<f32>]) -> Vec<Prediction> {
+        inputs.iter().map(|x| self.infer(x)).collect()
+    }
+}

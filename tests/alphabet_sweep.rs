@@ -6,10 +6,9 @@
 use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man::asm::AsmMultiplier;
 use man_repro::man::constrain::WeightLattice;
-use man_repro::man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
-use man_repro::man::train::ConstraintProjector;
 use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use man_repro::man_nn::network::Network;
+use man_repro::Pipeline;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -27,18 +26,22 @@ fn every_configuration_compiles_and_infers() {
     for bits in [8u32, 12] {
         for set in sets() {
             let mut rng = SmallRng::seed_from_u64(11);
-            let mut net = Network::new(vec![
+            let net = Network::new(vec![
                 Layer::Dense(Dense::new(10, 7, &mut rng)),
                 Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
                 Layer::Dense(Dense::new(7, 3, &mut rng)),
             ]);
-            let spec = QuantSpec::fit(&net, bits);
-            let alphabets = LayerAlphabets::uniform(set.clone(), 2);
-            ConstraintProjector::new(&spec, &alphabets).project(&mut net);
-            let fixed = FixedNet::compile(&net, &spec, &alphabets)
+            let compiled = Pipeline::from_network(net)
+                .with_bits(bits)
+                .with_alphabets(vec![set.clone()])
+                .constrain()
+                .unwrap_or_else(|e| panic!("bits={bits} {set}: {e}"))
+                .compile()
                 .unwrap_or_else(|e| panic!("bits={bits} {set}: {e}"));
-            let logits = fixed.infer_raw(&vec![0.4; 10]);
-            assert_eq!(logits.len(), 3, "bits={bits} {set}");
+            let mut session = compiled.session();
+            let p = session.infer(&[0.4; 10]);
+            assert_eq!(p.scores.len(), 3, "bits={bits} {set}");
+            assert!(p.class < 3, "bits={bits} {set}");
         }
     }
 }
@@ -62,10 +65,8 @@ fn lattice_density_is_monotone_in_alphabet_count() {
 #[test]
 fn larger_alphabets_never_increase_projection_error() {
     for bits in [8u32, 12] {
-        let lattices: Vec<WeightLattice> = sets()
-            .iter()
-            .map(|s| WeightLattice::new(bits, s))
-            .collect();
+        let lattices: Vec<WeightLattice> =
+            sets().iter().map(|s| WeightLattice::new(bits, s)).collect();
         let max = (1u32 << (bits - 1)) - 1;
         for mag in (0..=max).step_by(13) {
             let mut last = u64::MAX;
@@ -94,4 +95,35 @@ fn asm_plan_reuse_matches_fresh_decode() {
             assert_eq!(asm.apply(&plan, &bank), asm.multiply(w, &bank).unwrap());
         }
     }
+}
+
+#[test]
+fn mixed_assignments_flow_through_the_pipeline() {
+    use man_repro::man::fixed::LayerAlphabets;
+    // Section VI-E style: MAN early, richer sets late — via the explicit
+    // per-layer assignment on the projection-only path.
+    let mut rng = SmallRng::seed_from_u64(21);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(16, 10, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(10, 6, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(6, 3, &mut rng)),
+    ]);
+    let assignment = LayerAlphabets::mixed(vec![
+        AlphabetSet::a1(),
+        AlphabetSet::a2(),
+        AlphabetSet::a4(),
+    ]);
+    let compiled = Pipeline::from_network(net)
+        .with_bits(8)
+        .with_assignment(assignment.clone())
+        .constrain()
+        .expect("mixed projection")
+        .compile()
+        .expect("mixed compile");
+    assert_eq!(compiled.alphabets(), &assignment);
+    assert_eq!(compiled.fixed().layer_count(), 3);
+    let scores = compiled.fixed().infer_raw(&[0.3; 16]);
+    assert_eq!(scores.len(), 3);
 }

@@ -1,12 +1,12 @@
-//! Cross-crate integration: dataset -> training -> constraint -> fixed
-//! inference -> hardware cost, on small-but-real configurations.
+//! Cross-crate integration through the typed-stage pipeline: dataset ->
+//! training -> constraint -> fixed inference -> hardware cost, on
+//! small-but-real configurations.
 
 use man_repro::man::alphabet::AlphabetSet;
-use man_repro::man::engine::{kinds_conventional, kinds_from_alphabets, CostModel};
-use man_repro::man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
-use man_repro::man::train::{run_methodology, MethodologyConfig};
+use man_repro::man::engine::CostModel;
 use man_repro::man::zoo::Benchmark;
 use man_repro::man_datasets::GenOptions;
+use man_repro::{ManError, Pipeline};
 
 fn small_opts(seed: u64) -> GenOptions {
     GenOptions {
@@ -16,76 +16,86 @@ fn small_opts(seed: u64) -> GenOptions {
     }
 }
 
-fn quick_cfg(bits: u32) -> MethodologyConfig {
-    let mut cfg = MethodologyConfig::paper(bits);
+fn quick(cfg: &mut man_repro::man::train::MethodologyConfig) {
     cfg.initial_epochs = 6;
     cfg.retrain_epochs = 3;
-    cfg
 }
 
 #[test]
 fn faces_methodology_reaches_usable_accuracy() {
     let ds = Benchmark::Faces.dataset(&small_opts(42));
-    let cfg = quick_cfg(8);
-    let outcome = run_methodology(
-        Benchmark::Faces.build_network(cfg.seed),
-        &ds.train_images,
-        &ds.train_labels,
-        &ds.test_images,
-        &ds.test_labels,
-        &cfg,
-    );
-    assert!(
-        outcome.conventional_accuracy > 0.75,
-        "8-bit conventional baseline too weak: {}",
-        outcome.conventional_accuracy
-    );
+    let trained = Pipeline::for_benchmark(Benchmark::Faces)
+        .with_bits(8)
+        .with_data(&ds)
+        .configure(quick)
+        .train()
+        .expect("methodology runs");
+    let j = trained
+        .conventional_accuracy
+        .expect("trained model records J");
+    assert!(j > 0.75, "8-bit conventional baseline too weak: {j}");
     // Error resilience: even the first attempted (smallest) alphabet set
     // stays within a few points of the conventional baseline.
-    let first = &outcome.attempts[0];
+    let first = &trained.attempts[0];
     assert!(
-        first.accuracy > outcome.conventional_accuracy - 0.08,
-        "MAN lost too much: {} vs {}",
-        first.accuracy,
-        outcome.conventional_accuracy
+        first.accuracy > j - 0.08,
+        "MAN lost too much: {} vs {j}",
+        first.accuracy
     );
+    // The winning model compiles and serves.
+    let compiled = trained.compile().expect("selected model compiles");
+    let mut session = compiled.session();
+    let predictions = session.infer_batch(&ds.test_images[..10]);
+    assert_eq!(predictions.len(), 10);
 }
 
 #[test]
 fn digits_energy_ordering_matches_paper() {
     // MAN < ASM2 < conventional in energy, at identical cycle counts.
+    // Cost studies need a *trained*, constrained, compiled network (so
+    // operand traces carry realistic activity) but no constrained
+    // retraining — the baseline + projection-only pipeline path.
     let ds = Benchmark::DigitsMlp.dataset(&small_opts(7));
-    let cfg = quick_cfg(8);
-    let mut net = Benchmark::DigitsMlp.build_network(cfg.seed);
-    man_repro::man::train::train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
-    let spec = QuantSpec::fit(&net, 8);
+    let baseline = Pipeline::for_benchmark(Benchmark::DigitsMlp)
+        .with_bits(8)
+        .with_data(&ds)
+        .configure(quick)
+        .train_baseline()
+        .expect("brief training runs");
     let mut model = CostModel::default();
     model.stream_limit = 300;
 
     let mut energy = Vec::new();
     let mut cycles = Vec::new();
     for set in [None, Some(AlphabetSet::a2()), Some(AlphabetSet::a1())] {
-        let (alphabets, kinds, label) = match &set {
-            None => {
-                let a = LayerAlphabets::uniform(AlphabetSet::a8(), 2);
-                (a, kinds_conventional(2), "conv")
-            }
-            Some(s) => {
-                let a = LayerAlphabets::uniform(s.clone(), 2);
-                let k = kinds_from_alphabets(&a);
-                (a, k, "asm")
-            }
-        };
-        let mut candidate = net.clone();
-        man_repro::man::train::ConstraintProjector::new(&spec, &alphabets).project(&mut candidate);
-        let fixed = FixedNet::compile(&candidate, &spec, &alphabets).unwrap();
-        let traces = fixed.sample_traces(&ds.test_images, 300);
-        let report = model.network_cost(&fixed, &kinds, &traces, label).unwrap();
-        energy.push(report.energy_pj);
-        cycles.push(report.cycles);
+        let pipeline = Pipeline::from_network(baseline.network().clone())
+            .with_bits(8)
+            .with_alphabets(vec![set.clone().unwrap_or_else(AlphabetSet::a8)]);
+        let compiled = pipeline
+            .constrain()
+            .expect("projection")
+            .compile()
+            .expect("compiles");
+        let costed = match set {
+            None => compiled.cost_conventional(&mut model, &ds.test_images),
+            Some(_) => compiled.cost(&mut model, &ds.test_images),
+        }
+        .expect("synthesis at paper clocks succeeds");
+        energy.push(costed.report.energy_pj);
+        cycles.push(costed.report.cycles);
     }
-    assert!(energy[2] < energy[1], "MAN {} !< ASM2 {}", energy[2], energy[1]);
-    assert!(energy[1] < energy[0], "ASM2 {} !< conv {}", energy[1], energy[0]);
+    assert!(
+        energy[2] < energy[1],
+        "MAN {} !< ASM2 {}",
+        energy[2],
+        energy[1]
+    );
+    assert!(
+        energy[1] < energy[0],
+        "ASM2 {} !< conv {}",
+        energy[1],
+        energy[0]
+    );
     assert_eq!(cycles[0], cycles[1], "iso-speed engines share cycle counts");
     assert_eq!(cycles[1], cycles[2]);
 }
@@ -97,39 +107,87 @@ fn cnn_compiles_and_infers_in_fixed_point() {
         test: 40,
         seed: 3,
     });
-    let mut cfg = quick_cfg(12);
-    cfg.initial_epochs = 2;
-    let mut net = Benchmark::DigitsCnn.build_network(cfg.seed);
-    man_repro::man::train::train_unconstrained(&mut net, &ds.train_images, &ds.train_labels, &cfg);
-    let spec = QuantSpec::fit(&net, 12);
-    let layers = spec.layer_formats().len();
-    assert_eq!(layers, 6, "LeNet has 6 parameterized layers");
-    // Conventional path.
-    let fixed = FixedNet::compile(
-        &net,
-        &spec,
-        &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
-    )
-    .unwrap();
-    let float_acc = net.accuracy(&ds.test_images, &ds.test_labels);
-    let fixed_acc = fixed.accuracy(&ds.test_images, &ds.test_labels);
-    assert!(
-        (float_acc - fixed_acc).abs() < 0.25,
-        "12-bit quantization should track float: {float_acc} vs {fixed_acc}"
+    let baseline = Pipeline::for_benchmark(Benchmark::DigitsCnn)
+        .with_bits(12)
+        .with_data(&ds)
+        .configure(|cfg| {
+            cfg.initial_epochs = 2;
+            cfg.retrain_epochs = 3;
+        })
+        .train_baseline()
+        .expect("baseline trains");
+    assert_eq!(
+        baseline.spec().layer_formats().len(),
+        6,
+        "LeNet has 6 parameterized layers"
     );
-    // MAN path after projection.
-    let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), layers);
-    let mut constrained = net.clone();
-    man_repro::man::train::ConstraintProjector::new(&spec, &alphabets).project(&mut constrained);
-    let man_fixed = FixedNet::compile(&constrained, &spec, &alphabets).unwrap();
-    let _ = man_fixed.accuracy(&ds.test_images, &ds.test_labels);
+    // Conventional path: 12-bit quantization tracks the float network.
+    assert!(
+        (baseline.float_accuracy - baseline.conventional_accuracy).abs() < 0.25,
+        "12-bit quantization should track float: {} vs {}",
+        baseline.float_accuracy,
+        baseline.conventional_accuracy
+    );
+    // MAN path: projection-only from the trained restore point, through
+    // the pipeline's network source.
+    let man = Pipeline::from_network(baseline.network().clone())
+        .with_bits(12)
+        .with_alphabets(vec![AlphabetSet::a1()])
+        .constrain()
+        .expect("projects")
+        .compile()
+        .expect("compiles");
+    let _ = man.accuracy(&ds.test_images, &ds.test_labels);
+}
+
+#[test]
+fn pipeline_errors_are_typed_not_panics() {
+    // A custom-network pipeline without data cannot train.
+    let ds = Benchmark::Faces.dataset(&GenOptions {
+        train: 10,
+        test: 10,
+        seed: 1,
+    });
+    let net = Benchmark::Faces.build_network(0);
+    let err = Pipeline::from_network(net.clone())
+        .train_baseline()
+        .unwrap_err();
+    assert!(matches!(err, ManError::Config(_)), "{err}");
+
+    // An empty candidate list is a configuration error.
+    let err = Pipeline::from_network(net.clone())
+        .with_alphabets(vec![])
+        .with_data(&ds)
+        .train_baseline()
+        .unwrap_err();
+    assert!(matches!(err, ManError::Config(_)), "{err}");
+
+    // An out-of-range word length is a configuration error.
+    let err = Pipeline::from_network(net.clone())
+        .with_bits(40)
+        .with_data(&ds)
+        .train_baseline()
+        .unwrap_err();
+    assert!(matches!(err, ManError::Config(_)), "{err}");
+
+    // An explicit assignment on a training path is rejected loudly
+    // instead of being silently ignored.
+    use man_repro::man::alphabet::AlphabetSet;
+    use man_repro::man::fixed::LayerAlphabets;
+    let err = Pipeline::from_network(net)
+        .with_assignment(LayerAlphabets::uniform(AlphabetSet::a1(), 2))
+        .with_data(&ds)
+        .train_baseline()
+        .unwrap_err();
+    assert!(matches!(err, ManError::Config(_)), "{err}");
+    assert!(err.to_string().contains("constrain"));
 }
 
 #[test]
 fn asm_functional_model_matches_gate_level_datapath() {
     // The software ASM and the synthesized netlist agree bit-for-bit.
-    use man_repro::man_hw::components::asm::asm_mult_stage;
     use man_repro::man_hw::components::adder::AdderKind;
+    use man_repro::man_hw::components::asm::asm_mult_stage;
     use man_repro::man_hw::eval::Evaluator;
 
     let alphabet = AlphabetSet::a2();

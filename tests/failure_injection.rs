@@ -1,14 +1,15 @@
-//! Failure injection: every typed error path fires with a useful message,
-//! and extreme inputs exercise the saturating paths without panicking.
+//! Failure injection: every typed error path fires with a useful message
+//! through the unified `ManError` taxonomy, and extreme inputs exercise
+//! the saturating paths without panicking.
 
 use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man::asm::AsmMultiplier;
 use man_repro::man::fixed::{CompileError, FixedNet, LayerAlphabets, QuantSpec};
-use man_repro::man::train::ConstraintProjector;
 use man_repro::man_hw::cell::CellLibrary;
 use man_repro::man_hw::synth::synthesize_adder;
 use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use man_repro::man_nn::network::Network;
+use man_repro::{CompiledModel, ManError, Pipeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -23,14 +24,16 @@ fn mlp(seed: u64) -> Network {
 
 #[test]
 fn unconstrained_compile_reports_layer_and_magnitude() {
+    // Bypassing the pipeline's projection (compiling an unconstrained
+    // network directly) is caught and reported with full context.
     let net = mlp(1);
     let spec = QuantSpec::fit(&net, 8);
-    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a1(), 2))
+    let err = CompiledModel::from_parts(net, spec, LayerAlphabets::uniform(AlphabetSet::a1(), 2))
         .unwrap_err();
-    match err {
-        CompileError::UnconstrainedWeight { layer, magnitude } => {
-            assert!(layer < 2);
-            assert!(magnitude <= 127);
+    match &err {
+        ManError::Compile(CompileError::UnconstrainedWeight { layer, magnitude }) => {
+            assert!(*layer < 2);
+            assert!(*magnitude <= 127);
         }
         other => panic!("wrong error: {other}"),
     }
@@ -41,15 +44,28 @@ fn unconstrained_compile_reports_layer_and_magnitude() {
 fn layer_count_mismatch_is_reported() {
     let net = mlp(2);
     let spec = QuantSpec::fit(&net, 8);
-    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a8(), 5))
+    let err = CompiledModel::from_parts(net, spec, LayerAlphabets::uniform(AlphabetSet::a8(), 5))
         .unwrap_err();
     assert!(matches!(
         err,
-        CompileError::LayerCountMismatch {
+        ManError::Compile(CompileError::LayerCountMismatch {
             expected: 2,
             got: 5
-        }
+        })
     ));
+}
+
+#[test]
+fn assignment_length_mismatch_is_a_config_error() {
+    // The pipeline catches a wrong-length explicit assignment before
+    // compiling.
+    let err = Pipeline::from_network(mlp(7))
+        .with_bits(8)
+        .with_assignment(LayerAlphabets::uniform(AlphabetSet::a1(), 5))
+        .constrain()
+        .unwrap_err();
+    assert!(matches!(err, ManError::Config(_)), "{err}");
+    assert!(err.to_string().contains("5"));
 }
 
 #[test]
@@ -62,9 +78,12 @@ fn bare_activation_architecture_is_rejected() {
         Layer::Dense(Dense::new(4, 2, &mut rng)),
     ]);
     let spec = QuantSpec::fit(&net, 8);
-    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a8(), 1))
-        .unwrap_err();
+    let err =
+        FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a8(), 1)).unwrap_err();
     assert!(matches!(err, CompileError::UnsupportedArchitecture(_)));
+    // And the same failure wrapped at the pipeline surface.
+    let err: ManError = err.into();
+    assert!(err.to_string().contains("unsupported architecture"));
 }
 
 #[test]
@@ -75,9 +94,14 @@ fn non_sigmoid_activation_is_rejected() {
         Layer::Activation(ActivationLayer::new(Activation::Relu)),
         Layer::Dense(Dense::new(4, 2, &mut rng)),
     ]);
-    let spec = QuantSpec::fit(&net, 8);
-    let err = FixedNet::compile(&net, &spec, &LayerAlphabets::uniform(AlphabetSet::a8(), 2))
+    let err = Pipeline::from_network(net)
+        .with_bits(8)
+        .with_alphabets(vec![AlphabetSet::a8()])
+        .constrain()
+        .expect("projection itself succeeds")
+        .compile()
         .unwrap_err();
+    assert!(matches!(err, ManError::Compile(_)));
     assert!(err.to_string().contains("sigmoid"));
 }
 
@@ -88,6 +112,9 @@ fn asm_error_identifies_the_offending_quartet() {
     let err = asm.decode(9 << 4).unwrap_err();
     assert_eq!(err.index, 1);
     assert_eq!(err.value, 9);
+    // The pipeline taxonomy keeps the detail.
+    let wrapped: ManError = err.into();
+    assert!(wrapped.to_string().contains("quartet 1"));
 }
 
 #[test]
@@ -96,6 +123,17 @@ fn impossible_clock_is_a_typed_error_not_a_panic() {
     let err = synthesize_adder(32, &lib, 1.0).unwrap_err();
     assert!(err.best_ps > err.clock_ps);
     assert!(err.block.contains("adder32"));
+    let wrapped: ManError = err.into();
+    assert!(matches!(wrapped, ManError::TimingClosure(_)));
+}
+
+#[test]
+fn layer_alphabets_get_is_total() {
+    let a = LayerAlphabets::uniform(AlphabetSet::a2(), 3);
+    assert!(a.get(2).is_some());
+    assert!(a.get(3).is_none(), "out of bounds is None, not a panic");
+    assert_eq!(a.len(), 3);
+    assert!(!a.is_empty());
 }
 
 #[test]
@@ -107,13 +145,17 @@ fn extreme_inputs_saturate_gracefully() {
             *v *= 50.0;
         }
     });
-    let spec = QuantSpec::fit(&net, 8);
-    let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
-    ConstraintProjector::new(&spec, &alphabets).project(&mut net);
-    let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+    let compiled = Pipeline::from_network(net)
+        .with_bits(8)
+        .with_alphabets(vec![AlphabetSet::a1()])
+        .constrain()
+        .expect("projection")
+        .compile()
+        .expect("compiles");
+    let mut session = compiled.session();
     for pixel in [0.0f32, 0.999, 1.0, 123.0, -5.0] {
         // Out-of-range pixels clamp at quantization; nothing panics.
-        let logits = fixed.infer_raw(&vec![pixel; 8]);
-        assert_eq!(logits.len(), 2);
+        let p = session.infer(&[pixel; 8]);
+        assert_eq!(p.scores.len(), 2);
     }
 }

@@ -1,51 +1,174 @@
-//! Model persistence: trained (and constrained) networks serialize with
-//! serde and reload to bit-identical fixed-point behavior — the workflow a
-//! downstream user needs to deploy a constrained model.
+//! Model persistence through the single-file artifact format: a
+//! `CompiledModel` saves as one JSON document and reloads to
+//! bit-identical fixed-point behavior, and the batched
+//! `InferenceSession` matches single-shot inference exactly.
 
 use man_repro::man::alphabet::AlphabetSet;
-use man_repro::man::fixed::{FixedNet, LayerAlphabets, QuantSpec};
-use man_repro::man::train::ConstraintProjector;
+use man_repro::man::fixed::LayerAlphabets;
 use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use man_repro::man_nn::network::Network;
+use man_repro::{CompiledModel, ManError, Pipeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-#[test]
-fn constrained_network_roundtrips_through_json() {
-    let mut rng = SmallRng::seed_from_u64(4);
-    let mut net = Network::new(vec![
+fn small_net(seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Network::new(vec![
         Layer::Dense(Dense::new(24, 12, &mut rng)),
         Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
         Layer::Dense(Dense::new(12, 4, &mut rng)),
-    ]);
-    let spec = QuantSpec::fit(&net, 8);
-    let alphabets = LayerAlphabets::uniform(AlphabetSet::a2(), 2);
-    ConstraintProjector::new(&spec, &alphabets).project(&mut net);
+    ])
+}
 
-    let json_net = serde_json::to_string(&net).expect("network serializes");
-    let json_spec = serde_json::to_string(&spec).expect("spec serializes");
-    let net2: Network = serde_json::from_str(&json_net).expect("network deserializes");
-    let spec2: QuantSpec = serde_json::from_str(&json_spec).expect("spec deserializes");
+fn compiled_model(seed: u64, set: AlphabetSet) -> CompiledModel {
+    Pipeline::from_network(small_net(seed))
+        .with_bits(8)
+        .with_alphabets(vec![set])
+        .constrain()
+        .expect("projection-only pipeline")
+        .compile()
+        .expect("projected weights compile")
+}
 
-    let a = FixedNet::compile(&net, &spec, &alphabets).unwrap();
-    let b = FixedNet::compile(&net2, &spec2, &alphabets).unwrap();
-    for i in 0..16 {
-        let x: Vec<f32> = (0..24).map(|j| ((i * 5 + j * 3) % 11) as f32 / 11.0).collect();
-        assert_eq!(
-            a.infer_raw(&x),
-            b.infer_raw(&x),
-            "reloaded model must be bit-identical"
-        );
+fn probe_inputs(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * 5 + j * 3) % 11) as f32 / 11.0)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn artifact_roundtrips_bit_identically_through_json() {
+    for set in [AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()] {
+        let model = compiled_model(4, set);
+        let json = model.to_json().expect("serializes");
+        let reloaded = CompiledModel::from_json(&json).expect("deserializes");
+        for x in probe_inputs(16, 24) {
+            assert_eq!(
+                model.fixed().infer_raw(&x),
+                reloaded.fixed().infer_raw(&x),
+                "reloaded model must be bit-identical"
+            );
+        }
+        assert_eq!(model.spec(), reloaded.spec());
+        assert_eq!(model.alphabets(), reloaded.alphabets());
     }
 }
 
 #[test]
-fn quant_spec_is_stable_across_serialization() {
-    let mut rng = SmallRng::seed_from_u64(9);
-    let net = Network::new(vec![Layer::Dense(Dense::new(5, 3, &mut rng))]);
-    let spec = QuantSpec::fit(&net, 12);
-    let spec2: QuantSpec =
-        serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
-    assert_eq!(spec, spec2);
-    assert_eq!(spec2.bits(), 12);
+fn artifact_roundtrips_through_a_file() {
+    let model = compiled_model(9, AlphabetSet::a2());
+    let path = std::env::temp_dir().join("man_repro_persistence_test.man.json");
+    model.save(&path).expect("saves");
+    let reloaded = CompiledModel::load(&path).expect("loads");
+    std::fs::remove_file(&path).ok();
+    for x in probe_inputs(8, 24) {
+        assert_eq!(model.fixed().infer_raw(&x), reloaded.fixed().infer_raw(&x));
+    }
+}
+
+#[test]
+fn artifact_rejects_wrong_format_version_and_garbage() {
+    let model = compiled_model(5, AlphabetSet::a1());
+    let json = model.to_json().unwrap();
+
+    let wrong_format = json.replacen("man-compiled-model", "other-model", 1);
+    assert!(matches!(
+        CompiledModel::from_json(&wrong_format),
+        Err(ManError::Artifact(_))
+    ));
+
+    let wrong_version = json.replacen("\"version\":1", "\"version\":999", 1);
+    assert!(matches!(
+        CompiledModel::from_json(&wrong_version),
+        Err(ManError::Artifact(_))
+    ));
+
+    assert!(matches!(
+        CompiledModel::from_json("{ not json"),
+        Err(ManError::Artifact(_))
+    ));
+
+    assert!(matches!(
+        CompiledModel::load(std::env::temp_dir().join("man_repro_does_not_exist.json")),
+        Err(ManError::Io(_))
+    ));
+}
+
+#[test]
+fn tampered_off_lattice_weights_are_rejected_on_load() {
+    // Recompiling on load means an artifact whose network was edited off
+    // the lattice cannot silently mis-multiply: swap the MAN assignment
+    // for an unconstrained network's weights.
+    let strict = compiled_model(6, AlphabetSet::a1());
+    let loose_json = compiled_model(6, AlphabetSet::a4()).to_json().unwrap();
+    // Graft the strict {1} assignment onto the {1,3,5,7}-projected
+    // weights; many of those magnitudes are off the {1} lattice.
+    let strict_alphabets = serde_json::to_string(strict.alphabets()).expect("alphabets serialize");
+    let loose_alphabets = serde_json::to_string(&LayerAlphabets::uniform(AlphabetSet::a4(), 2))
+        .expect("alphabets serialize");
+    let tampered = loose_json.replacen(&loose_alphabets, &strict_alphabets, 1);
+    assert_ne!(tampered, loose_json, "the graft must hit");
+    assert!(matches!(
+        CompiledModel::from_json(&tampered),
+        Err(ManError::Compile(_))
+    ));
+}
+
+#[test]
+fn infer_batch_matches_single_infer_calls() {
+    let model = compiled_model(7, AlphabetSet::a2());
+    let batch = probe_inputs(12, 24);
+
+    // Reference: a fresh session per input (no shared bank cache).
+    let singles: Vec<_> = batch
+        .iter()
+        .map(|x| {
+            let mut fresh = model.session();
+            fresh.infer(x)
+        })
+        .collect();
+    // Batched: one session, banks shared across the whole batch.
+    let mut session = model.session();
+    let batched = session.infer_batch(&batch);
+
+    assert_eq!(singles.len(), batched.len());
+    for (s, b) in singles.iter().zip(&batched) {
+        assert_eq!(s.scores, b.scores, "batched scores must be bit-identical");
+        assert_eq!(s.class, b.class);
+    }
+    // And both agree with the raw engine.
+    for (x, b) in batch.iter().zip(&batched) {
+        assert_eq!(model.fixed().infer_raw(x), b.scores);
+    }
+}
+
+#[test]
+fn traced_sessions_capture_real_operands_without_changing_scores() {
+    let model = compiled_model(8, AlphabetSet::a1());
+    let batch = probe_inputs(4, 24);
+    let mut plain = model.session();
+    let mut traced = model.session().with_trace(64);
+    for x in &batch {
+        let p = plain.infer(x);
+        let t = traced.infer(x);
+        assert_eq!(p.scores, t.scores, "tracing must not perturb inference");
+        assert!(p.traces.is_none());
+        let traces = t.traces.expect("tracing enabled");
+        assert_eq!(traces.len(), model.fixed().layer_count());
+        for tr in &traces {
+            assert!(!tr.is_empty(), "every layer records operands");
+            for i in 0..tr.len() {
+                let sign = if tr.w_neg[i] ^ tr.x_neg[i] { -1i64 } else { 1 };
+                assert_eq!(
+                    tr.product[i],
+                    sign * (tr.w_mag[i] as i64) * (tr.x_mag[i] as i64),
+                    "trace product must be the real product"
+                );
+            }
+        }
+    }
 }
