@@ -62,7 +62,9 @@ fn main() {
             // Warm path: one session, banks shared across the batch.
             let mut session = compiled.session();
             let start = Instant::now();
-            let predictions = session.infer_batch(&ds.test_images);
+            let predictions = session
+                .infer_batch(&ds.test_images)
+                .expect("dataset images match the input layer");
             let batched_s = start.elapsed().as_secs_f64();
             assert_eq!(predictions.len(), batch_size);
 
@@ -70,7 +72,7 @@ fn main() {
             let start = Instant::now();
             for image in &ds.test_images {
                 let mut fresh = compiled.session();
-                let p = fresh.infer(image);
+                let p = fresh.infer(image).expect("dataset image matches");
                 assert!(p.class < 64);
             }
             let cold_s = start.elapsed().as_secs_f64();

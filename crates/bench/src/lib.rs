@@ -260,6 +260,68 @@ pub fn print_cost_table(exp: &CostExperiment, metric: &str) {
     }
 }
 
+/// Outcome of a closed-loop load run: every client thread issues its
+/// next request the moment the previous one completes, for a fixed
+/// duration — the standard way to measure a serving stack's saturated
+/// throughput.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoadReport {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that returned an error (e.g. `Overloaded` rejections).
+    pub errored: u64,
+    /// Wall-clock seconds measured.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+}
+
+/// Runs `op(client, iteration) -> Ok/Err` from `clients` threads in a
+/// closed loop for `duration`, and aggregates the counts. `op` must be
+/// cheap to call repeatedly; errors are counted, not fatal.
+pub fn closed_loop<F>(clients: usize, duration: std::time::Duration, op: F) -> LoadReport
+where
+    F: Fn(usize, u64) -> bool + Sync,
+{
+    use std::time::Instant;
+    let start = Instant::now();
+    let (completed, errored) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let op = &op;
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    let mut failed = 0u64;
+                    let mut i = 0u64;
+                    while start.elapsed() < duration {
+                        if op(c, i) {
+                            done += 1;
+                        } else {
+                            failed += 1;
+                        }
+                        i += 1;
+                    }
+                    (done, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    LoadReport {
+        clients,
+        completed,
+        errored,
+        elapsed_s,
+        throughput_rps: completed as f64 / elapsed_s,
+    }
+}
+
 /// Serializes an experiment result under `target/experiments/`.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let dir = PathBuf::from("target/experiments");

@@ -256,6 +256,58 @@ pub struct FixedNet {
     layers: Vec<FixedLayer>,
 }
 
+/// Widest word length for which [`FixedNet::session_cache_warm`] builds a
+/// product plane: the plane holds `2^(bits-1) × 2^(bits-1)` `u32` slots,
+/// so 12 bits costs 16 MiB and anything wider grows unreasonably.
+pub const PRODUCT_PLANE_MAX_BITS: u32 = 12;
+
+/// A lazily-filled memo of the ASM datapath's products, indexed by
+/// `(weight magnitude, input magnitude)`.
+///
+/// The ASM's defining property — proven against the gate-level netlist in
+/// the workspace tests — is that every *supported* weight multiplies
+/// exactly: `apply(plan(w), bank(x)) == w·x`. The plane exploits that
+/// determinism one step past the pre-computer bank: once any layer has
+/// pushed a `(w_mag, x_mag)` pair through its select/shift/add datapath,
+/// the product is remembered for every later multiplication of the same
+/// pair, across layers, requests and batches. This is the software
+/// analogue of the paper's CSHM sharing taken to steady state, and it is
+/// what makes a long-lived serving session faster than per-request
+/// sessions. Entries are filled *by* the simulated datapath, so results
+/// stay bit-identical to the unmemoized path.
+#[derive(Clone, Debug)]
+struct ProductPlane {
+    /// `2^(bits-1)`: magnitudes are strictly below this.
+    side: usize,
+    /// `side × side` products; `u32::MAX` marks an unfilled slot (the
+    /// largest real product, `(2^15-1)^2`, is below it for every
+    /// supported word length).
+    table: Vec<u32>,
+}
+
+impl ProductPlane {
+    const EMPTY: u32 = u32::MAX;
+
+    fn new(bits: u32) -> Self {
+        let side = 1usize << (bits - 1);
+        Self {
+            side,
+            table: vec![Self::EMPTY; side * side],
+        }
+    }
+
+    #[inline]
+    fn get(&self, w_mag: u32, x_mag: u32) -> Option<u64> {
+        let cached = self.table[w_mag as usize * self.side + x_mag as usize];
+        (cached != Self::EMPTY).then_some(cached as u64)
+    }
+
+    #[inline]
+    fn store(&mut self, w_mag: u32, x_mag: u32, product: u64) {
+        self.table[w_mag as usize * self.side + x_mag as usize] = product as u32;
+    }
+}
+
 /// Reusable per-layer pre-computer bank caches.
 ///
 /// A bank depends only on the input magnitude and the layer's alphabet
@@ -264,6 +316,11 @@ pub struct FixedNet {
 /// `InferenceSession` in the facade crate. Banks are stored in a dense
 /// table indexed by magnitude (activation magnitudes are strictly below
 /// `2^(bits-1)`), so the hot path is an array index, not a hash lookup.
+///
+/// A cache built by [`FixedNet::session_cache_warm`] additionally carries
+/// a [`ProductPlane`] that memoizes whole products across inferences —
+/// the right choice for long-lived serving sessions, and bit-identical
+/// to the plain path.
 #[derive(Clone, Debug)]
 pub struct SessionCache {
     /// Word length plus each layer's alphabet members: a bank's value
@@ -272,12 +329,39 @@ pub struct SessionCache {
     bits: u32,
     layer_alphabets: Vec<Vec<u8>>,
     layers: Vec<Vec<Option<Box<[u64]>>>>,
+    plane: Option<ProductPlane>,
 }
 
 impl SessionCache {
-    fn bank<'a>(&'a mut self, layer: usize, mac: &MacParams, mag: u32) -> &'a [u64] {
-        self.layers[layer][mag as usize]
-            .get_or_insert_with(|| mac.asm.precompute(mag).into_boxed_slice())
+    /// One signed-magnitude product through the cache: the plane when the
+    /// cache is warm (a plane miss fills from the per-layer bank cache,
+    /// so the bank for an input magnitude is still computed only once),
+    /// the bank alone otherwise.
+    #[inline]
+    fn product(&mut self, layer: usize, mac: &MacParams, wi: usize, x_mag: u32) -> u64 {
+        let Self { plane, layers, .. } = self;
+        match plane {
+            Some(plane) => {
+                if let Some(p) = plane.get(mac.w_mag[wi], x_mag) {
+                    return p;
+                }
+                let bank = layers[layer][x_mag as usize]
+                    .get_or_insert_with(|| mac.asm.precompute(x_mag).into_boxed_slice());
+                let p = mac.asm.apply(&mac.plans[wi], bank);
+                plane.store(mac.w_mag[wi], x_mag, p);
+                p
+            }
+            None => {
+                let bank = layers[layer][x_mag as usize]
+                    .get_or_insert_with(|| mac.asm.precompute(x_mag).into_boxed_slice());
+                mac.asm.apply(&mac.plans[wi], bank)
+            }
+        }
+    }
+
+    /// `true` when this cache memoizes whole products.
+    pub fn has_product_plane(&self) -> bool {
+        self.plane.is_some()
     }
 }
 
@@ -533,13 +617,16 @@ impl FixedNet {
         }
     }
 
+    /// Runs one MAC layer. `fan_ins(o)` yields output `o`'s
+    /// `(weight index, activation)` pairs as an iterator — no per-output
+    /// allocation, and the whole MAC loop monomorphizes per layer shape.
     #[allow(clippy::too_many_arguments)]
-    fn run_mac_layer(
+    fn run_mac_layer<I: Iterator<Item = (usize, SignedAct)>>(
         &self,
         li: usize,
         mac: &MacParams,
         acc_init: impl Fn(usize) -> i64,
-        fan_ins: impl Fn(usize) -> Vec<(usize, SignedAct)>,
+        fan_ins: impl Fn(usize) -> I,
         outputs: usize,
         cache: &mut SessionCache,
         trace: &mut Option<&mut LayerTrace>,
@@ -548,8 +635,7 @@ impl FixedNet {
         for o in 0..outputs {
             let mut acc = acc_init(o);
             for (wi, x) in fan_ins(o) {
-                let bank = cache.bank(li, mac, x.mag);
-                let mag = mac.asm.apply(&mac.plans[wi], bank);
+                let mag = cache.product(li, mac, wi, x.mag);
                 let neg = mac.w_neg[wi] ^ x.neg;
                 let p = man_fixed::bits::apply_sign(mag, neg);
                 if let Some(t) = trace.as_deref_mut() {
@@ -593,16 +679,13 @@ impl FixedNet {
                 FixedLayer::Dense {
                     in_dim, out_dim, ..
                 } => {
-                    let xs = x.clone();
+                    let xs: &[SignedAct] = &x;
+                    let in_dim = *in_dim;
                     self.run_mac_layer(
                         li,
                         mac,
                         |o| mac.bias[o],
-                        |o| {
-                            (0..*in_dim)
-                                .map(|i| (o * in_dim + i, xs[i]))
-                                .collect::<Vec<(usize, SignedAct)>>()
-                        },
+                        move |o| (0..in_dim).map(move |i| (o * in_dim + i, xs[i])),
                         *out_dim,
                         cache,
                         &mut layer_trace,
@@ -617,27 +700,25 @@ impl FixedNet {
                     ..
                 } => {
                     let (oh, ow) = (in_h - k + 1, in_w - k + 1);
-                    let xs = x.clone();
+                    let xs: &[SignedAct] = &x;
                     let (in_h, in_w, in_ch, k) = (*in_h, *in_w, *in_ch, *k);
                     self.run_mac_layer(
                         li,
                         mac,
                         |o| mac.bias[o / (oh * ow)],
-                        |o| {
+                        move |o| {
                             let oc = o / (oh * ow);
                             let oy = (o % (oh * ow)) / ow;
                             let ox = o % ow;
-                            let mut fan = Vec::with_capacity(in_ch * k * k);
-                            for c in 0..in_ch {
-                                for ky in 0..k {
-                                    for kx in 0..k {
+                            (0..in_ch).flat_map(move |c| {
+                                (0..k).flat_map(move |ky| {
+                                    (0..k).map(move |kx| {
                                         let wi = ((oc * in_ch + c) * k + ky) * k + kx;
                                         let xi = c * in_h * in_w + (oy + ky) * in_w + (ox + kx);
-                                        fan.push((wi, xs[xi]));
-                                    }
-                                }
-                            }
-                            fan
+                                        (wi, xs[xi])
+                                    })
+                                })
+                            })
                         },
                         out_ch * oh * ow,
                         cache,
@@ -651,14 +732,14 @@ impl FixedNet {
                     ..
                 } => {
                     let (oh, ow) = (in_h / 2, in_w / 2);
-                    let xs = x.clone();
+                    let xs: &[SignedAct] = &x;
                     let (in_h, in_w) = (*in_h, *in_w);
                     let max_mag = (1i64 << (self.bits - 1)) - 1;
                     self.run_mac_layer(
                         li,
                         mac,
                         |o| mac.bias[o / (oh * ow)],
-                        |o| {
+                        move |o| {
                             let ch = o / (oh * ow);
                             let oy = (o % (oh * ow)) / ow;
                             let ox = o % ow;
@@ -677,7 +758,7 @@ impl FixedNet {
                                 mag: sum.unsigned_abs().min(max_mag as u64) as u32,
                                 neg: sum < 0,
                             };
-                            vec![(ch, avg)]
+                            std::iter::once((ch, avg))
                         },
                         channels * oh * ow,
                         cache,
@@ -726,7 +807,21 @@ impl FixedNet {
             bits: self.bits,
             layer_alphabets: self.layer_alphabet_members(),
             layers: self.layers.iter().map(|_| vec![None; slots]).collect(),
+            plane: None,
         }
+    }
+
+    /// A [`FixedNet::session_cache`] that additionally memoizes whole
+    /// `(weight, input)` products across inferences — the steady-state
+    /// serving configuration. Falls back to a plain cache when the word
+    /// length exceeds [`PRODUCT_PLANE_MAX_BITS`] (the plane would be too
+    /// large). Results are bit-identical either way.
+    pub fn session_cache_warm(&self) -> SessionCache {
+        let mut cache = self.session_cache();
+        if self.bits <= PRODUCT_PLANE_MAX_BITS {
+            cache.plane = Some(ProductPlane::new(self.bits));
+        }
+        cache
     }
 
     fn layer_alphabet_members(&self) -> Vec<Vec<u8>> {
@@ -1006,6 +1101,43 @@ mod tests {
         let alphabets = LayerAlphabets::mixed(vec![AlphabetSet::a8()]);
         let err = FixedNet::compile(&net, &spec, &alphabets).unwrap_err();
         assert!(matches!(err, CompileError::LayerCountMismatch { .. }));
+    }
+
+    #[test]
+    fn warm_cache_is_bit_identical_to_plain_cache() {
+        for (bits, set) in [
+            (8, AlphabetSet::a1()),
+            (8, AlphabetSet::a4()),
+            (12, AlphabetSet::a2()),
+        ] {
+            let mut net = tiny_net(40 + bits as u64 + set.len() as u64);
+            let spec = QuantSpec::fit(&net, bits);
+            let alphabets = LayerAlphabets::uniform(set, 2);
+            constrain_net(&mut net, &spec, &alphabets);
+            let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+            let mut plain = fixed.session_cache();
+            let mut warm = fixed.session_cache_warm();
+            assert!(warm.has_product_plane(), "bits={bits} should get a plane");
+            for i in 0..12 {
+                let x: Vec<f32> = (0..16)
+                    .map(|j| ((i * 13 + j * 5) % 17) as f32 / 17.0)
+                    .collect();
+                assert_eq!(
+                    fixed.infer_raw_with_cache(&x, &mut plain),
+                    fixed.infer_raw_with_cache(&x, &mut warm),
+                    "bits={bits}: warm cache must not change a single bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_skips_plane_for_wide_words() {
+        let net = tiny_net(41);
+        let spec = QuantSpec::fit(&net, PRODUCT_PLANE_MAX_BITS + 1);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a8(), 2);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        assert!(!fixed.session_cache_warm().has_product_plane());
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! The dynamic micro-batching scheduler: one bounded queue and a pool of
+//! worker threads per hosted model.
+//!
+//! Callers submit single requests; workers coalesce whatever is queued —
+//! up to [`BatchConfig::max_batch`] requests, waiting at most
+//! [`BatchConfig::max_wait`] after the first — into one
+//! `infer_batch_shared` call, so concurrent callers share pre-computer
+//! banks (and, in [`SessionMode::Warm`], memoized products) exactly the
+//! way a batch does. Replies travel back over per-request oneshot
+//! channels. When the queue is full, submission fails *immediately* with
+//! [`man_repro::ServeError::Overloaded`] — explicit backpressure beats
+//! unbounded latency.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use man_repro::{CompiledModel, InferenceSession, ManError, Prediction, ServeError};
+
+use crate::metrics::ModelMetrics;
+
+/// How a scheduler worker holds inference state between requests.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SessionMode {
+    /// A fresh [`InferenceSession`] per dispatch call — the stateless
+    /// baseline a naive server would implement; nothing is shared
+    /// between calls. Exists for benchmarking and comparison.
+    Cold,
+    /// One persistent session per worker, sharing pre-computer banks
+    /// across every request the worker ever serves.
+    Persistent,
+    /// [`SessionMode::Persistent`] plus the product-plane memo
+    /// ([`InferenceSession::warm`]) — the production default.
+    Warm,
+}
+
+/// Scheduler tuning for one hosted model.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Most requests coalesced into one `infer_batch` call.
+    pub max_batch: usize,
+    /// Longest a worker waits for more requests after the first one of a
+    /// batch arrives. Zero — the default — means "drain whatever is
+    /// already queued and go": batches then form naturally while the
+    /// previous batch computes (continuous batching), which wastes no
+    /// worker time. A positive wait trades first-request latency for
+    /// fuller batches under sparse open-loop traffic.
+    pub max_wait: Duration,
+    /// Bounded queue size; a full queue rejects with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Worker threads (each with its own session in the persistent
+    /// modes).
+    pub workers: usize,
+    /// Session reuse policy.
+    pub session_mode: SessionMode,
+    /// How long a submitter waits for its reply before giving up.
+    pub request_timeout: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+            workers: 1,
+            session_mode: SessionMode::Warm,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One queued request: the input plus the oneshot reply slot.
+struct Job {
+    input: Vec<f32>,
+    reply: SyncSender<Result<Prediction, ManError>>,
+    enqueued: Instant,
+}
+
+/// A model plus its scheduler: queue, worker pool, metrics.
+///
+/// Dropping (or [`ModelHost::stop`]-ping) the host closes the queue;
+/// workers then drain every already-queued request before exiting, so
+/// shutdown never silently drops accepted work.
+pub struct ModelHost {
+    name: String,
+    model: Arc<CompiledModel>,
+    config: BatchConfig,
+    input_len: usize,
+    metrics: Arc<ModelMetrics>,
+    /// `None` once stopped; taking it drops the sender and closes the
+    /// queue.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ModelHost {
+    /// Starts a scheduler for `model`.
+    pub fn start(name: impl Into<String>, model: CompiledModel, config: BatchConfig) -> Arc<Self> {
+        let name = name.into();
+        let model = Arc::new(model);
+        let metrics = Arc::new(ModelMetrics::new(config.max_batch));
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::new();
+        for w in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let model = Arc::clone(&model);
+            let metrics = Arc::clone(&metrics);
+            let cfg = config.clone();
+            let thread_name = format!("man-serve/{name}/{w}");
+            handles.push(
+                std::thread::Builder::new()
+                    .name(thread_name)
+                    .spawn(move || worker_loop(&rx, &model, &cfg, &metrics))
+                    .expect("spawning a scheduler worker thread"),
+            );
+        }
+        Arc::new(Self {
+            name,
+            input_len: model.fixed().input_len(),
+            model,
+            config,
+            metrics,
+            queue: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// The model name this host serves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hosted model.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Live metrics handle.
+    pub fn metrics(&self) -> &Arc<ModelMetrics> {
+        &self.metrics
+    }
+
+    /// Submits one request and blocks until its reply (or timeout).
+    ///
+    /// # Errors
+    ///
+    /// [`ManError::Shape`] for a wrong-length input (checked before
+    /// queueing), [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::Unavailable`] when the host is stopping, and
+    /// [`ServeError::Timeout`] when no reply arrives in
+    /// [`BatchConfig::request_timeout`].
+    pub fn submit(&self, input: Vec<f32>) -> Result<Prediction, ManError> {
+        if input.len() != self.input_len {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(ManError::Shape {
+                expected: self.input_len,
+                got: input.len(),
+            });
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            input,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        };
+        {
+            let queue = self.queue.lock().expect("queue lock poisoned");
+            let Some(tx) = queue.as_ref() else {
+                return Err(ServeError::Unavailable(self.name.clone()).into());
+            };
+            // Count the job as queued *before* handing it over: a worker
+            // may dequeue (and decrement) the instant try_send returns.
+            self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded {
+                        model: self.name.clone(),
+                        capacity: self.config.queue_capacity,
+                    }
+                    .into());
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    return Err(ServeError::Unavailable(self.name.clone()).into());
+                }
+            }
+        }
+        self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        match reply_rx.recv_timeout(self.config.request_timeout) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                self.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Timeout(self.name.clone()).into())
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(ServeError::Unavailable(self.name.clone()).into())
+            }
+        }
+    }
+
+    /// Graceful shutdown: closes the queue, lets the workers drain every
+    /// already-accepted request, and joins them. Idempotent.
+    pub fn stop(&self) {
+        drop(self.queue.lock().expect("queue lock poisoned").take());
+        let handles: Vec<_> = {
+            let mut workers = self.workers.lock().expect("workers lock poisoned");
+            workers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ModelHost {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Builds the session a persistent-mode worker keeps for its lifetime.
+fn worker_session(model: &CompiledModel, mode: SessionMode) -> Option<InferenceSession> {
+    match mode {
+        SessionMode::Cold => None,
+        SessionMode::Persistent => Some(model.session()),
+        SessionMode::Warm => Some(model.session().warm()),
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    model: &CompiledModel,
+    cfg: &BatchConfig,
+    metrics: &ModelMetrics,
+) {
+    let session = worker_session(model, cfg.session_mode);
+    loop {
+        // Hold the receiver lock across the blocking wait *and* the batch
+        // drain: idle co-workers queue behind it and take over the moment
+        // this worker moves on to inference.
+        let mut batch = Vec::new();
+        {
+            let rx = rx.lock().expect("receiver lock poisoned");
+            match rx.recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => return, // queue closed and fully drained
+            }
+            let deadline = (!cfg.max_wait.is_zero()).then(|| Instant::now() + cfg.max_wait);
+            while batch.len() < cfg.max_batch {
+                let wait = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                match wait {
+                    // Drain-only (or deadline passed): take what is
+                    // already queued, never idle.
+                    None | Some(Duration::ZERO) => match rx.try_recv() {
+                        Ok(job) => batch.push(job),
+                        Err(_) => break,
+                    },
+                    Some(wait) => match rx.recv_timeout(wait) {
+                        Ok(job) => batch.push(job),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    },
+                }
+            }
+        }
+        metrics
+            .queue_depth
+            .fetch_sub(batch.len(), Ordering::Relaxed);
+        metrics.observe_batch(batch.len());
+        dispatch(batch, session.as_ref(), model, metrics);
+    }
+}
+
+/// Runs one coalesced batch and distributes the replies.
+fn dispatch(
+    batch: Vec<Job>,
+    session: Option<&InferenceSession>,
+    model: &CompiledModel,
+    metrics: &ModelMetrics,
+) {
+    let (inputs, replies): (Vec<Vec<f32>>, Vec<_>) = batch
+        .into_iter()
+        .map(|j| (j.input, (j.reply, j.enqueued)))
+        .unzip();
+    // A panicking inference must not kill the worker thread: with the
+    // default single worker, a dead worker would silently turn the host
+    // into a black hole (requests accepted, never answered). Contain the
+    // panic, answer the batch with a typed error, keep serving.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match session {
+        Some(session) => session.infer_batch_shared(&inputs),
+        // Cold mode: a throwaway session per dispatch call, sharing
+        // nothing beyond this call.
+        None => model.session().infer_batch_shared(&inputs),
+    }))
+    .unwrap_or_else(|panic| {
+        let what = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("opaque panic payload");
+        Err(ServeError::Internal(format!("inference panicked: {what}")).into())
+    });
+    match outcome {
+        Ok(predictions) => {
+            for ((reply, enqueued), prediction) in replies.into_iter().zip(predictions) {
+                metrics.latency.observe(enqueued.elapsed());
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                // A submitter that timed out dropped its receiver; that
+                // is its problem, not ours.
+                let _ = reply.send(Ok(prediction));
+            }
+        }
+        Err(e) => {
+            // Shapes are validated at submit time, so this is a genuine
+            // worker-side failure; stringify it once per job.
+            let msg = e.to_string();
+            for (reply, enqueued) in replies {
+                metrics.latency.observe(enqueued.elapsed());
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Err(ServeError::Internal(msg.clone()).into()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = BatchConfig::default();
+        assert!(cfg.max_batch >= 8);
+        assert!(cfg.queue_capacity >= cfg.max_batch);
+        assert_eq!(cfg.session_mode, SessionMode::Warm);
+    }
+}

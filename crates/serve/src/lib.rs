@@ -1,0 +1,77 @@
+//! **man-serve** — a concurrent serving runtime for compiled MAN models.
+//!
+//! The paper's economics only pay off under traffic: CSHM pre-computer
+//! banks (and this workspace's product planes) amortize across
+//! *concurrent requests* exactly like they amortize across a batch. This
+//! crate turns many independent callers into batches:
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!  TCP (NDJSON) ───▶ │ ModelRegistry ──▶ ModelHost("digits")      │
+//!  in-process ─────▶ │   name routing      bounded queue          │
+//!   Client           │   hot load/reload   micro-batching workers │
+//!                    │   unload/stats      warm InferenceSession  │
+//!                    └────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`ModelHost`] — the dynamic micro-batching scheduler: a bounded
+//!   MPSC queue and worker threads that coalesce up to
+//!   [`BatchConfig::max_batch`] requests (waiting at most
+//!   [`BatchConfig::max_wait`]) into one `infer_batch_shared` call, with
+//!   oneshot replies, explicit `Overloaded` backpressure and
+//!   drain-then-join shutdown.
+//! * [`ModelRegistry`] — named models, hot (re)loaded from single-file
+//!   `CompiledModel` artifacts, routed by name; [`Client`] is the
+//!   in-process handle with the same four operations the wire protocol
+//!   speaks.
+//! * [`Server`] / [`TcpClient`] — a newline-delimited-JSON TCP front-end
+//!   over `std::net` (`predict` / `load` / `unload` / `stats`); see
+//!   [`protocol`] for the grammar and stable error codes.
+//! * [`metrics`] — per-model counters, octave-bucket latency
+//!   percentiles and the micro-batch size distribution, exported through
+//!   `stats` and `BENCH_serve.json`.
+//!
+//! Everything is `std`-only and deterministic-by-construction: a batch
+//! of predictions is bit-identical to the same inputs served
+//! sequentially, whatever the interleaving — the property
+//! `tests/` pins down under thread hammering and mid-flight reloads.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use man_serve::{BatchConfig, Client, ModelRegistry, Server};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let registry = ModelRegistry::new(BatchConfig::default());
+//! registry.load_file("digits", "digits.man.json")?;
+//!
+//! // In-process serving:
+//! let client = Client::new(Arc::clone(&registry));
+//! let p = client.predict("digits", vec![0.0; 256])?;
+//! println!("class {}", p.class);
+//!
+//! // Or over TCP:
+//! let server = Server::bind("127.0.0.1:0", registry)?;
+//! println!("serving on {}", server.local_addr());
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchConfig, ModelHost, SessionMode};
+pub use metrics::{LatencyHistogram, ModelMetrics, ModelStats};
+pub use protocol::Request;
+pub use registry::{Client, ModelInfo, ModelRegistry};
+pub use server::{Server, TcpClient, WireError};
+
+// Re-export the facade's serving-relevant types so a server binary can
+// depend on `man-serve` alone.
+pub use man_repro::{CompiledModel, InferenceSession, ManError, Prediction, ServeError};

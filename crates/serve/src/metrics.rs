@@ -1,0 +1,256 @@
+//! Per-model serving metrics: request counters, a log-bucketed latency
+//! histogram, and the micro-batch size distribution.
+//!
+//! Everything on the hot path is a relaxed atomic increment; aggregation
+//! into the serializable [`ModelStats`] snapshot happens only when a
+//! `stats` request asks for it. Latencies land in power-of-two
+//! microsecond buckets, so the reported percentiles are exact to within
+//! one octave — plenty for capacity planning, and free of locks.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Number of power-of-two latency buckets: bucket `i` holds requests
+/// that completed in `[2^i, 2^(i+1))` microseconds; 40 buckets cover
+/// about 12.7 days, beyond any sane request timeout.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free histogram of request latencies in microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one request latency.
+    pub fn observe(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (us.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the bucket counts.
+    fn load(&self) -> ([u64; LATENCY_BUCKETS], u64, u64) {
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        (
+            buckets,
+            self.count.load(Ordering::Relaxed),
+            self.sum_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Estimates the `q`-quantile (0..=1) from bucket counts: the geometric
+/// midpoint of the first bucket whose cumulative count reaches the rank.
+fn quantile_us(buckets: &[u64; LATENCY_BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // Midpoint of [2^i, 2^(i+1)): 1.5 * 2^i.
+            return (1u64 << i) + (1u64 << i) / 2;
+        }
+    }
+    1u64 << (LATENCY_BUCKETS - 1)
+}
+
+/// Live counters for one hosted model. Shared (`Arc`) between the
+/// submit path, the scheduler workers, and the stats endpoint.
+#[derive(Debug)]
+pub struct ModelMetrics {
+    /// Requests accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests answered with a prediction.
+    pub completed: AtomicU64,
+    /// Requests rejected at submit (queue full).
+    pub rejected: AtomicU64,
+    /// Requests whose submitter gave up waiting (`request_timeout`).
+    /// The scheduler still runs and counts them `completed`, so a
+    /// latency collapse shows up here even when every batch succeeds.
+    pub timed_out: AtomicU64,
+    /// Requests answered with an error (bad shape, worker failure, ...).
+    pub errors: AtomicU64,
+    /// `infer_batch` calls issued by the scheduler.
+    pub batches: AtomicU64,
+    /// One counter per batch size `1..=max_batch` (index `size - 1`).
+    batch_sizes: Vec<AtomicU64>,
+    /// End-to-end latency (enqueue to reply).
+    pub latency: LatencyHistogram,
+    /// Requests currently queued (approximate).
+    pub queue_depth: AtomicUsize,
+}
+
+impl ModelMetrics {
+    /// Fresh counters for a scheduler with the given `max_batch`.
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_sizes: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            latency: LatencyHistogram::new(),
+            queue_depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one dispatched batch of `size` requests.
+    pub fn observe_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if size >= 1 {
+            let idx = (size - 1).min(self.batch_sizes.len() - 1);
+            self.batch_sizes[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregates the counters into a serializable snapshot.
+    pub fn snapshot(&self, model: &str) -> ModelStats {
+        let (buckets, count, sum_us) = self.latency.load();
+        let batch_histogram: Vec<u64> = self
+            .batch_sizes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let dispatched: u64 = batch_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        ModelStats {
+            model: model.to_owned(),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                dispatched as f64 / batches as f64
+            },
+            batch_histogram,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
+            mean_latency_us: if count == 0 {
+                0.0
+            } else {
+                sum_us as f64 / count as f64
+            },
+            p50_us: quantile_us(&buckets, count, 0.50),
+            p95_us: quantile_us(&buckets, count, 0.95),
+            p99_us: quantile_us(&buckets, count, 0.99),
+        }
+    }
+}
+
+/// A point-in-time stats snapshot for one model — the payload of the
+/// protocol's `stats` response and of `BENCH_serve.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelStats {
+    /// Model name.
+    pub model: String,
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Requests whose submitter timed out waiting for the reply.
+    pub timed_out: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Scheduler `infer_batch` calls.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Batches of size `i + 1` (the micro-batch size distribution).
+    pub batch_histogram: Vec<u64>,
+    /// Requests queued at snapshot time (approximate).
+    pub queue_depth: u64,
+    /// Mean end-to-end latency.
+    pub mean_latency_us: f64,
+    /// Median end-to-end latency (octave-bucket estimate).
+    pub p50_us: u64,
+    /// 95th-percentile latency (octave-bucket estimate).
+    pub p95_us: u64,
+    /// 99th-percentile latency (octave-bucket estimate).
+    pub p99_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_bucket_order() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.observe(Duration::from_micros(100)); // bucket 6 ([64, 128))
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_micros(10_000)); // bucket 13
+        }
+        let (buckets, count, _) = h.load();
+        assert_eq!(count, 100);
+        let p50 = quantile_us(&buckets, count, 0.50);
+        let p99 = quantile_us(&buckets, count, 0.99);
+        assert!(
+            (64..128).contains(&p50),
+            "p50 {p50} should sit in the 100us octave"
+        );
+        assert!(
+            (8_192..16_384).contains(&p99),
+            "p99 {p99} should sit in the 10ms octave"
+        );
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn batch_histogram_counts_sizes() {
+        let m = ModelMetrics::new(4);
+        m.observe_batch(1);
+        m.observe_batch(4);
+        m.observe_batch(4);
+        m.observe_batch(9); // clamped into the last bucket
+        let s = m.snapshot("m");
+        assert_eq!(s.batch_histogram, vec![1, 0, 0, 3]);
+        assert_eq!(s.batches, 4);
+        assert!(s.mean_batch > 1.0);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_zeroed() {
+        let s = ModelMetrics::new(8).snapshot("idle");
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.mean_batch, 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! # Grammar
+//!
+//! Each line is one JSON object. Requests carry an `"op"` discriminator:
+//!
+//! ```json
+//! {"op":"predict","model":"digits","input":[0.0,0.5,...]}
+//! {"op":"load","model":"digits","path":"digits.man.json"}
+//! {"op":"unload","model":"digits"}
+//! {"op":"stats"}            // or {"op":"stats","model":"digits"}
+//! ```
+//!
+//! Responses always carry `"ok"`:
+//!
+//! ```json
+//! {"ok":true,"model":"digits","class":7,"scores":[-1024,...,3172]}
+//! {"ok":true,"model":"digits","bits":8,"input_len":256,"layers":2,"alphabets":"1 {1}"}
+//! {"ok":true,"models":[{...stats...}]}
+//! {"ok":false,"error":"overloaded","message":"model `digits` is overloaded ..."}
+//! ```
+//!
+//! Error codes are stable strings: `overloaded`, `unknown_model`,
+//! `unavailable`, `timeout`, `bad_request`, `shape_mismatch`,
+//! `bad_artifact`, `io`, `internal`.
+//!
+//! Parsing is hand-rolled over the vendored [`serde::Value`] model so
+//! optional fields (`"model"` on `stats`) behave leniently and error
+//! messages can point at the offending field.
+
+use serde::{Serialize, Value};
+
+use man_repro::{ManError, Prediction, ServeError};
+
+use crate::metrics::ModelStats;
+use crate::registry::ModelInfo;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run one inference on a named model.
+    Predict {
+        /// Registry name.
+        model: String,
+        /// Flat input vector.
+        input: Vec<f32>,
+    },
+    /// Load (or hot-reload) an artifact from a server-side path.
+    Load {
+        /// Registry name to install under.
+        model: String,
+        /// Server-side artifact path.
+        path: String,
+    },
+    /// Evict a model.
+    Unload {
+        /// Registry name.
+        model: String,
+    },
+    /// Metrics snapshot for one model, or all when `model` is `None`.
+    Stats {
+        /// Optional registry name.
+        model: Option<String>,
+    },
+}
+
+fn protocol_err(msg: impl Into<String>) -> ManError {
+    ServeError::Protocol(msg.into()).into()
+}
+
+/// First value under `key` in a decoded JSON object (the vendored value
+/// model keeps objects as ordered pairs).
+pub(crate) fn entry<'v>(obj: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn string_field(obj: &[(String, Value)], key: &str) -> Result<String, ManError> {
+    match entry(obj, key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(protocol_err(format!(
+            "field `{key}` must be a string, got {}",
+            other.kind()
+        ))),
+        None => Err(protocol_err(format!("missing field `{key}`"))),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed JSON, a missing/mistyped field
+/// or an unknown `"op"`.
+pub fn parse_request(line: &str) -> Result<Request, ManError> {
+    let value: Value = serde_json::from_str(line.trim())
+        .map_err(|e| protocol_err(format!("request is not valid JSON: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| protocol_err("request must be a JSON object"))?;
+    let op = string_field(obj, "op")?;
+    match op.as_str() {
+        "predict" => {
+            let model = string_field(obj, "model")?;
+            let input = match entry(obj, "input") {
+                Some(v) => <Vec<f32> as serde::Deserialize>::from_value(v)
+                    .map_err(|e| protocol_err(format!("field `input`: {e}")))?,
+                None => return Err(protocol_err("missing field `input`")),
+            };
+            Ok(Request::Predict { model, input })
+        }
+        "load" => Ok(Request::Load {
+            model: string_field(obj, "model")?,
+            path: string_field(obj, "path")?,
+        }),
+        "unload" => Ok(Request::Unload {
+            model: string_field(obj, "model")?,
+        }),
+        "stats" => {
+            let model = match entry(obj, "model") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(other) => {
+                    return Err(protocol_err(format!(
+                        "field `model` must be a string, got {}",
+                        other.kind()
+                    )))
+                }
+            };
+            Ok(Request::Stats { model })
+        }
+        other => Err(protocol_err(format!(
+            "unknown op `{other}` (expected predict/load/unload/stats)"
+        ))),
+    }
+}
+
+/// The stable wire code for an error.
+pub fn error_code(e: &ManError) -> &'static str {
+    match e {
+        ManError::Serve(ServeError::Overloaded { .. }) => "overloaded",
+        ManError::Serve(ServeError::UnknownModel(_)) => "unknown_model",
+        ManError::Serve(ServeError::Unavailable(_)) => "unavailable",
+        ManError::Serve(ServeError::Timeout(_)) => "timeout",
+        ManError::Serve(ServeError::Protocol(_)) => "bad_request",
+        ManError::Serve(ServeError::Internal(_)) => "internal",
+        ManError::Shape { .. } => "shape_mismatch",
+        ManError::Artifact(_) | ManError::Compile(_) => "bad_artifact",
+        ManError::Io(_) => "io",
+        _ => "internal",
+    }
+}
+
+fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("response values contain no non-finite floats")
+}
+
+/// Renders an error response line.
+pub fn error_response(e: &ManError) -> String {
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(error_code(e).into())),
+        ("message".into(), Value::Str(e.to_string())),
+    ]))
+}
+
+/// Renders a successful `predict` response line.
+pub fn predict_response(model: &str, prediction: &Prediction) -> String {
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("model".into(), Value::Str(model.into())),
+        ("class".into(), Value::U64(prediction.class as u64)),
+        ("scores".into(), prediction.scores.to_value()),
+    ]))
+}
+
+/// Renders a successful `load` response line.
+pub fn load_response(info: &ModelInfo) -> String {
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("model".into(), Value::Str(info.model.clone())),
+        ("bits".into(), Value::U64(u64::from(info.bits))),
+        ("input_len".into(), Value::U64(info.input_len as u64)),
+        ("layers".into(), Value::U64(info.layers as u64)),
+        ("alphabets".into(), Value::Str(info.alphabets.clone())),
+    ]))
+}
+
+/// Renders a successful `unload` response line.
+pub fn unload_response(model: &str) -> String {
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("model".into(), Value::Str(model.into())),
+    ]))
+}
+
+/// Renders a successful `stats` response line.
+pub fn stats_response(stats: &[ModelStats]) -> String {
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("models".into(), stats.to_value()),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse() {
+        assert_eq!(
+            parse_request(r#"{"op":"predict","model":"m","input":[0.5,1]}"#).unwrap(),
+            Request::Predict {
+                model: "m".into(),
+                input: vec![0.5, 1.0]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"load","model":"m","path":"p.json"}"#).unwrap(),
+            Request::Load {
+                model: "m".into(),
+                path: "p.json".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"unload","model":"m"}"#).unwrap(),
+            Request::Unload { model: "m".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { model: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats","model":"m"}"#).unwrap(),
+            Request::Stats {
+                model: Some("m".into())
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for line in [
+            "not json",
+            "[1,2]",
+            r#"{"model":"m"}"#,
+            r#"{"op":"fly"}"#,
+            r#"{"op":"predict","model":"m"}"#,
+            r#"{"op":"predict","model":"m","input":"x"}"#,
+            r#"{"op":"load","model":"m"}"#,
+            r#"{"op":"stats","model":7}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(error_code(&err), "bad_request", "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        let overloaded: ManError = ServeError::Overloaded {
+            model: "m".into(),
+            capacity: 4,
+        }
+        .into();
+        assert_eq!(error_code(&overloaded), "overloaded");
+        assert_eq!(
+            error_code(&ManError::Shape {
+                expected: 4,
+                got: 2
+            }),
+            "shape_mismatch"
+        );
+        let line = error_response(&overloaded);
+        assert!(line.contains(r#""ok":false"#) && line.contains(r#""error":"overloaded""#));
+    }
+}

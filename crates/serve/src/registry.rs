@@ -1,0 +1,264 @@
+//! The model registry: named [`ModelHost`]s, hot load/reload/unload, and
+//! the in-process [`Client`] handle.
+//!
+//! Routing is name-based: a `predict` resolves its model under a short
+//! read lock, clones the host's `Arc`, and submits outside the lock — so
+//! inference never serializes on the registry, and a reload swaps the
+//! `Arc` atomically while in-flight requests drain on the old host
+//! (which shuts down gracefully once the last reference drops).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use man_repro::{CompiledModel, ManError, Prediction, ServeError};
+
+use crate::batcher::{BatchConfig, ModelHost};
+use crate::metrics::ModelStats;
+
+/// Summary of a loaded model, returned by `load` and used by the wire
+/// protocol's `load` response.
+#[derive(Clone, Debug)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub model: String,
+    /// Word length of the compiled engine.
+    pub bits: u32,
+    /// Values each input must hold.
+    pub input_len: usize,
+    /// Parameterized layers.
+    pub layers: usize,
+    /// Alphabet assignment label (e.g. `"1 {1}"`).
+    pub alphabets: String,
+}
+
+fn info_of(name: &str, model: &CompiledModel) -> ModelInfo {
+    ModelInfo {
+        model: name.to_owned(),
+        bits: model.bits(),
+        input_len: model.fixed().input_len(),
+        layers: model.fixed().layer_count(),
+        alphabets: model.alphabets().label(),
+    }
+}
+
+/// A concurrent registry of named, scheduler-backed models.
+pub struct ModelRegistry {
+    hosts: RwLock<HashMap<String, Arc<ModelHost>>>,
+    config: BatchConfig,
+}
+
+impl ModelRegistry {
+    /// An empty registry whose models are scheduled with `config`.
+    pub fn new(config: BatchConfig) -> Arc<Self> {
+        Arc::new(Self {
+            hosts: RwLock::new(HashMap::new()),
+            config,
+        })
+    }
+
+    /// An empty registry with the default scheduler configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(BatchConfig::default())
+    }
+
+    /// The scheduler configuration new models are hosted with.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    fn host(&self, model: &str) -> Result<Arc<ModelHost>, ManError> {
+        self.hosts
+            .read()
+            .expect("registry lock poisoned")
+            .get(model)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(model.to_owned()).into())
+    }
+
+    /// Installs (or hot-reloads) an already-compiled model under `name`.
+    /// An existing host with that name keeps serving until the swap, then
+    /// drains its queue and shuts down.
+    pub fn install(&self, name: impl Into<String>, model: CompiledModel) -> ModelInfo {
+        let name = name.into();
+        let info = info_of(&name, &model);
+        let host = ModelHost::start(name.clone(), model, self.config.clone());
+        let old = self
+            .hosts
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name, host);
+        if let Some(old) = old {
+            // Outside the write lock: draining the old queue must not
+            // block routing.
+            old.stop();
+        }
+        info
+    }
+
+    /// Loads (or hot-reloads) a `CompiledModel` artifact from disk and
+    /// installs it under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`CompiledModel::load`] reports: [`ManError::Io`],
+    /// [`ManError::Artifact`], [`ManError::Compile`].
+    pub fn load_file(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> Result<ModelInfo, ManError> {
+        Ok(self.install(name, CompiledModel::load(path)?))
+    }
+
+    /// Evicts a model: removes it from routing, drains its queue, joins
+    /// its workers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if nothing is loaded under `name`.
+    pub fn unload(&self, model: &str) -> Result<(), ManError> {
+        let host = self
+            .hosts
+            .write()
+            .expect("registry lock poisoned")
+            .remove(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_owned()))?;
+        host.stop();
+        Ok(())
+    }
+
+    /// Routes one request to a model's scheduler and waits for the
+    /// prediction.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ManError::Shape`],
+    /// [`ServeError::Overloaded`], [`ServeError::Timeout`] — the full
+    /// backpressure-aware contract of [`ModelHost::submit`].
+    pub fn predict(&self, model: &str, input: Vec<f32>) -> Result<Prediction, ManError> {
+        self.host(model)?.submit(input)
+    }
+
+    /// The loaded model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .hosts
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Metadata for one loaded model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if nothing is loaded under `name`.
+    pub fn info(&self, model: &str) -> Result<ModelInfo, ManError> {
+        let host = self.host(model)?;
+        Ok(info_of(host.name(), host.model()))
+    }
+
+    /// Stats snapshots: every model, or just `model` when given.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `model` names nothing.
+    pub fn stats(&self, model: Option<&str>) -> Result<Vec<ModelStats>, ManError> {
+        match model {
+            Some(name) => {
+                let host = self.host(name)?;
+                Ok(vec![host.metrics().snapshot(host.name())])
+            }
+            None => {
+                let hosts: Vec<Arc<ModelHost>> = self
+                    .hosts
+                    .read()
+                    .expect("registry lock poisoned")
+                    .values()
+                    .cloned()
+                    .collect();
+                let mut stats: Vec<ModelStats> = hosts
+                    .iter()
+                    .map(|h| h.metrics().snapshot(h.name()))
+                    .collect();
+                stats.sort_by(|a, b| a.model.cmp(&b.model));
+                Ok(stats)
+            }
+        }
+    }
+
+    /// Unloads every model (graceful drain), leaving the registry empty.
+    pub fn shutdown(&self) {
+        let hosts: Vec<Arc<ModelHost>> = self
+            .hosts
+            .write()
+            .expect("registry lock poisoned")
+            .drain()
+            .map(|(_, h)| h)
+            .collect();
+        for host in hosts {
+            host.stop();
+        }
+    }
+}
+
+/// An in-process client handle: the same operations the TCP front-end
+/// exposes (`predict` / `load` / `unload` / `stats`), minus the socket —
+/// what tests and benches use to drive the scheduler directly.
+#[derive(Clone)]
+pub struct Client {
+    registry: Arc<ModelRegistry>,
+}
+
+impl Client {
+    /// A client over a shared registry.
+    pub fn new(registry: Arc<ModelRegistry>) -> Self {
+        Self { registry }
+    }
+
+    /// The registry behind this client.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// One prediction.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::predict`].
+    pub fn predict(&self, model: &str, input: Vec<f32>) -> Result<Prediction, ManError> {
+        self.registry.predict(model, input)
+    }
+
+    /// Loads (or hot-reloads) an artifact from disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::load_file`].
+    pub fn load(&self, model: &str, path: impl AsRef<Path>) -> Result<ModelInfo, ManError> {
+        self.registry.load_file(model, path)
+    }
+
+    /// Evicts a model.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::unload`].
+    pub fn unload(&self, model: &str) -> Result<(), ManError> {
+        self.registry.unload(model)
+    }
+
+    /// Stats snapshots.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::stats`].
+    pub fn stats(&self, model: Option<&str>) -> Result<Vec<ModelStats>, ManError> {
+        self.registry.stats(model)
+    }
+}

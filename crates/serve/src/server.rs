@@ -1,0 +1,349 @@
+//! The TCP front-end: newline-delimited JSON over `std::net`.
+//!
+//! One accept thread plus one thread per connection. Connections poll
+//! with a short read timeout so a [`Server::shutdown`] is observed
+//! within a tick even on an idle socket; accepted requests always get a
+//! response line before the connection closes. [`TcpClient`] is the
+//! matching blocking client used by the bench load generator, CI smoke
+//! run, and tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::protocol::{
+    error_response, load_response, parse_request, predict_response, stats_response,
+    unload_response, Request,
+};
+use crate::registry::ModelRegistry;
+
+/// How often an idle connection (or the accept loop, via a self-connect)
+/// re-checks the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Serves one already-parsed request line against a registry and renders
+/// the response line. This is the single dispatch point shared by every
+/// connection — and a convenient seam for tests.
+pub fn handle_request(registry: &ModelRegistry, line: &str) -> String {
+    match parse_request(line) {
+        Err(e) => error_response(&e),
+        Ok(Request::Predict { model, input }) => match registry.predict(&model, input) {
+            Ok(p) => predict_response(&model, &p),
+            Err(e) => error_response(&e),
+        },
+        Ok(Request::Load { model, path }) => match registry.load_file(&model, &path) {
+            Ok(info) => load_response(&info),
+            Err(e) => error_response(&e),
+        },
+        Ok(Request::Unload { model }) => match registry.unload(&model) {
+            Ok(()) => unload_response(&model),
+            Err(e) => error_response(&e),
+        },
+        Ok(Request::Stats { model }) => match registry.stats(model.as_deref()) {
+            Ok(stats) => stats_response(&stats),
+            Err(e) => error_response(&e),
+        },
+    }
+}
+
+/// A running TCP front-end over a shared [`ModelRegistry`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Bind to port 0 for an ephemeral port
+    /// (see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<ModelRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("man-serve/accept".into())
+            .spawn(move || accept_loop(&listener, &registry, &accept_shutdown))?;
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes every connection, and joins the accept
+    /// loop (which joins the connection threads). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &Arc<ModelRegistry>, shutdown: &Arc<AtomicBool>) {
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let registry = Arc::clone(registry);
+        let conn_shutdown = Arc::clone(shutdown);
+        let handle = std::thread::Builder::new()
+            .name("man-serve/conn".into())
+            .spawn(move || connection_loop(stream, &registry, &conn_shutdown));
+        let mut conns = conns.lock().expect("connection list lock poisoned");
+        if let Ok(handle) = handle {
+            conns.push(handle);
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    let handles: Vec<_> = {
+        let mut conns = conns.lock().expect("connection list lock poisoned");
+        conns.drain(..).collect()
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, registry: &ModelRegistry, shutdown: &Arc<AtomicBool>) {
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            // EOF: client closed its half; we are done.
+            Ok(0) => return,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let response = handle_request(registry, &line);
+                    if writeln!(writer, "{response}")
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle tick; partially-read bytes stay in `line`.
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// A wire-level failure seen by [`TcpClient`]: the stable protocol code
+/// plus the server's message (or `"io"` for transport failures).
+#[derive(Clone, Debug)]
+pub struct WireError {
+    /// Stable error code (`overloaded`, `unknown_model`, ... or `io`).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    fn io(e: &io::Error) -> Self {
+        Self {
+            code: "io".into(),
+            message: e.to_string(),
+        }
+    }
+
+    fn protocol(msg: impl Into<String>) -> Self {
+        Self {
+            code: "bad_response".into(),
+            message: msg.into(),
+        }
+    }
+}
+
+use crate::protocol::entry as field;
+
+/// A blocking line-protocol client for the TCP front-end.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a running [`Server`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and returns the parsed response value.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] with code `io` on transport failure, `bad_response`
+    /// on an unparseable reply.
+    pub fn request(&mut self, line: &str) -> Result<Value, WireError> {
+        writeln!(self.writer, "{line}").map_err(|e| WireError::io(&e))?;
+        self.writer.flush().map_err(|e| WireError::io(&e))?;
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .map_err(|e| WireError::io(&e))?;
+        if response.is_empty() {
+            return Err(WireError::protocol("server closed the connection"));
+        }
+        serde_json::from_str(response.trim())
+            .map_err(|e| WireError::protocol(format!("unparseable response: {e}")))
+    }
+
+    /// Sends a request and unwraps the `ok` envelope.
+    ///
+    /// # Errors
+    ///
+    /// The server's error code/message when `ok` is `false`, plus the
+    /// transport failures of [`TcpClient::request`].
+    fn request_ok(&mut self, line: &str) -> Result<Value, WireError> {
+        let value = self.request(line)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| WireError::protocol("response is not an object"))?;
+        match field(obj, "ok") {
+            Some(Value::Bool(true)) => Ok(value),
+            Some(Value::Bool(false)) => {
+                let get_str = |key: &str| match field(obj, key) {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                Err(WireError {
+                    code: get_str("error"),
+                    message: get_str("message"),
+                })
+            }
+            _ => Err(WireError::protocol("response has no `ok` field")),
+        }
+    }
+
+    /// `predict` round-trip: returns `(class, scores)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::request`], plus any server-reported error.
+    pub fn predict(&mut self, model: &str, input: &[f32]) -> Result<(usize, Vec<i64>), WireError> {
+        let line = serde_json::to_string(&Value::Object(vec![
+            ("op".into(), Value::Str("predict".into())),
+            ("model".into(), Value::Str(model.into())),
+            ("input".into(), serde::Serialize::to_value(&input)),
+        ]))
+        .map_err(|e| WireError::protocol(e.to_string()))?;
+        let value = self.request_ok(&line)?;
+        let obj = value.as_object().expect("request_ok returns objects");
+        let class = match field(obj, "class") {
+            Some(v) => <usize as serde::Deserialize>::from_value(v)
+                .map_err(|e| WireError::protocol(format!("bad `class`: {e}")))?,
+            None => return Err(WireError::protocol("predict response lacks `class`")),
+        };
+        let scores = match field(obj, "scores") {
+            Some(v) => <Vec<i64> as serde::Deserialize>::from_value(v)
+                .map_err(|e| WireError::protocol(format!("bad `scores`: {e}")))?,
+            None => return Err(WireError::protocol("predict response lacks `scores`")),
+        };
+        Ok((class, scores))
+    }
+
+    /// `load` round-trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::request`], plus any server-reported error.
+    pub fn load(&mut self, model: &str, path: &str) -> Result<Value, WireError> {
+        let line = serde_json::to_string(&Value::Object(vec![
+            ("op".into(), Value::Str("load".into())),
+            ("model".into(), Value::Str(model.into())),
+            ("path".into(), Value::Str(path.into())),
+        ]))
+        .map_err(|e| WireError::protocol(e.to_string()))?;
+        self.request_ok(&line)
+    }
+
+    /// `unload` round-trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::request`], plus any server-reported error.
+    pub fn unload(&mut self, model: &str) -> Result<(), WireError> {
+        let line = serde_json::to_string(&Value::Object(vec![
+            ("op".into(), Value::Str("unload".into())),
+            ("model".into(), Value::Str(model.into())),
+        ]))
+        .map_err(|e| WireError::protocol(e.to_string()))?;
+        self.request_ok(&line).map(|_| ())
+    }
+
+    /// `stats` round-trip: the raw response value (the `models` array
+    /// carries one object per model).
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::request`], plus any server-reported error.
+    pub fn stats(&mut self, model: Option<&str>) -> Result<Value, WireError> {
+        let mut fields = vec![("op".into(), Value::Str("stats".into()))];
+        if let Some(model) = model {
+            fields.push(("model".into(), Value::Str(model.into())));
+        }
+        let line = serde_json::to_string(&Value::Object(fields))
+            .map_err(|e| WireError::protocol(e.to_string()))?;
+        self.request_ok(&line)
+    }
+}

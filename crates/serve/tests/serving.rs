@@ -1,0 +1,377 @@
+//! End-to-end tests of the serving runtime: concurrency determinism,
+//! backpressure, hot reload under load, graceful drain, and the TCP
+//! front-end's full round-trip.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use man::alphabet::AlphabetSet;
+use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+use man_nn::network::Network;
+use man_repro::{CompiledModel, ManError, Pipeline, ServeError};
+use man_serve::{BatchConfig, Client, ModelRegistry, Server, SessionMode, TcpClient};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const IN_DIM: usize = 24;
+
+fn compiled_model(seed: u64, set: AlphabetSet) -> CompiledModel {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(IN_DIM, 12, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(12, 4, &mut rng)),
+    ]);
+    Pipeline::from_network(net)
+        .with_bits(8)
+        .with_alphabets(vec![set])
+        .constrain()
+        .expect("projection-only pipeline")
+        .compile()
+        .expect("projected weights compile")
+}
+
+fn probe_input(i: usize) -> Vec<f32> {
+    (0..IN_DIM)
+        .map(|j| ((i * 7 + j * 3) % 13) as f32 / 13.0)
+        .collect()
+}
+
+fn quick_config() -> BatchConfig {
+    BatchConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 64,
+        workers: 2,
+        session_mode: SessionMode::Warm,
+        request_timeout: Duration::from_secs(10),
+    }
+}
+
+#[test]
+fn hammering_clients_get_bit_identical_predictions() {
+    let model = compiled_model(1, AlphabetSet::a2());
+    // Sequential reference through a plain session.
+    let mut reference = model.session();
+    let expected: Vec<Vec<i64>> = (0..48)
+        .map(|i| reference.infer(&probe_input(i)).expect("shape ok").scores)
+        .collect();
+
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", model);
+    let client = Client::new(Arc::clone(&registry));
+
+    let threads: Vec<_> = (0..6)
+        .map(|t| {
+            let client = client.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                // Each thread replays every probe several times, out of
+                // phase with the others, so batches mix inputs freely.
+                for round in 0..4 {
+                    for i in 0..expected.len() {
+                        let i = (i + t * 11 + round * 17) % expected.len();
+                        let p = client
+                            .predict("m", probe_input(i))
+                            .expect("serving must not fail under load");
+                        assert_eq!(
+                            p.scores, expected[i],
+                            "thread {t} probe {i}: scheduler must be bit-identical"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread panicked");
+    }
+
+    let stats = registry.stats(Some("m")).expect("stats");
+    assert_eq!(stats.len(), 1);
+    let s = &stats[0];
+    assert_eq!(s.completed, 6 * 4 * 48);
+    assert_eq!(s.errors, 0);
+    assert_eq!(s.rejected, 0);
+    assert!(s.batches > 0 && s.mean_batch >= 1.0);
+    assert!(s.p50_us > 0, "latency histogram must have filled");
+}
+
+#[test]
+fn shape_mismatch_is_rejected_before_queueing() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(2, AlphabetSet::a1()));
+    let client = Client::new(registry);
+    match client.predict("m", vec![0.5; IN_DIM + 3]) {
+        Err(ManError::Shape { expected, got }) => {
+            assert_eq!((expected, got), (IN_DIM, IN_DIM + 3));
+        }
+        other => panic!("expected ManError::Shape, got {other:?}"),
+    }
+    let stats = client.stats(Some("m")).expect("stats");
+    assert_eq!(stats[0].errors, 1);
+    assert_eq!(stats[0].accepted, 0, "bad shapes never enter the queue");
+}
+
+#[test]
+fn unknown_model_is_a_typed_error() {
+    let client = Client::new(ModelRegistry::with_defaults());
+    match client.predict("ghost", vec![0.0; 4]) {
+        Err(ManError::Serve(ServeError::UnknownModel(name))) => assert_eq!(name, "ghost"),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    match client.unload("ghost") {
+        Err(ManError::Serve(ServeError::UnknownModel(_))) => {}
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    // A tiny queue and a scheduler that cannot drain: the submitting
+    // side must see explicit Overloaded errors, not unbounded latency.
+    let registry = ModelRegistry::new(BatchConfig {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        queue_capacity: 2,
+        workers: 1,
+        session_mode: SessionMode::Warm,
+        request_timeout: Duration::from_secs(10),
+    });
+    registry.install("m", compiled_model(3, AlphabetSet::a1()));
+    let client = Client::new(Arc::clone(&registry));
+
+    // Saturate from many threads; with 12 concurrent submitters and a
+    // 2-slot queue, at least a few must hit the Overloaded path.
+    let saw_overload = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..12)
+        .map(|t| {
+            let client = client.clone();
+            let saw_overload = Arc::clone(&saw_overload);
+            std::thread::spawn(move || {
+                for i in 0..40 {
+                    match client.predict("m", probe_input(t * 40 + i)) {
+                        Ok(_) => {}
+                        Err(ManError::Serve(ServeError::Overloaded { capacity, .. })) => {
+                            assert_eq!(capacity, 2);
+                            saw_overload.store(true, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error under load: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("load thread panicked");
+    }
+    let stats = registry.stats(Some("m")).expect("stats");
+    assert_eq!(stats[0].completed + stats[0].rejected, 12 * 40);
+    assert!(
+        saw_overload.load(Ordering::Relaxed),
+        "a 2-slot queue under 12 hammering threads must overflow at least once \
+         (completed {}, rejected {})",
+        stats[0].completed,
+        stats[0].rejected
+    );
+}
+
+#[test]
+fn reload_under_load_never_drops_or_corrupts_requests() {
+    // Two different-alphabet compilations of different networks: their
+    // predictions differ, but each request must be answered by a
+    // complete, uncorrupted model — either generation, never a mix, and
+    // transient Unavailable (caught mid-swap) is the only legal error.
+    let before = compiled_model(10, AlphabetSet::a4());
+    let after = compiled_model(11, AlphabetSet::a1());
+    let probes: Vec<Vec<f32>> = (0..16).map(probe_input).collect();
+    let expect_before: Vec<Vec<i64>> = {
+        let mut s = before.session();
+        probes
+            .iter()
+            .map(|x| s.infer(x).expect("shape ok").scores)
+            .collect()
+    };
+    let expect_after: Vec<Vec<i64>> = {
+        let mut s = after.session();
+        probes
+            .iter()
+            .map(|x| s.infer(x).expect("shape ok").scores)
+            .collect()
+    };
+
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", before.clone());
+    let client = Client::new(Arc::clone(&registry));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let hammers: Vec<_> = (0..4)
+        .map(|t| {
+            let client = client.clone();
+            let stop = Arc::clone(&stop);
+            let probes = probes.clone();
+            let expect_before = expect_before.clone();
+            let expect_after = expect_after.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    i = (i + 1) % probes.len();
+                    match client.predict("m", probes[i].clone()) {
+                        Ok(p) => {
+                            assert!(
+                                p.scores == expect_before[i] || p.scores == expect_after[i],
+                                "probe {i} answered by neither generation: {:?}",
+                                p.scores
+                            );
+                            served += 1;
+                        }
+                        Err(ManError::Serve(ServeError::Unavailable(_))) => {}
+                        Err(other) => panic!("unexpected error during reload: {other:?}"),
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Hot-swap back and forth while the hammers run.
+    for gen in 0..6 {
+        std::thread::sleep(Duration::from_millis(20));
+        let model = if gen % 2 == 0 {
+            after.clone()
+        } else {
+            before.clone()
+        };
+        registry.install("m", model);
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = hammers
+        .into_iter()
+        .map(|t| t.join().expect("hammer thread panicked"))
+        .sum();
+    assert!(served > 0, "hammers must have been served through reloads");
+}
+
+#[test]
+fn unload_drains_accepted_requests() {
+    // Requests already queued when unload starts still get answers.
+    let registry = ModelRegistry::new(BatchConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 256,
+        workers: 1,
+        session_mode: SessionMode::Persistent,
+        request_timeout: Duration::from_secs(10),
+    });
+    registry.install("m", compiled_model(5, AlphabetSet::a2()));
+    let client = Client::new(Arc::clone(&registry));
+    let submitters: Vec<_> = (0..32)
+        .map(|i| {
+            let client = client.clone();
+            std::thread::spawn(move || client.predict("m", probe_input(i)))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    registry.unload("m").expect("model is loaded");
+    let mut answered = 0;
+    for s in submitters {
+        match s.join().expect("submitter panicked") {
+            Ok(_) => answered += 1,
+            // Submitted after the queue closed: a typed rejection.
+            Err(ManError::Serve(ServeError::Unavailable(_))) => {}
+            Err(other) => panic!("unexpected drain error: {other:?}"),
+        }
+    }
+    assert!(answered > 0, "queued requests must drain through unload");
+    assert!(registry.names().is_empty());
+}
+
+#[test]
+fn tcp_roundtrip_load_predict_stats_unload() {
+    // The artifact on disk, loaded over the wire.
+    let model = compiled_model(6, AlphabetSet::a2());
+    let expected = {
+        let mut s = model.session();
+        s.infer(&probe_input(0)).expect("shape ok")
+    };
+    let path = std::env::temp_dir().join("man_serve_tcp_roundtrip.man.json");
+    model.save(&path).expect("artifact saves");
+
+    let registry = ModelRegistry::new(quick_config());
+    let mut server = Server::bind("127.0.0.1:0", registry).expect("loopback bind");
+    let mut client = TcpClient::connect(server.local_addr()).expect("loopback connect");
+
+    // load
+    let info = client
+        .load("digits", path.to_str().expect("utf-8 temp path"))
+        .expect("load over the wire");
+    let obj = info.as_object().expect("load response is an object");
+    let input_len = obj
+        .iter()
+        .find(|(k, _)| k == "input_len")
+        .and_then(|(_, v)| <usize as serde::Deserialize>::from_value(v).ok())
+        .expect("load response carries input_len");
+    assert_eq!(input_len, IN_DIM);
+
+    // predict — bit-identical to the in-process session.
+    let (class, scores) = client
+        .predict("digits", &probe_input(0))
+        .expect("predict over the wire");
+    assert_eq!(class, expected.class);
+    assert_eq!(scores, expected.scores);
+
+    // bad requests keep the connection alive and carry stable codes.
+    let err = client
+        .predict("digits", &probe_input(0)[..4])
+        .expect_err("short input must fail");
+    assert_eq!(err.code, "shape_mismatch");
+    let err = client.predict("ghost", &probe_input(0)).unwrap_err();
+    assert_eq!(err.code, "unknown_model");
+    let garbage = client.request("{ not json").expect("server replies");
+    let obj = garbage.as_object().expect("error response is an object");
+    assert!(obj
+        .iter()
+        .any(|(k, v)| k == "error" && matches!(v, serde::Value::Str(s) if s == "bad_request")));
+
+    // stats
+    let stats = client.stats(Some("digits")).expect("stats over the wire");
+    let text = serde_json::to_string(&stats).expect("stats reserialize");
+    assert!(text.contains("\"completed\":1"), "{text}");
+    assert!(text.contains("\"p50_us\""), "{text}");
+
+    // unload, then the model is gone.
+    client.unload("digits").expect("unload over the wire");
+    let err = client.predict("digits", &probe_input(0)).unwrap_err();
+    assert_eq!(err.code, "unknown_model");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cold_and_warm_modes_agree_bitwise() {
+    let model = compiled_model(7, AlphabetSet::a4());
+    let mut reference = model.session();
+    let expected: Vec<Vec<i64>> = (0..12)
+        .map(|i| reference.infer(&probe_input(i)).expect("shape ok").scores)
+        .collect();
+    for mode in [
+        SessionMode::Cold,
+        SessionMode::Persistent,
+        SessionMode::Warm,
+    ] {
+        let registry = ModelRegistry::new(BatchConfig {
+            session_mode: mode,
+            ..quick_config()
+        });
+        registry.install("m", model.clone());
+        let client = Client::new(registry);
+        for (i, want) in expected.iter().enumerate() {
+            let p = client.predict("m", probe_input(i)).expect("serving ok");
+            assert_eq!(&p.scores, want, "{mode:?} probe {i}");
+        }
+    }
+}

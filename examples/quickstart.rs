@@ -73,7 +73,7 @@ fn main() -> Result<(), ManError> {
     // Serve a batch: pre-computer banks are shared across the batch.
     let mut session = reloaded.session();
     let batch: Vec<Vec<f32>> = (0..4).map(|i| vec![0.2 * i as f32; 1024]).collect();
-    for (i, p) in session.infer_batch(&batch).iter().enumerate() {
+    for (i, p) in session.infer_batch(&batch)?.iter().enumerate() {
         println!("batch[{i}] -> class {} (scores {:?})", p.class, p.scores);
     }
     std::fs::remove_file(&path).ok();

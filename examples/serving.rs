@@ -1,0 +1,126 @@
+//! Serving quickstart: compile a model, save the one-file artifact, and
+//! serve it under concurrent traffic with `man-serve` — first through
+//! the in-process [`man_serve::Client`], then over the TCP front-end's
+//! newline-delimited JSON protocol.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use man_repro::man::alphabet::AlphabetSet;
+use man_repro::man::zoo::Benchmark;
+use man_repro::man_datasets::GenOptions;
+use man_repro::{ManError, Pipeline};
+use man_serve::{BatchConfig, Client, ModelRegistry, Server, TcpClient};
+
+fn main() -> Result<(), ManError> {
+    // ---- Compile the paper's Digit-8bit MLP onto the MAN lattice and
+    // persist it as a single-file artifact (see `quickstart.rs` for the
+    // full train/constrain story; projection is enough to serve).
+    let ds = Benchmark::DigitsMlp.dataset(&GenOptions {
+        train: 1,
+        test: 16,
+        seed: 42,
+    });
+    let compiled = Pipeline::for_benchmark(Benchmark::DigitsMlp)
+        .with_bits(8)
+        .with_alphabets(vec![AlphabetSet::a1()])
+        .constrain()?
+        .compile()?;
+    let artifact = std::env::temp_dir().join("man_serving_example.man.json");
+    compiled.save(&artifact)?;
+
+    // ---- A registry hosts named models behind micro-batching
+    // schedulers; `load_file` hot-loads (and `unload` evicts) artifacts
+    // at runtime.
+    let registry = ModelRegistry::new(BatchConfig::default());
+    let info = registry.load_file("digits", &artifact)?;
+    println!(
+        "loaded `{}`: {}-bit, {} inputs, alphabets {}",
+        info.model, info.bits, info.input_len, info.alphabets
+    );
+
+    // ---- In-process serving: many threads, one model. The scheduler
+    // coalesces concurrent requests into batches; predictions stay
+    // bit-identical to sequential inference.
+    let client = Client::new(Arc::clone(&registry));
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let client = client.clone();
+            let images = &ds.test_images;
+            scope.spawn(move || {
+                for (i, image) in images.iter().enumerate() {
+                    let p = client
+                        .predict("digits", image.clone())
+                        .expect("serving a dataset image");
+                    if t == 0 && i < 3 {
+                        println!("thread {t} image {i} -> class {}", p.class);
+                    }
+                }
+            });
+        }
+    });
+    for s in client.stats(Some("digits"))? {
+        println!(
+            "stats: {} completed, {} batches (mean size {:.2}), p50 {} us, p99 {} us",
+            s.completed, s.batches, s.mean_batch, s.p50_us, s.p99_us
+        );
+    }
+
+    // ---- The same four operations over TCP (newline-delimited JSON).
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&registry)).map_err(ManError::Io)?;
+    println!("TCP front-end on {}", server.local_addr());
+    let mut tcp = TcpClient::connect(server.local_addr()).map_err(ManError::Io)?;
+    let (class, scores) = tcp
+        .predict("digits", &ds.test_images[0])
+        .expect("predict over the wire");
+    println!("TCP predict -> class {class} ({} scores)", scores.len());
+    // Wrong-shaped input: a structured protocol error, connection kept.
+    let err = tcp
+        .predict("digits", &[0.5; 3])
+        .expect_err("short input must be rejected");
+    println!("TCP shape error -> [{}] {}", err.code, err.message);
+    tcp.unload("digits").expect("unload over the wire");
+
+    server.shutdown();
+    registry.shutdown();
+    std::fs::remove_file(&artifact).ok();
+
+    // Backpressure contract: a full queue rejects immediately instead
+    // of queueing unboundedly — hammer a 1-slot queue and count the
+    // `overloaded` answers.
+    let tiny = ModelRegistry::new(BatchConfig {
+        queue_capacity: 1,
+        request_timeout: Duration::from_secs(5),
+        ..BatchConfig::default()
+    });
+    tiny.install("digits", compiled);
+    let tiny_client = Client::new(Arc::clone(&tiny));
+    let overloaded: usize = std::thread::scope(|scope| {
+        (0..4)
+            .map(|t| {
+                let client = tiny_client.clone();
+                let images = &ds.test_images;
+                scope.spawn(move || {
+                    (0..images.len())
+                        .filter(|&i| {
+                            client
+                                .predict("digits", images[(i + t) % images.len()].clone())
+                                .is_err()
+                        })
+                        .count()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("burst thread panicked"))
+            .sum()
+    });
+    let s = tiny.stats(Some("digits"))?.remove(0);
+    println!(
+        "1-slot queue under a 4-thread burst: {} served, {overloaded} rejected with `overloaded`",
+        s.completed
+    );
+    Ok(())
+}

@@ -12,6 +12,59 @@ use man::asm::UnsupportedQuartetError;
 use man::fixed::CompileError;
 use man_hw::synth::TimingClosureError;
 
+/// A failure of the serving runtime (`man-serve`), carried by
+/// [`ManError::Serve`].
+///
+/// The type lives in the facade so the serving crate — which sits *above*
+/// `man-repro` — can speak the same unified error language as every other
+/// stage; the TCP front-end maps each variant onto a stable wire code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The model's request queue is full; the request was rejected
+    /// instead of queued (explicit backpressure).
+    Overloaded {
+        /// The model whose queue is full.
+        model: String,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// No model of this name is loaded in the registry.
+    UnknownModel(String),
+    /// The model was unloaded (or its workers stopped) while the request
+    /// was in flight or being submitted.
+    Unavailable(String),
+    /// The reply did not arrive within the configured request timeout.
+    Timeout(String),
+    /// A malformed wire request: bad JSON, a missing field, or an
+    /// unknown operation.
+    Protocol(String),
+    /// An unexpected worker-side failure, stringified for transport
+    /// across the reply channel.
+    Internal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { model, capacity } => write!(
+                f,
+                "model `{model}` is overloaded (queue capacity {capacity} reached)"
+            ),
+            ServeError::UnknownModel(model) => write!(f, "no model named `{model}` is loaded"),
+            ServeError::Unavailable(model) => {
+                write!(f, "model `{model}` became unavailable mid-request")
+            }
+            ServeError::Timeout(model) => {
+                write!(f, "request to model `{model}` timed out")
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// Any failure of the pipeline API.
 #[derive(Debug)]
 pub enum ManError {
@@ -29,6 +82,16 @@ pub enum ManError {
     /// The pipeline was configured inconsistently (missing data, empty
     /// candidate list, out-of-range word length, ...).
     Config(String),
+    /// An inference input's length does not match the network's input
+    /// layer.
+    Shape {
+        /// Values the network expects per input.
+        expected: usize,
+        /// Values the caller provided.
+        got: usize,
+    },
+    /// A serving-runtime failure (queueing, routing, protocol).
+    Serve(ServeError),
 }
 
 impl ManError {
@@ -52,6 +115,11 @@ impl fmt::Display for ManError {
             ManError::Io(e) => write!(f, "i/o error: {e}"),
             ManError::Artifact(msg) => write!(f, "artifact error: {msg}"),
             ManError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ManError::Shape { expected, got } => write!(
+                f,
+                "input has {got} values but the network expects {expected}"
+            ),
+            ManError::Serve(e) => write!(f, "serving error: {e}"),
         }
     }
 }
@@ -63,8 +131,15 @@ impl std::error::Error for ManError {
             ManError::UnsupportedQuartet(e) => Some(e),
             ManError::TimingClosure(e) => Some(e),
             ManError::Io(e) => Some(e),
-            ManError::Artifact(_) | ManError::Config(_) => None,
+            ManError::Serve(e) => Some(e),
+            ManError::Artifact(_) | ManError::Config(_) | ManError::Shape { .. } => None,
         }
+    }
+}
+
+impl From<ServeError> for ManError {
+    fn from(e: ServeError) -> Self {
+        ManError::Serve(e)
     }
 }
 

@@ -25,9 +25,13 @@
 //!   bit-identical inference.
 //! * [`InferenceSession`] — batched serving with pre-computer banks
 //!   shared across the batch; [`Prediction`] carries argmax, raw scores
-//!   and opt-in per-layer traces.
+//!   and opt-in per-layer traces. Shared-reference entry points
+//!   (`infer_shared` / `infer_batch_shared`) plus an opt-in warm product
+//!   memo make one session drivable from many threads — the contract the
+//!   `man-serve` runtime builds its micro-batching scheduler on.
 //! * [`ManError`] — one `Result`-first error taxonomy wrapping the
-//!   member crates' typed errors.
+//!   member crates' typed errors, including the serving-runtime
+//!   [`ServeError`] variants.
 //!
 //! See `DESIGN.md` at the repository root for the full system inventory,
 //! and the member crates (re-exported below) for the underlying pieces.
@@ -44,9 +48,9 @@
 //!         .train()?      // Algorithm 2
 //!         .compile()?;   // fixed-point ASM datapath
 //!     compiled.save("faces.man.json")?;
-//!     let mut session = CompiledModel::load("faces.man.json")?.session();
+//!     let session = CompiledModel::load("faces.man.json")?.session();
 //!     # let pixels = vec![0.0f32; 1024];
-//!     let prediction = session.infer(&pixels);
+//!     let prediction = session.infer_shared(&pixels)?;
 //!     println!("class {}", prediction.class);
 //!     Ok(())
 //! }
@@ -68,6 +72,6 @@ pub mod pipeline;
 pub mod session;
 
 pub use artifact::{CompiledModel, CostedModel};
-pub use error::ManError;
+pub use error::{ManError, ServeError};
 pub use pipeline::{BaselineModel, Pipeline, TrainedModel, TrainingData};
 pub use session::{InferenceSession, Prediction};

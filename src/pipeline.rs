@@ -117,7 +117,7 @@ type ConfigOverride = Box<dyn Fn(&mut MethodologyConfig)>;
 ///     .with_alphabets(vec![AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()])
 ///     .train()?;
 /// let compiled = trained.compile()?;
-/// let mut session = compiled.session();
+/// let _session = compiled.session();
 /// # Ok(()) }
 /// ```
 pub struct Pipeline {

@@ -1,17 +1,29 @@
 //! The serving entry point: batched inference sessions.
 //!
 //! An [`InferenceSession`] owns a compiled [`man::fixed::FixedNet`] plus
-//! a persistent [`SessionCache`] of pre-computer banks. A bank depends
-//! only on the input magnitude and the layer's alphabet set, so across a
-//! batch most multiplications find their bank already computed — the
-//! software analogue of the paper's CSHM sharing, and the hot path the
-//! ROADMAP's batching/throughput work builds on.
+//! a persistent [`man::fixed::SessionCache`] of pre-computer banks. A
+//! bank depends only on the input magnitude and the layer's alphabet
+//! set, so across a batch most multiplications find their bank already
+//! computed — the software analogue of the paper's CSHM sharing. A
+//! session opened with [`InferenceSession::warm`] goes one step further
+//! and memoizes whole `(weight, input)` products across requests, the
+//! steady-state configuration the `man-serve` scheduler workers run.
+//!
+//! The mutable state (bank cache, product plane) lives behind an
+//! internal lock, so the shared-reference entry points
+//! [`InferenceSession::infer_shared`] / [`infer_batch_shared`] work
+//! through `&self` — which is what lets one session be driven from many
+//! scheduler threads via an `Arc`. The original `&mut self` signatures
+//! remain as thin wrappers.
+//!
+//! [`infer_batch_shared`]: InferenceSession::infer_batch_shared
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use man::fixed::{argmax_raw, FixedNet, LayerTrace, SessionCache};
 
 use crate::artifact::CompiledModel;
+use crate::error::ManError;
 
 /// The outcome of one inference.
 #[derive(Clone, Debug)]
@@ -35,14 +47,14 @@ pub struct Prediction {
 /// # use man_repro::CompiledModel;
 /// # fn demo(model: &CompiledModel, batch: &[Vec<f32>]) {
 /// let mut session = model.session();
-/// for p in session.infer_batch(batch) {
+/// for p in session.infer_batch(batch).expect("inputs match the network") {
 ///     println!("class {} (scores {:?})", p.class, p.scores);
 /// }
 /// # }
 /// ```
 pub struct InferenceSession {
     fixed: Arc<FixedNet>,
-    cache: SessionCache,
+    cache: Mutex<SessionCache>,
     trace_limit: Option<usize>,
 }
 
@@ -51,11 +63,26 @@ impl InferenceSession {
     /// shared, not copied — opening many sessions is cheap.
     pub fn new(model: &CompiledModel) -> Self {
         let fixed = model.fixed_shared();
-        let cache = fixed.session_cache();
+        let cache = Mutex::new(fixed.session_cache());
         Self {
             fixed,
             cache,
             trace_limit: None,
+        }
+    }
+
+    /// Switches the session onto a warm cache that memoizes whole
+    /// `(weight, input)` products across inferences (see
+    /// [`man::fixed::FixedNet::session_cache_warm`]). Bit-identical to
+    /// the plain cache; the right choice for long-lived serving
+    /// sessions, and what the `man-serve` scheduler workers use. A
+    /// no-op beyond the plain bank cache for word lengths past
+    /// [`man::fixed::PRODUCT_PLANE_MAX_BITS`].
+    #[must_use]
+    pub fn warm(self) -> Self {
+        Self {
+            cache: Mutex::new(self.fixed.session_cache_warm()),
+            ..self
         }
     }
 
@@ -73,22 +100,24 @@ impl InferenceSession {
         &self.fixed
     }
 
-    /// Runs one inference.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a descriptive message if `input` does not hold
-    /// exactly `self.fixed().input_len()` values.
-    pub fn infer(&mut self, input: &[f32]) -> Prediction {
+    fn check_shape(&self, input: &[f32]) -> Result<(), ManError> {
+        let expected = self.fixed.input_len();
+        if input.len() != expected {
+            return Err(ManError::Shape {
+                expected,
+                got: input.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn infer_locked(&self, input: &[f32], cache: &mut SessionCache) -> Prediction {
         let (scores, traces) = match self.trace_limit {
             Some(limit) => {
-                let (scores, traces) = self.fixed.infer_raw_traced(input, limit, &mut self.cache);
+                let (scores, traces) = self.fixed.infer_raw_traced(input, limit, cache);
                 (scores, Some(traces))
             }
-            None => (
-                self.fixed.infer_raw_with_cache(input, &mut self.cache),
-                None,
-            ),
+            None => (self.fixed.infer_raw_with_cache(input, cache), None),
         };
         Prediction {
             class: argmax_raw(&scores),
@@ -97,10 +126,69 @@ impl InferenceSession {
         }
     }
 
-    /// Runs a batch of inferences, sharing pre-computer banks across the
-    /// whole batch. Equivalent to (and bit-identical with) calling
-    /// [`InferenceSession::infer`] once per input.
-    pub fn infer_batch(&mut self, inputs: &[Vec<f32>]) -> Vec<Prediction> {
-        inputs.iter().map(|x| self.infer(x)).collect()
+    /// Runs one inference through a shared reference — the entry point
+    /// scheduler workers drive via `Arc<InferenceSession>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManError::Shape`] if `input` does not hold exactly
+    /// `self.fixed().input_len()` values.
+    pub fn infer_shared(&self, input: &[f32]) -> Result<Prediction, ManError> {
+        self.check_shape(input)?;
+        let mut cache = self.lock_cache();
+        Ok(self.infer_locked(input, &mut cache))
+    }
+
+    /// The cache stays internally consistent even if a thread panicked
+    /// mid-inference (bank and plane slots are written atomically, and a
+    /// half-run inference leaves no partial state behind), so a poisoned
+    /// lock is recovered rather than propagated — one panicking request
+    /// must not brick a long-lived serving session.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, SessionCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs a batch of inferences through a shared reference, sharing
+    /// pre-computer banks (and, on a [`InferenceSession::warm`] session,
+    /// memoized products) across the whole batch. Equivalent to — and
+    /// bit-identical with — calling [`InferenceSession::infer_shared`]
+    /// once per input. The internal lock is taken once for the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManError::Shape`] on the first wrong-length input; the
+    /// whole batch is validated before any inference runs.
+    pub fn infer_batch_shared(&self, inputs: &[Vec<f32>]) -> Result<Vec<Prediction>, ManError> {
+        for input in inputs {
+            self.check_shape(input)?;
+        }
+        let mut cache = self.lock_cache();
+        Ok(inputs
+            .iter()
+            .map(|x| self.infer_locked(x, &mut cache))
+            .collect())
+    }
+
+    /// Runs one inference ([`InferenceSession::infer_shared`] behind the
+    /// historical `&mut self` receiver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManError::Shape`] if `input` does not hold exactly
+    /// `self.fixed().input_len()` values.
+    pub fn infer(&mut self, input: &[f32]) -> Result<Prediction, ManError> {
+        self.infer_shared(input)
+    }
+
+    /// Runs a batch of inferences ([`InferenceSession::infer_batch_shared`]
+    /// behind the historical `&mut self` receiver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManError::Shape`] on the first wrong-length input.
+    pub fn infer_batch(&mut self, inputs: &[Vec<f32>]) -> Result<Vec<Prediction>, ManError> {
+        self.infer_batch_shared(inputs)
     }
 }

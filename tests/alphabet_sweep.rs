@@ -39,7 +39,7 @@ fn every_configuration_compiles_and_infers() {
                 .compile()
                 .unwrap_or_else(|e| panic!("bits={bits} {set}: {e}"));
             let mut session = compiled.session();
-            let p = session.infer(&[0.4; 10]);
+            let p = session.infer(&[0.4; 10]).expect("input matches");
             assert_eq!(p.scores.len(), 3, "bits={bits} {set}");
             assert!(p.class < 3, "bits={bits} {set}");
         }

@@ -44,8 +44,10 @@ fn faces_methodology_reaches_usable_accuracy() {
     );
     // The winning model compiles and serves.
     let compiled = trained.compile().expect("selected model compiles");
-    let mut session = compiled.session();
-    let predictions = session.infer_batch(&ds.test_images[..10]);
+    let session = compiled.session();
+    let predictions = session
+        .infer_batch_shared(&ds.test_images[..10])
+        .expect("test images match the input layer");
     assert_eq!(predictions.len(), 10);
 }
 
@@ -181,6 +183,60 @@ fn pipeline_errors_are_typed_not_panics() {
         .unwrap_err();
     assert!(matches!(err, ManError::Config(_)), "{err}");
     assert!(err.to_string().contains("constrain"));
+}
+
+#[test]
+fn concurrent_serving_is_bit_identical_to_sequential_inference() {
+    // The batch-equivalence property, extended to the serving runtime:
+    // N client threads hammering one model through the micro-batching
+    // scheduler receive exactly the scores a sequential session
+    // produces, whatever the interleaving and batch composition.
+    use man_serve::{Client, ModelRegistry};
+    use std::sync::Arc;
+
+    let ds = Benchmark::Faces.dataset(&small_opts(11));
+    let compiled = Pipeline::for_benchmark(Benchmark::Faces)
+        .with_bits(8)
+        .with_alphabets(vec![AlphabetSet::a1()])
+        .constrain()
+        .expect("projection")
+        .compile()
+        .expect("projected weights compile");
+    let probes = &ds.test_images[..32];
+    let sequential: Vec<Vec<i64>> = {
+        let mut session = compiled.session();
+        probes
+            .iter()
+            .map(|x| session.infer(x).expect("dataset image").scores)
+            .collect()
+    };
+
+    let registry = ModelRegistry::with_defaults();
+    registry.install("faces", compiled);
+    let client = Client::new(Arc::clone(&registry));
+    std::thread::scope(|scope| {
+        for t in 0..6usize {
+            let client = client.clone();
+            let sequential = &sequential;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for i in 0..probes.len() {
+                        let i = (i + t * 5 + round * 13) % probes.len();
+                        let p = client
+                            .predict("faces", probes[i].clone())
+                            .expect("serving must not fail");
+                        assert_eq!(
+                            p.scores, sequential[i],
+                            "thread {t} probe {i}: serving must be bit-identical"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = registry.stats(Some("faces")).expect("stats");
+    assert_eq!(stats[0].completed, 6 * 3 * 32);
+    assert_eq!(stats[0].errors + stats[0].rejected, 0);
 }
 
 #[test]

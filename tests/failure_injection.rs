@@ -155,7 +155,15 @@ fn extreme_inputs_saturate_gracefully() {
     let mut session = compiled.session();
     for pixel in [0.0f32, 0.999, 1.0, 123.0, -5.0] {
         // Out-of-range pixels clamp at quantization; nothing panics.
-        let p = session.infer(&[pixel; 8]);
+        let p = session.infer(&[pixel; 8]).expect("shape matches");
         assert_eq!(p.scores.len(), 2);
+    }
+    // A wrong-length input is a typed error, not a panic deep in the
+    // engine.
+    match session.infer(&[0.5; 5]) {
+        Err(man_repro::ManError::Shape { expected, got }) => {
+            assert_eq!((expected, got), (8, 5));
+        }
+        other => panic!("expected ManError::Shape, got {other:?}"),
     }
 }

@@ -128,12 +128,15 @@ fn infer_batch_matches_single_infer_calls() {
         .iter()
         .map(|x| {
             let mut fresh = model.session();
-            fresh.infer(x)
+            fresh.infer(x).expect("probe inputs match the input layer")
         })
         .collect();
-    // Batched: one session, banks shared across the whole batch.
-    let mut session = model.session();
-    let batched = session.infer_batch(&batch);
+    // Batched: one session, banks shared across the whole batch. A warm
+    // (product-memoizing) session must also not change a single bit.
+    let session = model.session().warm();
+    let batched = session
+        .infer_batch_shared(&batch)
+        .expect("probe inputs match the input layer");
 
     assert_eq!(singles.len(), batched.len());
     for (s, b) in singles.iter().zip(&batched) {
@@ -153,8 +156,8 @@ fn traced_sessions_capture_real_operands_without_changing_scores() {
     let mut plain = model.session();
     let mut traced = model.session().with_trace(64);
     for x in &batch {
-        let p = plain.infer(x);
-        let t = traced.infer(x);
+        let p = plain.infer(x).expect("shape matches");
+        let t = traced.infer(x).expect("shape matches");
         assert_eq!(p.scores, t.scores, "tracing must not perturb inference");
         assert!(p.traces.is_none());
         let traces = t.traces.expect("tracing enabled");
