@@ -10,7 +10,7 @@ use man::constrain::{project_greedy, WeightLattice};
 use man::engine::CostModel;
 use man::fixed::{FixedNet, LayerAlphabets};
 use man::zoo::Benchmark;
-use man_bench::{apply_mode, RunMode};
+use man_bench::{apply_mode, parallelism_from_args, RunMode};
 use man_fixed::bits::{apply_sign, sign_magnitude};
 use man_hw::cell::CellLibrary;
 use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};
@@ -18,12 +18,14 @@ use man_repro::Pipeline;
 
 fn main() {
     let mode = RunMode::from_args();
+    let par = parallelism_from_args();
     let b = Benchmark::Faces;
     let bits = 8;
     let ds = b.dataset(&mode.gen_options(0xAB1A));
     let baseline = Pipeline::for_benchmark(b)
         .with_bits(bits)
         .with_data(&ds)
+        .with_parallelism(par)
         .configure(move |cfg| apply_mode(cfg, mode, b))
         .train_baseline()
         .expect("baseline trains");

@@ -8,7 +8,7 @@ use man::alphabet::AlphabetSet;
 use man::engine::CostModel;
 use man::fixed::LayerAlphabets;
 use man::zoo::Benchmark;
-use man_bench::{apply_mode, save_json, RunMode};
+use man_bench::{apply_mode, parallelism_from_args, save_json, RunMode};
 use man_repro::Pipeline;
 use serde::Serialize;
 
@@ -57,6 +57,7 @@ fn main() {
         let baseline = Pipeline::for_benchmark(b)
             .with_bits(8)
             .with_data(&ds)
+            .with_parallelism(parallelism_from_args())
             .configure(move |cfg| apply_mode(cfg, mode, b))
             .train_baseline()
             .expect("baseline trains");

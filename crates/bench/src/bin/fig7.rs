@@ -2,10 +2,11 @@
 //! all five applications, normalized to the conventional implementation.
 
 use man::zoo::Benchmark;
-use man_bench::{accuracy_experiment, save_json, RunMode};
+use man_bench::{accuracy_experiment, parallelism_from_args, save_json, RunMode};
 
 fn main() {
     let mode = RunMode::from_args();
+    let par = parallelism_from_args();
     println!("Fig. 7 — normalized accuracy across applications ({mode:?})\n");
     let mut results = Vec::new();
     println!(
@@ -13,7 +14,7 @@ fn main() {
         "Application", "conventional", "4 {1,3,5,7}", "2 {1,3}", "1 {1}"
     );
     for b in Benchmark::ALL {
-        let exp = accuracy_experiment(b, b.default_bits(), mode);
+        let exp = accuracy_experiment(b, b.default_bits(), mode, par);
         let base = exp.rows[0].accuracy_pct;
         let normalized: Vec<f64> = exp.rows.iter().map(|r| r.accuracy_pct / base).collect();
         println!(

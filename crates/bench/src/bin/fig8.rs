@@ -3,17 +3,18 @@
 
 use man::engine::CostModel;
 use man::zoo::Benchmark;
-use man_bench::{cost_experiment, print_cost_table, save_json, RunMode};
+use man_bench::{cost_experiment, parallelism_from_args, print_cost_table, save_json, RunMode};
 
 fn main() {
     let mode = RunMode::from_args();
+    let par = parallelism_from_args();
     println!("Fig. 8 — neuron power at iso-speed ({mode:?})");
     let mut model = CostModel::default();
     // Power is measured on the representative 2-layer MLP workload
     // (digit recognition), like the paper's per-neuron comparison.
     let mut results = Vec::new();
     for bits in [8u32, 12] {
-        let exp = cost_experiment(Benchmark::DigitsMlp, bits, mode, &mut model);
+        let exp = cost_experiment(Benchmark::DigitsMlp, bits, mode, &mut model, par);
         print_cost_table(&exp, "power");
         results.push(exp);
     }

@@ -3,10 +3,11 @@
 
 use man::engine::CostModel;
 use man::zoo::Benchmark;
-use man_bench::{cost_experiment, print_cost_table, save_json, RunMode};
+use man_bench::{cost_experiment, parallelism_from_args, print_cost_table, save_json, RunMode};
 
 fn main() {
     let mode = RunMode::from_args();
+    let par = parallelism_from_args();
     println!("Fig. 9 — energy per inference ({mode:?})");
     let mut model = CostModel::default();
     let groups: [(&str, Vec<Benchmark>); 3] = [
@@ -21,7 +22,7 @@ fn main() {
     for (title, members) in groups {
         println!("\n=== {title} ===");
         for b in members {
-            let exp = cost_experiment(b, b.default_bits(), mode, &mut model);
+            let exp = cost_experiment(b, b.default_bits(), mode, &mut model, par);
             print_cost_table(&exp, "energy");
             results.push(exp);
         }

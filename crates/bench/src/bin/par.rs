@@ -1,0 +1,188 @@
+//! Parallel batch-engine throughput: `InferenceSession::infer_batch`
+//! across the zoo models at `Sequential` vs `Threads(2)` / `Threads(4)`
+//! / `Auto`, with bit-equality against the sequential path asserted on
+//! every configuration before anything is timed.
+//!
+//! Emits `BENCH_par.json` in the working directory. The file records the
+//! host's core count (`host_cores`) next to every measurement: thread
+//! scaling is only meaningful relative to the cores that were actually
+//! available, and the CI regression gate compares like against like via
+//! the per-thread-count `ips` metrics.
+//!
+//! Run with: `cargo run --release -p man-bench --bin par [-- --full]`
+
+use std::time::Instant;
+
+use man::alphabet::AlphabetSet;
+use man::zoo::Benchmark;
+use man_datasets::GenOptions;
+use man_par::{available_cores, Parallelism};
+use man_repro::Pipeline;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ThreadRow {
+    /// `sequential`, `threads(2)`, `threads(4)`, `auto(N)`.
+    parallelism: String,
+    /// Resolved worker count.
+    workers: usize,
+    /// Inferences per second through `infer_batch` (best window).
+    ips: f64,
+    /// `ips / sequential ips` on the same host — the scaling headline.
+    speedup_vs_sequential: f64,
+}
+
+#[derive(Serialize)]
+struct ParBench {
+    benchmark: String,
+    bits: u32,
+    alphabet: String,
+    batch: usize,
+    /// MACs per inference — the work each row represents.
+    macs: u64,
+    rows: Vec<ThreadRow>,
+}
+
+#[derive(Serialize)]
+struct ParReport {
+    /// Hardware threads available when the numbers were taken. Thread
+    /// scaling on an N-core host tops out near N; a 1-core container
+    /// measures ~1.0x by physics, not by regression.
+    host_cores: usize,
+    quick: bool,
+    benchmarks: Vec<ParBench>,
+}
+
+/// One untimed warmup pass (fills the per-worker caches), returning the
+/// scores for the bit-equality check.
+fn warmup(session: &man_repro::InferenceSession, images: &[Vec<f32>]) -> Vec<Vec<i64>> {
+    session
+        .infer_batch_shared(images)
+        .expect("dataset images match the input layer")
+        .into_iter()
+        .map(|p| p.scores)
+        .collect()
+}
+
+/// One timed pass: inferences per second for a single `infer_batch`.
+fn timed_ips(session: &man_repro::InferenceSession, images: &[Vec<f32>]) -> f64 {
+    let start = Instant::now();
+    let n = session
+        .infer_batch_shared(images)
+        .expect("dataset images match the input layer")
+        .len();
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (batch, reps) = if full { (256, 4) } else { (64, 2) };
+    let host_cores = available_cores();
+    let configs = [
+        Parallelism::Sequential,
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+        Parallelism::Auto,
+    ];
+    println!("Parallel batch engine — infer_batch over {batch} rows, {host_cores} host core(s)\n");
+    println!(
+        "{:<30} {:>4} {:<12} {:>14} {:>12} {:>9}",
+        "Benchmark", "bits", "alphabet", "parallelism", "i/s", "speedup"
+    );
+    let mut benchmarks = Vec::new();
+    for b in Benchmark::ALL {
+        let bits = b.default_bits();
+        let set = AlphabetSet::a1();
+        let ds = b.dataset(&GenOptions {
+            train: 1,
+            test: batch,
+            seed: 0x9A12 + bits as u64,
+        });
+        let compiled = Pipeline::for_benchmark(b)
+            .with_bits(bits)
+            .with_alphabets(vec![set.clone()])
+            .constrain()
+            .expect("projection")
+            .compile()
+            .expect("projected weights compile");
+        let macs: u64 = compiled.fixed().macs_per_layer().iter().sum();
+
+        // Warm every configuration first (checking bit-equality against
+        // the sequential reference), then interleave the timed reps so
+        // host noise hits all configurations alike.
+        let sessions: Vec<_> = configs
+            .iter()
+            .map(|&p| compiled.session_parallel(p))
+            .collect();
+        let mut reference: Option<Vec<Vec<i64>>> = None;
+        for (p, session) in configs.iter().zip(&sessions) {
+            let scores = warmup(session, &ds.test_images);
+            match &reference {
+                None => reference = Some(scores),
+                Some(want) => assert_eq!(
+                    want,
+                    &scores,
+                    "{} @ {}: parallel batch must be bit-identical to sequential",
+                    b.name(),
+                    p.label()
+                ),
+            }
+        }
+        let mut best = vec![0.0f64; configs.len()];
+        for _ in 0..reps {
+            for (i, session) in sessions.iter().enumerate() {
+                best[i] = best[i].max(timed_ips(session, &ds.test_images));
+            }
+        }
+        let sequential_ips = best[0];
+        let mut rows: Vec<ThreadRow> = Vec::new();
+        for (p, ips) in configs.into_iter().zip(best) {
+            let speedup = if sequential_ips > 0.0 {
+                ips / sequential_ips
+            } else {
+                1.0
+            };
+            println!(
+                "{:<30} {:>4} {:<12} {:>14} {:>12.1} {:>8.2}x",
+                b.name(),
+                bits,
+                set.label(),
+                p.label(),
+                ips,
+                speedup
+            );
+            rows.push(ThreadRow {
+                // `Auto` resolves to a host-dependent worker count;
+                // normalize its label so baselines taken on different
+                // machines still pair up in the regression gate.
+                parallelism: match p {
+                    Parallelism::Auto => "auto".to_owned(),
+                    other => other.label(),
+                },
+                workers: p.workers(),
+                ips,
+                speedup_vs_sequential: speedup,
+            });
+        }
+        benchmarks.push(ParBench {
+            benchmark: b.name().to_owned(),
+            bits,
+            alphabet: set.label(),
+            batch,
+            macs,
+            rows,
+        });
+    }
+    let report = ParReport {
+        host_cores,
+        quick: !full,
+        benchmarks,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write("BENCH_par.json", json) {
+            Ok(()) => println!("\n[saved BENCH_par.json]"),
+            Err(e) => eprintln!("warning: could not write BENCH_par.json: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize par bench: {e}"),
+    }
+}

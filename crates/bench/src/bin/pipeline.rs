@@ -36,7 +36,12 @@ struct ThroughputRow {
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let batch_size = if full { 128 } else { 24 };
-    println!("Pipeline serving throughput (batch = {batch_size})\n");
+    // One-shot timings of a small batch swing ~2x with host noise; the
+    // regression gate gets best-of-N with the two paths interleaved so
+    // noise hits both alike. Each rep still opens fresh sessions — the
+    // row measures bank sharing *within* a batch, not across reps.
+    let reps = if full { 5 } else { 3 };
+    println!("Pipeline serving throughput (batch = {batch_size}, best of {reps})\n");
     println!(
         "{:<30} {:>4} {:<14} {:>12} {:>12} {:>8}",
         "Benchmark", "bits", "alphabet", "batched i/s", "cold i/s", "speedup"
@@ -59,23 +64,26 @@ fn main() {
                 .expect("projected weights compile");
             let macs: u64 = compiled.fixed().macs_per_layer().iter().sum();
 
-            // Warm path: one session, banks shared across the batch.
-            let mut session = compiled.session();
-            let start = Instant::now();
-            let predictions = session
-                .infer_batch(&ds.test_images)
-                .expect("dataset images match the input layer");
-            let batched_s = start.elapsed().as_secs_f64();
-            assert_eq!(predictions.len(), batch_size);
+            let (mut batched_s, mut cold_s) = (f64::MAX, f64::MAX);
+            for _ in 0..reps {
+                // Shared path: one session, banks shared across the batch.
+                let mut session = compiled.session();
+                let start = Instant::now();
+                let predictions = session
+                    .infer_batch(&ds.test_images)
+                    .expect("dataset images match the input layer");
+                batched_s = batched_s.min(start.elapsed().as_secs_f64());
+                assert_eq!(predictions.len(), batch_size);
 
-            // Cold path: a fresh session (empty cache) per input.
-            let start = Instant::now();
-            for image in &ds.test_images {
-                let mut fresh = compiled.session();
-                let p = fresh.infer(image).expect("dataset image matches");
-                assert!(p.class < 64);
+                // Cold path: a fresh session (empty cache) per input.
+                let start = Instant::now();
+                for image in &ds.test_images {
+                    let mut fresh = compiled.session();
+                    let p = fresh.infer(image).expect("dataset image matches");
+                    assert!(p.class < 64);
+                }
+                cold_s = cold_s.min(start.elapsed().as_secs_f64());
             }
-            let cold_s = start.elapsed().as_secs_f64();
 
             let row = ThroughputRow {
                 benchmark: b.name().to_owned(),

@@ -1,0 +1,150 @@
+//! CI gate: compares freshly measured `BENCH_*.json` files against the
+//! checked-in baselines and exits non-zero on a throughput regression.
+//!
+//! All comparison logic lives in `man_bench::regression` (unit tested);
+//! this binary only parses arguments, reads files, prints the verdict
+//! and sets the exit code.
+//!
+//! Usage:
+//!
+//! ```text
+//! regression_gate --baseline <dir> --current <dir> \
+//!     [--tolerance 0.25] [FILE ...]
+//! ```
+//!
+//! `FILE`s default to the three bench reports
+//! (`BENCH_pipeline.json`, `BENCH_serve.json`, `BENCH_par.json`). A file
+//! with no baseline yet is reported and skipped (first run); a baseline
+//! whose current counterpart is missing or unparsable fails the gate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use man_bench::regression::{compare, Comparison};
+use serde::Value;
+
+const DEFAULT_FILES: &[&str] = &["BENCH_pipeline.json", "BENCH_serve.json", "BENCH_par.json"];
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+struct Args {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    tolerance: f64,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline_dir = None;
+    let mut current_dir = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut files = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_dir = Some(PathBuf::from(
+                    argv.next().ok_or("--baseline needs a directory")?,
+                ));
+            }
+            "--current" => {
+                current_dir = Some(PathBuf::from(
+                    argv.next().ok_or("--current needs a directory")?,
+                ));
+            }
+            "--tolerance" => {
+                tolerance = argv
+                    .next()
+                    .ok_or("--tolerance needs a fraction")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err(format!("tolerance must be in [0, 1), got {tolerance}"));
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        files = DEFAULT_FILES.iter().map(|s| (*s).to_owned()).collect();
+    }
+    Ok(Args {
+        baseline_dir: baseline_dir.ok_or("--baseline <dir> is required")?,
+        current_dir: current_dir.ok_or("--current <dir> is required")?,
+        tolerance,
+        files,
+    })
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn print_comparison(file: &str, cmp: &Comparison, tolerance: f64) {
+    println!(
+        "  {file}: {} metrics compared, {} improved, {} regressed, {} missing (tolerance -{:.0}%)",
+        cmp.compared,
+        cmp.improved,
+        cmp.regressions.len(),
+        cmp.missing.len(),
+        tolerance * 100.0
+    );
+    for r in &cmp.regressions {
+        println!(
+            "    REGRESSION {:<60} {:>10.1} -> {:>10.1}  ({:.0}% of baseline)",
+            r.path,
+            r.baseline,
+            r.current,
+            r.ratio * 100.0
+        );
+    }
+    for m in &cmp.missing {
+        println!("    MISSING    {m} (present in baseline, absent in current run)");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("regression_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "bench-regression gate: baseline {} vs current {}",
+        args.baseline_dir.display(),
+        args.current_dir.display()
+    );
+    let mut failed = false;
+    for file in &args.files {
+        let base_path = args.baseline_dir.join(file);
+        let cur_path = args.current_dir.join(file);
+        if !base_path.exists() {
+            println!("  {file}: no baseline yet — skipping (check the current run in to seed it)");
+            continue;
+        }
+        let verdict = load(&base_path)
+            .and_then(|base| load(&cur_path).map(|cur| compare(&base, &cur, args.tolerance)));
+        match verdict {
+            Ok(cmp) => {
+                print_comparison(file, &cmp, args.tolerance);
+                failed |= !cmp.passed();
+            }
+            Err(e) => {
+                println!("  {file}: FAILED to load/parse: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        println!(
+            "\nVERDICT: FAIL — throughput regressed beyond tolerance (or a bench surface vanished)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nVERDICT: PASS");
+        ExitCode::SUCCESS
+    }
+}

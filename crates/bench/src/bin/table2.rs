@@ -2,14 +2,17 @@
 //! synapses, conventional vs ASM with 4/2/1 alphabets).
 
 use man::zoo::Benchmark;
-use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
+use man_bench::{
+    accuracy_experiment, parallelism_from_args, print_accuracy_table, save_json, RunMode,
+};
 
 fn main() {
     let mode = RunMode::from_args();
+    let par = parallelism_from_args();
     println!("Table II — NN accuracy results for face detection ({mode:?})");
     let mut results = Vec::new();
     for bits in [8u32, 12] {
-        let exp = accuracy_experiment(Benchmark::Faces, bits, mode);
+        let exp = accuracy_experiment(Benchmark::Faces, bits, mode, par);
         print_accuracy_table(&exp);
         results.push(exp);
     }

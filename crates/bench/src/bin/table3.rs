@@ -2,14 +2,17 @@
 //! 12-bit LeNet-style CNN on the MNIST-like set.
 
 use man::zoo::Benchmark;
-use man_bench::{accuracy_experiment, print_accuracy_table, save_json, RunMode};
+use man_bench::{
+    accuracy_experiment, parallelism_from_args, print_accuracy_table, save_json, RunMode,
+};
 
 fn main() {
     let mode = RunMode::from_args();
+    let par = parallelism_from_args();
     println!("Table III — NN accuracy results for digit recognition ({mode:?})");
-    let mlp = accuracy_experiment(Benchmark::DigitsMlp, 8, mode);
+    let mlp = accuracy_experiment(Benchmark::DigitsMlp, 8, mode, par);
     print_accuracy_table(&mlp);
-    let cnn = accuracy_experiment(Benchmark::DigitsCnn, 12, mode);
+    let cnn = accuracy_experiment(Benchmark::DigitsCnn, 12, mode, par);
     print_accuracy_table(&cnn);
     save_json("table3", &vec![mlp, cnn]);
 }

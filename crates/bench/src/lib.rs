@@ -15,8 +15,11 @@ use man::fixed::LayerAlphabets;
 use man::train::MethodologyConfig;
 use man::zoo::Benchmark;
 use man_datasets::GenOptions;
+use man_par::Parallelism;
 use man_repro::Pipeline;
 use serde::Serialize;
+
+pub mod regression;
 
 /// Quick vs. full (paper-scale) execution.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -52,6 +55,34 @@ impl RunMode {
             },
         }
     }
+}
+
+/// Parses the shared `--threads N` / `--threads=N` flag: `Threads(N)`
+/// when given, `Parallelism::Auto` (every available core) otherwise —
+/// so the experiment binaries use the whole machine by default and CI
+/// can pin an exact worker count for reproducible timing. A malformed
+/// value aborts loudly (exit 2) instead of silently falling back to
+/// `Auto`: a run that *believes* it pinned its worker count but did not
+/// would poison any timing comparison built on it.
+pub fn parallelism_from_args() -> Parallelism {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let value = if a == "--threads" {
+            Some(args.next().unwrap_or_default())
+        } else {
+            a.strip_prefix("--threads=").map(str::to_owned)
+        };
+        if let Some(value) = value {
+            match value.parse::<usize>() {
+                Ok(n) if n >= 1 => return Parallelism::Threads(n),
+                _ => {
+                    eprintln!("--threads expects a worker count >= 1, got `{value}`");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    Parallelism::Auto
 }
 
 /// The alphabet sweep of the paper's tables, largest first (as Tables II
@@ -102,11 +133,23 @@ pub struct AccuracyExperiment {
 /// conventional fixed-point accuracy `J`, then constrained-retrains and
 /// measures each alphabet set in [`table_alphabets`] order — the
 /// procedure behind Tables II/III and Fig. 7.
-pub fn accuracy_experiment(benchmark: Benchmark, bits: u32, mode: RunMode) -> AccuracyExperiment {
+///
+/// The alphabet-set retrains are independent restarts from the same
+/// restore point, so with a multi-worker `parallelism` they run
+/// concurrently; each set's retraining is seeded per-set and its
+/// accuracy evaluation shards deterministically, so every row is
+/// identical to the sequential sweep.
+pub fn accuracy_experiment(
+    benchmark: Benchmark,
+    bits: u32,
+    mode: RunMode,
+    parallelism: Parallelism,
+) -> AccuracyExperiment {
     let ds = benchmark.dataset(&mode.gen_options(0xDA7E + bits as u64));
     let baseline = Pipeline::for_benchmark(benchmark)
         .with_bits(bits)
         .with_data(&ds)
+        .with_parallelism(parallelism)
         .configure(move |cfg| apply_mode(cfg, mode, benchmark))
         .train_baseline()
         .expect("baseline training runs");
@@ -117,17 +160,21 @@ pub fn accuracy_experiment(benchmark: Benchmark, bits: u32, mode: RunMode) -> Ac
         accuracy_pct: j,
         loss_pct: 0.0,
     }];
-    for set in table_alphabets() {
-        let alphabets = LayerAlphabets::uniform(set, layers);
+    let sets = table_alphabets();
+    // Outer workers fan over the per-set retrains; each set's accuracy
+    // evaluation gets the remaining budget (see `man_par::split_budget`).
+    let (parallelism, inner) = man_par::split_budget(parallelism, sets.len());
+    rows.extend(man_par::parallel_map(parallelism, sets.len(), |i| {
+        let alphabets = LayerAlphabets::uniform(sets[i].clone(), layers);
         let retrained = baseline
-            .retrain(&alphabets)
+            .retrain_with_parallelism(&alphabets, inner)
             .expect("projected weights always compile");
-        rows.push(AccuracyRow {
+        AccuracyRow {
             config: retrained.alphabets().label(),
             accuracy_pct: 100.0 * retrained.attempts[0].accuracy,
             loss_pct: retrained.attempts[0].loss_pp,
-        });
-    }
+        }
+    }));
     AccuracyExperiment {
         benchmark: benchmark.name().to_owned(),
         bits,
@@ -181,6 +228,7 @@ pub fn cost_experiment(
     bits: u32,
     mode: RunMode,
     model: &mut CostModel,
+    parallelism: Parallelism,
 ) -> CostExperiment {
     let ds = benchmark.dataset(&GenOptions {
         train: 400,
@@ -190,6 +238,7 @@ pub fn cost_experiment(
     let baseline = Pipeline::for_benchmark(benchmark)
         .with_bits(bits)
         .with_data(&ds)
+        .with_parallelism(parallelism)
         .configure(move |cfg| {
             apply_mode(cfg, mode, benchmark);
             cfg.initial_epochs = cfg.initial_epochs.min(4);

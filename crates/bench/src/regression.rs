@@ -1,0 +1,327 @@
+//! The CI perf-regression comparator behind the `bench-regression` job.
+//!
+//! The checked-in `BENCH_*.json` files are the performance baselines of
+//! record. CI re-runs the bench binaries in `--quick` mode and compares
+//! every *throughput-shaped* metric of the fresh run against the
+//! baseline with a relative noise tolerance; a metric that fell by more
+//! than the tolerance — or disappeared entirely — fails the build.
+//!
+//! The comparison logic lives here (not in workflow YAML) so it is unit
+//! tested like any other code; the `regression_gate` binary is a thin
+//! argv/exit-code wrapper around [`compare`].
+//!
+//! Metrics are extracted *structurally*: any numeric field whose key is
+//! in [`THROUGHPUT_KEYS`] counts, wherever it sits in the document, and
+//! its identity is the path of object keys leading to it. Array elements
+//! are labelled by their identifying fields (`benchmark`, `alphabet`,
+//! `mode`, `threads`, …) rather than position, so reordering rows — or
+//! appending new ones — never mis-pairs baseline and current values.
+
+use serde::Value;
+
+/// Keys whose numeric values are throughput-shaped (higher is better).
+/// Latencies and counters are deliberately excluded: they need opposite
+/// polarity and absolute thresholds, and the gate's job is throughput.
+pub const THROUGHPUT_KEYS: &[&str] = &[
+    "batched_ips",
+    "cold_ips",
+    "throughput_rps",
+    "predict_rps",
+    "ips",
+];
+
+/// Keys that identify an array element (used to label rows stably).
+const ID_KEYS: &[&str] = &[
+    "benchmark",
+    "alphabet",
+    "mode",
+    "model",
+    "bits",
+    "threads",
+    "parallelism",
+    "batch",
+    "queue_capacity",
+    "clients",
+];
+
+/// One extracted throughput metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Stable identity: object keys and row labels joined with `/`.
+    pub path: String,
+    /// The metric value (inferences/requests per second).
+    pub value: f64,
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::I64(n) => Some(*n as f64),
+        Value::U64(n) => Some(*n as f64),
+        Value::F64(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// A stable label for an array element: its identifying fields when it
+/// is an object (`benchmark=Digit-8bit,alphabet=1 {1}`), else its index.
+fn element_label(v: &Value, index: usize) -> String {
+    if let Some(entries) = v.as_object() {
+        let ids: Vec<String> = ID_KEYS
+            .iter()
+            .filter_map(|key| {
+                entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(k, v)| match v {
+                        Value::Str(s) => format!("{k}={s}"),
+                        other => format!("{k}={}", numeric(other).unwrap_or(f64::NAN)),
+                    })
+            })
+            .collect();
+        if !ids.is_empty() {
+            return ids.join(",");
+        }
+    }
+    index.to_string()
+}
+
+fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
+    match v {
+        Value::Object(entries) => {
+            for (key, child) in entries {
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}/{key}")
+                };
+                if THROUGHPUT_KEYS.contains(&key.as_str()) {
+                    if let Some(value) = numeric(child) {
+                        out.push(Metric {
+                            path: child_path,
+                            value,
+                        });
+                        continue;
+                    }
+                }
+                walk(child, &child_path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = element_label(item, i);
+                let child_path = if path.is_empty() {
+                    format!("[{label}]")
+                } else {
+                    format!("{path}/[{label}]")
+                };
+                walk(item, &child_path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extracts every throughput metric from a bench JSON document.
+pub fn extract_metrics(doc: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    walk(doc, "", &mut out);
+    out
+}
+
+/// One metric that fell below the tolerance band.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The metric's stable path.
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `current / baseline` (< 1 means slower).
+    pub ratio: f64,
+}
+
+/// Outcome of comparing one current document against its baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Metrics that regressed beyond the tolerance.
+    pub regressions: Vec<Finding>,
+    /// Baseline metrics absent from the current run — treated as
+    /// failures, so a bench surface cannot silently rot away.
+    pub missing: Vec<String>,
+    /// Metrics present in both documents.
+    pub compared: usize,
+    /// Compared metrics that improved beyond the tolerance (informational).
+    pub improved: usize,
+}
+
+impl Comparison {
+    /// `true` when nothing regressed and nothing went missing.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline` with a relative `tolerance`
+/// (`0.25` = a metric may fall to 75% of its baseline before failing —
+/// wide enough to absorb shared-runner noise, tight enough to catch a
+/// real engine regression). Metrics new in `current` pass silently —
+/// they become binding once the refreshed baseline is checked in.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not in `[0, 1)`.
+pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Comparison {
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be a fraction in [0, 1)"
+    );
+    let base_metrics = extract_metrics(baseline);
+    let cur_metrics = extract_metrics(current);
+    let mut cmp = Comparison::default();
+    for base in &base_metrics {
+        let Some(cur) = cur_metrics.iter().find(|m| m.path == base.path) else {
+            cmp.missing.push(base.path.clone());
+            continue;
+        };
+        cmp.compared += 1;
+        // A zero/negative baseline can't anchor a ratio; count it as
+        // compared but never as a regression (quick-mode benches can
+        // legitimately record 0.0 for an unexercised path).
+        if base.value <= 0.0 {
+            continue;
+        }
+        let ratio = cur.value / base.value;
+        if ratio < 1.0 - tolerance {
+            cmp.regressions.push(Finding {
+                path: base.path.clone(),
+                baseline: base.value,
+                current: cur.value,
+                ratio,
+            });
+        } else if ratio > 1.0 + tolerance {
+            cmp.improved += 1;
+        }
+    }
+    cmp.regressions.sort_by(|a, b| {
+        a.ratio
+            .partial_cmp(&b.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::from_str(s).expect("test JSON parses")
+    }
+
+    const BASELINE: &str = r#"[
+        {"benchmark": "A", "alphabet": "1 {1}", "batched_ips": 1000.0, "cold_ips": 100.0, "macs": 5},
+        {"benchmark": "B", "alphabet": "2 {1,3}", "batched_ips": 2000.0, "cold_ips": 150.0, "macs": 9}
+    ]"#;
+
+    #[test]
+    fn extracts_throughput_keys_with_stable_row_labels() {
+        let metrics = extract_metrics(&parse(BASELINE));
+        let paths: Vec<&str> = metrics.iter().map(|m| m.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "[benchmark=A,alphabet=1 {1}]/batched_ips",
+                "[benchmark=A,alphabet=1 {1}]/cold_ips",
+                "[benchmark=B,alphabet=2 {1,3}]/batched_ips",
+                "[benchmark=B,alphabet=2 {1,3}]/cold_ips",
+            ]
+        );
+        assert_eq!(metrics[0].value, 1000.0);
+        // `macs` is not throughput-shaped and must not be gated.
+        assert!(!paths.iter().any(|p| p.contains("macs")));
+    }
+
+    #[test]
+    fn row_reordering_does_not_mispair_metrics() {
+        let reordered = r#"[
+            {"benchmark": "B", "alphabet": "2 {1,3}", "batched_ips": 2000.0, "cold_ips": 150.0},
+            {"benchmark": "A", "alphabet": "1 {1}", "batched_ips": 1000.0, "cold_ips": 100.0}
+        ]"#;
+        let cmp = compare(&parse(BASELINE), &parse(reordered), 0.25);
+        assert!(cmp.passed(), "{cmp:?}");
+        assert_eq!(cmp.compared, 4);
+    }
+
+    #[test]
+    fn within_tolerance_noise_passes() {
+        let noisy = r#"[
+            {"benchmark": "A", "alphabet": "1 {1}", "batched_ips": 800.0, "cold_ips": 95.0},
+            {"benchmark": "B", "alphabet": "2 {1,3}", "batched_ips": 1600.0, "cold_ips": 140.0}
+        ]"#;
+        let cmp = compare(&parse(BASELINE), &parse(noisy), 0.25);
+        assert!(cmp.passed(), "-20% sits inside the ±25% band: {cmp:?}");
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails_and_ranks_worst_first() {
+        let slow = r#"[
+            {"benchmark": "A", "alphabet": "1 {1}", "batched_ips": 400.0, "cold_ips": 100.0},
+            {"benchmark": "B", "alphabet": "2 {1,3}", "batched_ips": 1400.0, "cold_ips": 150.0}
+        ]"#;
+        let cmp = compare(&parse(BASELINE), &parse(slow), 0.25);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 2);
+        // Worst ratio first: A fell to 40%, B to 70%.
+        assert!(cmp.regressions[0].path.contains("benchmark=A"));
+        assert!((cmp.regressions[0].ratio - 0.4).abs() < 1e-9);
+        assert!(cmp.regressions[1].path.contains("benchmark=B"));
+    }
+
+    #[test]
+    fn missing_metric_fails_new_metric_passes() {
+        let dropped_and_added = r#"[
+            {"benchmark": "A", "alphabet": "1 {1}", "batched_ips": 1000.0},
+            {"benchmark": "B", "alphabet": "2 {1,3}", "batched_ips": 2000.0, "cold_ips": 150.0,
+             "throughput_rps": 99.0}
+        ]"#;
+        let cmp = compare(&parse(BASELINE), &parse(dropped_and_added), 0.25);
+        assert_eq!(
+            cmp.missing,
+            vec!["[benchmark=A,alphabet=1 {1}]/cold_ips".to_owned()]
+        );
+        assert!(!cmp.passed(), "a dropped metric must fail the gate");
+    }
+
+    #[test]
+    fn zero_baseline_never_divides_or_fails() {
+        let base = parse(r#"{"predict_rps": 0.0}"#);
+        let cur = parse(r#"{"predict_rps": 0.0}"#);
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.passed());
+        assert_eq!(cmp.compared, 1);
+    }
+
+    #[test]
+    fn nested_documents_are_walked() {
+        let base = parse(r#"{"modes": [{"mode": "micro", "load": {"throughput_rps": 500.0}}]}"#);
+        let cur = parse(r#"{"modes": [{"mode": "micro", "load": {"throughput_rps": 100.0}}]}"#);
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(
+            cmp.regressions[0].path,
+            "modes/[mode=micro]/load/throughput_rps"
+        );
+    }
+
+    #[test]
+    fn improvements_are_counted_not_failed() {
+        let cur = r#"[
+            {"benchmark": "A", "alphabet": "1 {1}", "batched_ips": 5000.0, "cold_ips": 100.0},
+            {"benchmark": "B", "alphabet": "2 {1,3}", "batched_ips": 2000.0, "cold_ips": 150.0}
+        ]"#;
+        let cmp = compare(&parse(BASELINE), &parse(cur), 0.25);
+        assert!(cmp.passed());
+        assert_eq!(cmp.improved, 1);
+    }
+}

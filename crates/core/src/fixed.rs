@@ -15,6 +15,7 @@ use man_fixed::{quantize::fit_format, QFormat};
 use man_hw::components::activation::{activation_unit_fixed, PlanParams};
 use man_nn::layers::Layer;
 use man_nn::network::Network;
+use man_par::{default_chunk_size, run_chunked, Parallelism};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -275,6 +276,16 @@ pub const PRODUCT_PLANE_MAX_BITS: u32 = 12;
 /// what makes a long-lived serving session faster than per-request
 /// sessions. Entries are filled *by* the simulated datapath, so results
 /// stay bit-identical to the unmemoized path.
+///
+/// The table is **shared by clone**: cloning a plane (or a
+/// [`SessionCache`] carrying one) yields a handle onto the same slots,
+/// so a parallel session's per-worker caches amortize one plane — at
+/// the 12-bit maximum the plane is 16 MiB, which must not be multiplied
+/// by the worker count — and every worker profits from every worker's
+/// fills. Slots are relaxed atomics: two threads can only ever race to
+/// write the *same* pure value (`w·x`), so the worst case is a redundant
+/// computation, never a wrong bit; a relaxed `u32` load costs the same
+/// as a plain one on mainstream hardware.
 #[derive(Clone, Debug)]
 struct ProductPlane {
     /// `2^(bits-1)`: magnitudes are strictly below this.
@@ -282,7 +293,7 @@ struct ProductPlane {
     /// `side × side` products; `u32::MAX` marks an unfilled slot (the
     /// largest real product, `(2^15-1)^2`, is below it for every
     /// supported word length).
-    table: Vec<u32>,
+    table: std::sync::Arc<[std::sync::atomic::AtomicU32]>,
 }
 
 impl ProductPlane {
@@ -292,19 +303,23 @@ impl ProductPlane {
         let side = 1usize << (bits - 1);
         Self {
             side,
-            table: vec![Self::EMPTY; side * side],
+            table: (0..side * side)
+                .map(|_| std::sync::atomic::AtomicU32::new(Self::EMPTY))
+                .collect(),
         }
     }
 
     #[inline]
     fn get(&self, w_mag: u32, x_mag: u32) -> Option<u64> {
-        let cached = self.table[w_mag as usize * self.side + x_mag as usize];
+        let cached = self.table[w_mag as usize * self.side + x_mag as usize]
+            .load(std::sync::atomic::Ordering::Relaxed);
         (cached != Self::EMPTY).then_some(cached as u64)
     }
 
     #[inline]
-    fn store(&mut self, w_mag: u32, x_mag: u32, product: u64) {
-        self.table[w_mag as usize * self.side + x_mag as usize] = product as u32;
+    fn store(&self, w_mag: u32, x_mag: u32, product: u64) {
+        self.table[w_mag as usize * self.side + x_mag as usize]
+            .store(product as u32, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -320,7 +335,11 @@ impl ProductPlane {
 /// A cache built by [`FixedNet::session_cache_warm`] additionally carries
 /// a [`ProductPlane`] that memoizes whole products across inferences —
 /// the right choice for long-lived serving sessions, and bit-identical
-/// to the plain path.
+/// to the plain path. **Cloning** a warm cache shares the plane (its
+/// slots are relaxed atomics over pure values) while deep-copying the
+/// bank tables — which is how a parallel session gives every worker
+/// slot a private bank cache without multiplying the plane's memory or
+/// its steady-state warm-up cost by the worker count.
 #[derive(Clone, Debug)]
 pub struct SessionCache {
     /// Word length plus each layer's alphabet members: a bank's value
@@ -357,6 +376,39 @@ impl SessionCache {
                 mac.asm.apply(&mac.plans[wi], bank)
             }
         }
+    }
+
+    /// Ensures a pre-computer bank exists for every activation in `xs` —
+    /// the write phase that lets [`SessionCache::product_ro`] run the MAC
+    /// loop itself through a shared reference from many worker threads.
+    fn prefill_layer(&mut self, layer: usize, mac: &MacParams, xs: &[SignedAct]) {
+        for x in xs {
+            self.layers[layer][x.mag as usize]
+                .get_or_insert_with(|| mac.asm.precompute(x.mag).into_boxed_slice());
+        }
+    }
+
+    /// Read-only twin of [`SessionCache::product`]: a plane hit when the
+    /// cache is warm, otherwise the (prefilled) bank through the ASM
+    /// datapath. Banks and plane entries are pure functions of
+    /// `(alphabet, w_mag, x_mag)`, so this returns bit-identical products
+    /// to the mutable path — it just cannot memoize new plane entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank for `x_mag` was not prefilled (an internal
+    /// invariant of the neuron-sharded MAC loop).
+    #[inline]
+    fn product_ro(&self, layer: usize, mac: &MacParams, wi: usize, x_mag: u32) -> u64 {
+        if let Some(plane) = &self.plane {
+            if let Some(p) = plane.get(mac.w_mag[wi], x_mag) {
+                return p;
+            }
+        }
+        let bank = self.layers[layer][x_mag as usize]
+            .as_ref()
+            .expect("bank prefilled for every input magnitude before sharding");
+        mac.asm.apply(&mac.plans[wi], bank)
     }
 
     /// `true` when this cache memoizes whole products.
@@ -620,17 +672,60 @@ impl FixedNet {
     /// Runs one MAC layer. `fan_ins(o)` yields output `o`'s
     /// `(weight index, activation)` pairs as an iterator — no per-output
     /// allocation, and the whole MAC loop monomorphizes per layer shape.
+    ///
+    /// With `workers > 1`, no tracing, and a `prefill` slice of the
+    /// layer's input activations, the outputs are sharded across the
+    /// worker pool: banks are prefilled once (the only writes), then each
+    /// worker computes a contiguous range of output neurons through the
+    /// read-only cache. Every neuron's shift-add chain runs in exactly
+    /// the fan-in order of the sequential loop and the merge only
+    /// reassembles whole neurons, so accumulation within a neuron is
+    /// never reordered — the results are bit-identical by construction.
     #[allow(clippy::too_many_arguments)]
     fn run_mac_layer<I: Iterator<Item = (usize, SignedAct)>>(
         &self,
         li: usize,
         mac: &MacParams,
-        acc_init: impl Fn(usize) -> i64,
-        fan_ins: impl Fn(usize) -> I,
+        acc_init: impl Fn(usize) -> i64 + Sync,
+        fan_ins: impl Fn(usize) -> I + Sync,
         outputs: usize,
         cache: &mut SessionCache,
         trace: &mut Option<&mut LayerTrace>,
+        workers: usize,
+        prefill: Option<&[SignedAct]>,
     ) -> Vec<i64> {
+        // Sharding pays only when each worker gets a few neurons; tiny
+        // layers (and traced runs, whose operand stream is ordered) stay
+        // on the sequential reference path. A warm cache also stays
+        // sequential: the shard loop is read-only and cannot memoize new
+        // product-plane entries, so sharding a plane-backed session would
+        // starve the steady-state memo that makes warm serving fast —
+        // the mutable path both fills and profits from the plane.
+        let shardable =
+            workers > 1 && outputs >= workers * 4 && trace.is_none() && !cache.has_product_plane();
+        if let (true, Some(xs)) = (shardable, prefill) {
+            cache.prefill_layer(li, mac, xs);
+            let shared: &SessionCache = cache;
+            let mut slots = vec![(); workers];
+            return run_chunked(
+                &mut slots,
+                outputs,
+                default_chunk_size(outputs, workers),
+                |(), range| {
+                    range
+                        .map(|o| {
+                            let mut acc = acc_init(o);
+                            for (wi, x) in fan_ins(o) {
+                                let mag = shared.product_ro(li, mac, wi, x.mag);
+                                let neg = mac.w_neg[wi] ^ x.neg;
+                                acc += man_fixed::bits::apply_sign(mag, neg);
+                            }
+                            acc
+                        })
+                        .collect()
+                },
+            );
+        }
         let mut accs = Vec::with_capacity(outputs);
         for o in 0..outputs {
             let mut acc = acc_init(o);
@@ -651,8 +746,23 @@ impl FixedNet {
     fn forward_layers(
         &self,
         image: &[f32],
+        traces: Option<&mut Vec<LayerTrace>>,
+        cache: &mut SessionCache,
+    ) -> Vec<i64> {
+        self.forward_layers_sharded(image, traces, cache, 1)
+    }
+
+    /// [`FixedNet::forward_layers`] with the MAC loops of large layers
+    /// sharded over `workers` threads (neuron-level parallelism). Pool
+    /// layers multiply *derived* 2×2-average activations whose magnitudes
+    /// are not in the layer input, so they keep the sequential path — they
+    /// are a vanishing fraction of the MACs anyway.
+    fn forward_layers_sharded(
+        &self,
+        image: &[f32],
         mut traces: Option<&mut Vec<LayerTrace>>,
         cache: &mut SessionCache,
+        workers: usize,
     ) -> Vec<i64> {
         assert_eq!(
             image.len(),
@@ -689,6 +799,8 @@ impl FixedNet {
                         *out_dim,
                         cache,
                         &mut layer_trace,
+                        workers,
+                        Some(xs),
                     )
                 }
                 FixedLayer::Conv {
@@ -723,6 +835,8 @@ impl FixedNet {
                         out_ch * oh * ow,
                         cache,
                         &mut layer_trace,
+                        workers,
+                        Some(xs),
                     )
                 }
                 FixedLayer::Pool {
@@ -763,6 +877,10 @@ impl FixedNet {
                         channels * oh * ow,
                         cache,
                         &mut layer_trace,
+                        // Pool magnitudes are derived, not prefillable:
+                        // stay sequential (see forward_layers_sharded).
+                        1,
+                        None,
                     )
                 }
             };
@@ -870,6 +988,71 @@ impl FixedNet {
         self.forward_layers(image, None, cache)
     }
 
+    /// [`FixedNet::infer_raw_with_cache`] with large layers sharded over
+    /// `parallelism` worker threads (each output neuron computed whole,
+    /// on one thread, in fan-in order — see `run_mac_layer`). Results are
+    /// bit-identical to the sequential path for every `Parallelism`.
+    ///
+    /// A cache with a product plane ([`FixedNet::session_cache_warm`])
+    /// runs sequentially regardless: the sharded loop cannot write the
+    /// plane, and in steady state the plane makes the MAC loop a table
+    /// lookup that sharding could only slow down.
+    ///
+    /// # Panics
+    ///
+    /// As [`FixedNet::infer_raw_with_cache`].
+    pub fn infer_raw_with_cache_par(
+        &self,
+        image: &[f32],
+        cache: &mut SessionCache,
+        parallelism: Parallelism,
+    ) -> Vec<i64> {
+        assert!(
+            self.cache_matches(cache),
+            "session cache belongs to a network with a different word \
+             length or alphabet assignment"
+        );
+        self.forward_layers_sharded(image, None, cache, parallelism.workers())
+    }
+
+    /// Runs a batch with rows sharded across one worker per element of
+    /// `caches` — the data-parallel serving hot path. Row `i` of the
+    /// result is bit-identical to `infer_raw_with_cache(&images[i], c)`
+    /// for any matching cache `c`: each row's whole forward pass runs on
+    /// one thread, and worker-local caches only memoize pure functions of
+    /// the compiled network, so sharding changes wall-clock time, never
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches` is empty or any cache does not match this
+    /// network (as [`FixedNet::infer_raw_with_cache`]).
+    pub fn infer_batch_raw_par(
+        &self,
+        images: &[Vec<f32>],
+        caches: &mut [&mut SessionCache],
+    ) -> Vec<Vec<i64>> {
+        assert!(!caches.is_empty(), "need at least one worker cache");
+        for cache in caches.iter() {
+            assert!(
+                self.cache_matches(cache),
+                "session cache belongs to a network with a different word \
+                 length or alphabet assignment"
+            );
+        }
+        let workers = caches.len();
+        run_chunked(
+            caches,
+            images.len(),
+            default_chunk_size(images.len(), workers),
+            |cache, range| {
+                range
+                    .map(|i| self.forward_layers(&images[i], None, cache))
+                    .collect()
+            },
+        )
+    }
+
     /// Predicted class (exact argmax over the raw integer logits).
     pub fn predict(&self, image: &[f32]) -> usize {
         argmax_raw(&self.infer_raw(image))
@@ -890,6 +1073,45 @@ impl FixedNet {
             .filter(|(img, &l)| argmax_raw(&self.forward_layers(img, None, &mut cache)) == l)
             .count();
         correct as f64 / images.len() as f64
+    }
+
+    /// [`FixedNet::accuracy`] with the test set row-sharded across
+    /// `parallelism` workers (one bank cache per worker). Exactly the
+    /// same count as the sequential pass — inference is deterministic per
+    /// row — just faster on multi-core hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image and label counts differ.
+    pub fn accuracy_par(
+        &self,
+        images: &[Vec<f32>],
+        labels: &[usize],
+        parallelism: Parallelism,
+    ) -> f64 {
+        assert_eq!(images.len(), labels.len());
+        if images.is_empty() {
+            return 0.0;
+        }
+        let workers = parallelism.workers().min(images.len());
+        if workers <= 1 {
+            return self.accuracy(images, labels);
+        }
+        let mut caches: Vec<SessionCache> = (0..workers).map(|_| self.session_cache()).collect();
+        let hits = run_chunked(
+            &mut caches,
+            images.len(),
+            default_chunk_size(images.len(), workers),
+            |cache, range| {
+                range
+                    .map(|i| {
+                        (argmax_raw(&self.forward_layers(&images[i], None, cache)) == labels[i])
+                            as u64
+                    })
+                    .collect()
+            },
+        );
+        hits.iter().sum::<u64>() as f64 / images.len() as f64
     }
 
     /// Runs inferences over `images` collecting per-layer operand traces
@@ -1138,6 +1360,106 @@ mod tests {
         let alphabets = LayerAlphabets::uniform(AlphabetSet::a8(), 2);
         let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
         assert!(!fixed.session_cache_warm().has_product_plane());
+    }
+
+    #[test]
+    fn neuron_sharded_inference_is_bit_identical() {
+        // A wide hidden layer so the shard threshold (outputs >= 4·workers)
+        // actually engages, plain and warm caches, several thread counts.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(16, 64, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+            Layer::Dense(Dense::new(64, 10, &mut rng)),
+        ]);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a2(), 2);
+        constrain_net(&mut net, &spec, &alphabets);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        for warm in [false, true] {
+            let mk = || {
+                if warm {
+                    fixed.session_cache_warm()
+                } else {
+                    fixed.session_cache()
+                }
+            };
+            let mut seq_cache = mk();
+            for i in 0..6 {
+                let x: Vec<f32> = (0..16)
+                    .map(|j| ((i * 11 + j * 3) % 13) as f32 / 13.0)
+                    .collect();
+                let seq = fixed.infer_raw_with_cache(&x, &mut seq_cache);
+                for threads in [1usize, 2, 3, 8] {
+                    let mut cache = mk();
+                    assert_eq!(
+                        fixed.infer_raw_with_cache_par(
+                            &x,
+                            &mut cache,
+                            Parallelism::Threads(threads)
+                        ),
+                        seq,
+                        "warm={warm} threads={threads}: sharding must not change a bit"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_sharded_batch_is_bit_identical() {
+        let mut net = tiny_net(78);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a1(), 2);
+        constrain_net(&mut net, &spec, &alphabets);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        let images: Vec<Vec<f32>> = (0..17)
+            .map(|i| (0..16).map(|j| ((i * 5 + j) % 11) as f32 / 11.0).collect())
+            .collect();
+        let mut seq_cache = fixed.session_cache();
+        let seq: Vec<Vec<i64>> = images
+            .iter()
+            .map(|x| fixed.infer_raw_with_cache(x, &mut seq_cache))
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let mut caches: Vec<SessionCache> =
+                (0..workers).map(|_| fixed.session_cache()).collect();
+            let mut refs: Vec<&mut SessionCache> = caches.iter_mut().collect();
+            assert_eq!(
+                fixed.infer_batch_raw_par(&images, &mut refs),
+                seq,
+                "{workers} worker caches"
+            );
+        }
+        // Degenerate batches.
+        let mut caches = vec![fixed.session_cache(); 4];
+        let mut refs: Vec<&mut SessionCache> = caches.iter_mut().collect();
+        assert!(fixed.infer_batch_raw_par(&[], &mut refs).is_empty());
+    }
+
+    #[test]
+    fn parallel_accuracy_matches_sequential() {
+        let mut net = tiny_net(79);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a4(), 2);
+        constrain_net(&mut net, &spec, &alphabets);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        let images: Vec<Vec<f32>> = (0..23)
+            .map(|i| {
+                (0..16)
+                    .map(|j| ((i * 7 + j * 2) % 9) as f32 / 9.0)
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..23).map(|i| i % 3).collect();
+        let seq = fixed.accuracy(&images, &labels);
+        for p in [
+            Parallelism::Sequential,
+            Parallelism::Threads(3),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(fixed.accuracy_par(&images, &labels, p), seq);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use man_nn::layers::ParamKind;
 use man_nn::network::Network;
 use man_nn::optim::Sgd;
 use man_nn::train::{train, TrainConfig};
+use man_par::Parallelism;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,12 @@ pub struct MethodologyConfig {
     pub candidates: Vec<AlphabetSet>,
     /// RNG seed (shuffling and initialization).
     pub seed: u64,
+    /// Worker threads for the accuracy evaluations the methodology runs
+    /// after every phase (float, `J`, each `K`). Evaluation shards test
+    /// rows across workers; the measured accuracies are identical to a
+    /// sequential pass for every setting. SGD itself stays sequential —
+    /// the update chain is order-dependent by definition.
+    pub parallelism: Parallelism,
 }
 
 impl MethodologyConfig {
@@ -66,6 +73,7 @@ impl MethodologyConfig {
             quality: 0.99,
             candidates: vec![AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()],
             seed: 0x5EED,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -165,7 +173,7 @@ pub fn train_unconstrained(
         ..TrainConfig::default()
     };
     train(net, &mut sgd, images, labels, &tc, &mut rng, |_| {});
-    net.accuracy(images, labels)
+    net.accuracy_par(images, labels, cfg.parallelism)
 }
 
 /// Retrains a copy of `restore` under a constraint projection (Algorithm 2
@@ -254,7 +262,7 @@ pub fn run_methodology(
     );
     // Step 1: unconstrained training to near saturation.
     train_unconstrained(&mut net, train_images, train_labels, cfg);
-    let float_accuracy = net.accuracy(test_images, test_labels);
+    let float_accuracy = net.accuracy_par(test_images, test_labels, cfg.parallelism);
     // Step 2: quantized conventional accuracy J + restore point.
     let spec = QuantSpec::fit(&net, cfg.bits);
     let layers = spec.layer_formats().len();
@@ -264,7 +272,7 @@ pub fn run_methodology(
         &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
     )
     .expect("full alphabet always compiles");
-    let j = conventional.accuracy(test_images, test_labels);
+    let j = conventional.accuracy_par(test_images, test_labels, cfg.parallelism);
     // Steps 3-4: constrained retraining with growing alphabet sets.
     let mut attempts = Vec::new();
     let mut retrained = Vec::new();
@@ -275,7 +283,7 @@ pub fn run_methodology(
             constrained_retrain(&net, &spec, &alphabets, train_images, train_labels, cfg);
         let fixed = FixedNet::compile(&candidate, &spec, &alphabets)
             .expect("projected weights always compile");
-        let k = fixed.accuracy(test_images, test_labels);
+        let k = fixed.accuracy_par(test_images, test_labels, cfg.parallelism);
         let accepted = k >= j * cfg.quality;
         attempts.push(Attempt {
             label: set.label(),

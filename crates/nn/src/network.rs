@@ -131,6 +131,33 @@ impl Network {
         correct as f64 / samples.len() as f64
     }
 
+    /// [`Network::accuracy`] with the dataset row-sharded across
+    /// `parallelism` worker threads. Each sample's forward pass is
+    /// independent and deterministic, so the count — and therefore the
+    /// returned accuracy — is identical to the sequential pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample and label counts differ.
+    pub fn accuracy_par(
+        &self,
+        samples: &[Vec<f32>],
+        labels: &[usize],
+        parallelism: man_par::Parallelism,
+    ) -> f64 {
+        assert_eq!(samples.len(), labels.len(), "sample/label count mismatch");
+        if samples.is_empty() {
+            return 0.0;
+        }
+        if parallelism.workers() <= 1 {
+            return self.accuracy(samples, labels);
+        }
+        let hits = man_par::parallel_map(parallelism, samples.len(), |i| {
+            u64::from(self.predict(&samples[i]) == labels[i])
+        });
+        hits.iter().sum::<u64>() as f64 / samples.len() as f64
+    }
+
     /// Visits every parameter tensor as `(layer_index, kind, values,
     /// grads)`, in a stable order.
     pub fn visit_params_mut(

@@ -17,7 +17,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use man_repro::{CompiledModel, InferenceSession, ManError, Prediction, ServeError};
+use man_repro::{CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError};
 
 use crate::metrics::ModelMetrics;
 
@@ -55,6 +55,14 @@ pub struct BatchConfig {
     pub workers: usize,
     /// Session reuse policy.
     pub session_mode: SessionMode,
+    /// Intra-batch parallelism: each scheduler worker's session shards
+    /// one coalesced micro-batch across this many cores (row-sharded;
+    /// bit-identical to sequential). [`Parallelism::Sequential`] — the
+    /// default — keeps one core per micro-batch, which is right when
+    /// `workers` already covers the machine; raise it instead of
+    /// `workers` when per-request latency matters more than stream
+    /// throughput.
+    pub parallelism: Parallelism,
     /// How long a submitter waits for its reply before giving up.
     pub request_timeout: Duration,
 }
@@ -67,6 +75,7 @@ impl Default for BatchConfig {
             queue_capacity: 256,
             workers: 1,
             session_mode: SessionMode::Warm,
+            parallelism: Parallelism::Sequential,
             request_timeout: Duration::from_secs(30),
         }
     }
@@ -231,11 +240,15 @@ impl Drop for ModelHost {
 }
 
 /// Builds the session a persistent-mode worker keeps for its lifetime.
-fn worker_session(model: &CompiledModel, mode: SessionMode) -> Option<InferenceSession> {
+fn worker_session(
+    model: &CompiledModel,
+    mode: SessionMode,
+    parallelism: Parallelism,
+) -> Option<InferenceSession> {
     match mode {
         SessionMode::Cold => None,
-        SessionMode::Persistent => Some(model.session()),
-        SessionMode::Warm => Some(model.session().warm()),
+        SessionMode::Persistent => Some(model.session().with_parallelism(parallelism)),
+        SessionMode::Warm => Some(model.session().warm().with_parallelism(parallelism)),
     }
 }
 
@@ -245,7 +258,7 @@ fn worker_loop(
     cfg: &BatchConfig,
     metrics: &ModelMetrics,
 ) {
-    let session = worker_session(model, cfg.session_mode);
+    let session = worker_session(model, cfg.session_mode, cfg.parallelism);
     loop {
         // Hold the receiver lock across the blocking wait *and* the batch
         // drain: idle co-workers queue behind it and take over the moment
@@ -301,7 +314,8 @@ fn dispatch(
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match session {
         Some(session) => session.infer_batch_shared(&inputs),
         // Cold mode: a throwaway session per dispatch call, sharing
-        // nothing beyond this call.
+        // nothing beyond this call (deliberately sequential, too — it is
+        // the naive-server baseline).
         None => model.session().infer_batch_shared(&inputs),
     }))
     .unwrap_or_else(|panic| {

@@ -74,4 +74,6 @@ pub use server::{Server, TcpClient, WireError};
 
 // Re-export the facade's serving-relevant types so a server binary can
 // depend on `man-serve` alone.
-pub use man_repro::{CompiledModel, InferenceSession, ManError, Prediction, ServeError};
+pub use man_repro::{
+    CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError,
+};

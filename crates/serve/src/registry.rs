@@ -165,25 +165,30 @@ impl ModelRegistry {
 
     /// Stats snapshots: every model, or just `model` when given.
     ///
+    /// The snapshots are taken *while holding the registry's read lock*,
+    /// so they are consistent with routing: an `unload`/`install` (which
+    /// need the write lock) cannot complete in between, and `stats`
+    /// never reports a model that has already been evicted and drained.
+    /// The previous implementation cloned the host `Arc`s, released the
+    /// lock, and only then read the counters — leaving a window in which
+    /// a concurrent unload finished and the reply described a host that
+    /// no longer existed, with a mid-drain queue depth to match.
+    ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] when `model` names nothing.
     pub fn stats(&self, model: Option<&str>) -> Result<Vec<ModelStats>, ManError> {
+        let hosts = self.hosts.read().expect("registry lock poisoned");
         match model {
             Some(name) => {
-                let host = self.host(name)?;
+                let host = hosts
+                    .get(name)
+                    .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))?;
                 Ok(vec![host.metrics().snapshot(host.name())])
             }
             None => {
-                let hosts: Vec<Arc<ModelHost>> = self
-                    .hosts
-                    .read()
-                    .expect("registry lock poisoned")
-                    .values()
-                    .cloned()
-                    .collect();
                 let mut stats: Vec<ModelStats> = hosts
-                    .iter()
+                    .values()
                     .map(|h| h.metrics().snapshot(h.name()))
                     .collect();
                 stats.sort_by(|a, b| a.model.cmp(&b.model));

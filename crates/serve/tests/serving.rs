@@ -10,7 +10,7 @@ use man::alphabet::AlphabetSet;
 use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use man_nn::network::Network;
 use man_repro::{CompiledModel, ManError, Pipeline, ServeError};
-use man_serve::{BatchConfig, Client, ModelRegistry, Server, SessionMode, TcpClient};
+use man_serve::{BatchConfig, Client, ModelRegistry, Parallelism, Server, SessionMode, TcpClient};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -46,6 +46,7 @@ fn quick_config() -> BatchConfig {
         workers: 2,
         session_mode: SessionMode::Warm,
         request_timeout: Duration::from_secs(10),
+        ..BatchConfig::default()
     }
 }
 
@@ -138,6 +139,7 @@ fn full_queue_rejects_with_overloaded() {
         workers: 1,
         session_mode: SessionMode::Warm,
         request_timeout: Duration::from_secs(10),
+        ..BatchConfig::default()
     });
     registry.install("m", compiled_model(3, AlphabetSet::a1()));
     let client = Client::new(Arc::clone(&registry));
@@ -265,6 +267,7 @@ fn unload_drains_accepted_requests() {
         workers: 1,
         session_mode: SessionMode::Persistent,
         request_timeout: Duration::from_secs(10),
+        ..BatchConfig::default()
     });
     registry.install("m", compiled_model(5, AlphabetSet::a2()));
     let client = Client::new(Arc::clone(&registry));
@@ -374,4 +377,104 @@ fn cold_and_warm_modes_agree_bitwise() {
             assert_eq!(&p.scores, want, "{mode:?} probe {i}");
         }
     }
+}
+
+#[test]
+fn intra_batch_parallelism_is_bit_identical_and_exposed_in_config() {
+    let model = compiled_model(8, AlphabetSet::a2());
+    let mut reference = model.session();
+    let expected: Vec<Vec<i64>> = (0..24)
+        .map(|i| reference.infer(&probe_input(i)).expect("shape ok").scores)
+        .collect();
+    for parallelism in [Parallelism::Threads(3), Parallelism::Auto] {
+        let registry = ModelRegistry::new(BatchConfig {
+            parallelism,
+            ..quick_config()
+        });
+        assert_eq!(registry.config().parallelism, parallelism);
+        registry.install("m", model.clone());
+        let client = Client::new(Arc::clone(&registry));
+        // Hammer from several threads so micro-batches actually form and
+        // get row-sharded inside the worker sessions.
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let client = client.clone();
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        for i in 0..expected.len() {
+                            let i = (i + t * 5 + round * 7) % expected.len();
+                            let p = client.predict("m", probe_input(i)).expect("serving ok");
+                            assert_eq!(
+                                p.scores,
+                                expected[i],
+                                "{} probe {i}: sharded batch must be bit-identical",
+                                parallelism.label()
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        registry.shutdown();
+    }
+}
+
+#[test]
+fn stats_snapshot_is_consistent_with_routing() {
+    // `stats` takes its snapshot under the registry lock, so it can
+    // never describe a model that a completed unload already evicted —
+    // and a sequenced unload -> stats must report UnknownModel.
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("stable", compiled_model(20, AlphabetSet::a1()));
+    registry.install("flapper", compiled_model(21, AlphabetSet::a1()));
+    let client = Client::new(Arc::clone(&registry));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flapper_model = compiled_model(21, AlphabetSet::a1());
+    let flap = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                registry.unload("flapper").expect("flapper was installed");
+                registry.install("flapper", flapper_model.clone());
+            }
+        })
+    };
+    for _ in 0..200 {
+        // Every snapshot set is a consistent routing snapshot: "stable"
+        // is always present, nothing else but "flapper" ever appears.
+        let stats = client.stats(None).expect("stats never fails");
+        let names: Vec<&str> = stats.iter().map(|s| s.model.as_str()).collect();
+        assert!(names.contains(&"stable"), "names = {names:?}");
+        assert!(
+            names.iter().all(|n| *n == "stable" || *n == "flapper"),
+            "names = {names:?}"
+        );
+        // Per-model stats under churn either succeed or report
+        // UnknownModel; no panic, no stale-host snapshot.
+        match client.stats(Some("flapper")) {
+            Ok(s) => assert_eq!(s[0].model, "flapper"),
+            Err(ManError::Serve(ServeError::UnknownModel(n))) => assert_eq!(n, "flapper"),
+            Err(other) => panic!("unexpected stats error: {other:?}"),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    flap.join().expect("flapper thread panicked");
+
+    // Sequenced happens-before: once unload returns, stats must not know
+    // the model any more.
+    registry.unload("flapper").expect("final unload");
+    match client.stats(Some("flapper")) {
+        Err(ManError::Serve(ServeError::UnknownModel(_))) => {}
+        other => panic!("stats after unload must be UnknownModel, got {other:?}"),
+    }
+    let names: Vec<String> = client
+        .stats(None)
+        .expect("stats")
+        .into_iter()
+        .map(|s| s.model)
+        .collect();
+    assert_eq!(names, vec!["stable".to_owned()]);
 }

@@ -8,9 +8,19 @@ use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man::asm::AsmMultiplier;
 use man_repro::man::constrain::WeightLattice;
 use man_repro::man::zoo::Benchmark;
-use man_repro::{CompiledModel, ManError, Pipeline};
+use man_repro::man_par::available_cores;
+use man_repro::{CompiledModel, ManError, Parallelism, Pipeline};
 
 fn main() -> Result<(), ManError> {
+    // What this host can actually parallelize — CI logs grep this line
+    // to see what the runners exercised.
+    let par = Parallelism::Auto;
+    println!(
+        "[man-par] host cores: {}, batch sessions below run {}",
+        available_cores(),
+        par.label()
+    );
+
     // ---- Part 1: the multiplier the paper replaces multiplication with.
 
     // An 8-bit ASM with the 4-alphabet set {1,3,5,7}.
@@ -70,8 +80,10 @@ fn main() -> Result<(), ManError> {
     );
     println!("artifact round-trip OK: {}", path.display());
 
-    // Serve a batch: pre-computer banks are shared across the batch.
-    let mut session = reloaded.session();
+    // Serve a batch: pre-computer banks are shared across the batch, and
+    // the rows are sharded across every available core (bit-identical to
+    // the sequential session — see DESIGN.md §8).
+    let mut session = reloaded.session_parallel(par);
     let batch: Vec<Vec<f32>> = (0..4).map(|i| vec![0.2 * i as f32; 1024]).collect();
     for (i, p) in session.infer_batch(&batch)?.iter().enumerate() {
         println!("batch[{i}] -> class {} (scores {:?})", p.class, p.scores);

@@ -11,10 +11,20 @@ use std::time::Duration;
 use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man::zoo::Benchmark;
 use man_repro::man_datasets::GenOptions;
-use man_repro::{ManError, Pipeline};
+use man_repro::man_par::available_cores;
+use man_repro::{ManError, Parallelism, Pipeline};
 use man_serve::{BatchConfig, Client, ModelRegistry, Server, TcpClient};
 
 fn main() -> Result<(), ManError> {
+    // One line for the CI logs: what the scheduler workers can shard
+    // a micro-batch across on this host.
+    let parallelism = Parallelism::Auto;
+    println!(
+        "[man-par] host cores: {}, scheduler micro-batches run {}",
+        available_cores(),
+        parallelism.label()
+    );
+
     // ---- Compile the paper's Digit-8bit MLP onto the MAN lattice and
     // persist it as a single-file artifact (see `quickstart.rs` for the
     // full train/constrain story; projection is enough to serve).
@@ -34,7 +44,10 @@ fn main() -> Result<(), ManError> {
     // ---- A registry hosts named models behind micro-batching
     // schedulers; `load_file` hot-loads (and `unload` evicts) artifacts
     // at runtime.
-    let registry = ModelRegistry::new(BatchConfig::default());
+    let registry = ModelRegistry::new(BatchConfig {
+        parallelism,
+        ..BatchConfig::default()
+    });
     let info = registry.load_file("digits", &artifact)?;
     println!(
         "loaded `{}`: {}-bit, {} inputs, alphabets {}",

@@ -29,6 +29,10 @@
 //!   (`infer_shared` / `infer_batch_shared`) plus an opt-in warm product
 //!   memo make one session drivable from many threads — the contract the
 //!   `man-serve` runtime builds its micro-batching scheduler on.
+//! * [`Parallelism`] — the deterministic parallel batch engine
+//!   (`man-par`): `session.with_parallelism(Parallelism::Auto)` shards
+//!   batch rows (and lone large inferences, by output neuron) across
+//!   cores with bit-identical results by construction (DESIGN.md §8).
 //! * [`ManError`] — one `Result`-first error taxonomy wrapping the
 //!   member crates' typed errors, including the serving-runtime
 //!   [`ServeError`] variants.
@@ -65,6 +69,7 @@ pub use man_datasets;
 pub use man_fixed;
 pub use man_hw;
 pub use man_nn;
+pub use man_par;
 
 pub mod artifact;
 pub mod error;
@@ -73,5 +78,6 @@ pub mod session;
 
 pub use artifact::{CompiledModel, CostedModel};
 pub use error::{ManError, ServeError};
+pub use man_par::Parallelism;
 pub use pipeline::{BaselineModel, Pipeline, TrainedModel, TrainingData};
 pub use session::{InferenceSession, Prediction};

@@ -30,6 +30,7 @@ use man::train::{
 use man::zoo::Benchmark;
 use man_datasets::{Dataset, GenOptions};
 use man_nn::network::Network;
+use man_par::Parallelism;
 
 use crate::artifact::CompiledModel;
 use crate::error::ManError;
@@ -126,6 +127,7 @@ pub struct Pipeline {
     candidates: Vec<AlphabetSet>,
     assignment: Option<LayerAlphabets>,
     data: Option<TrainingData>,
+    parallelism: Option<Parallelism>,
     overrides: Vec<ConfigOverride>,
 }
 
@@ -141,6 +143,7 @@ impl Pipeline {
             candidates: vec![AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()],
             assignment: None,
             data: None,
+            parallelism: None,
             overrides: Vec::new(),
         }
     }
@@ -154,6 +157,7 @@ impl Pipeline {
             candidates: vec![AlphabetSet::a1(), AlphabetSet::a2(), AlphabetSet::a4()],
             assignment: None,
             data: None,
+            parallelism: None,
             overrides: Vec::new(),
         }
     }
@@ -191,6 +195,18 @@ impl Pipeline {
         self
     }
 
+    /// Sets the worker-thread budget for the methodology's evaluation
+    /// work: every accuracy measurement shards its test rows, and
+    /// [`BaselineModel::select`] retrains candidate alphabet sets
+    /// concurrently. Results are identical to the sequential run for
+    /// every setting — only wall-clock time changes (SGD itself stays
+    /// sequential; its update chain is order-dependent by definition).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
     /// Registers a hyper-parameter override applied after the defaults
     /// (and after benchmark tuning); overrides run in registration order.
     #[must_use]
@@ -222,6 +238,9 @@ impl Pipeline {
         cfg.candidates = self.candidates.clone();
         if let Source::Benchmark(b) = &self.source {
             b.tune(&mut cfg);
+        }
+        if let Some(p) = self.parallelism {
+            cfg.parallelism = p;
         }
         for f in &self.overrides {
             f(&mut cfg);
@@ -270,7 +289,8 @@ impl Pipeline {
             }
         };
         train_unconstrained(&mut network, &data.train_images, &data.train_labels, &cfg);
-        let float_accuracy = network.accuracy(&data.test_images, &data.test_labels);
+        let float_accuracy =
+            network.accuracy_par(&data.test_images, &data.test_labels, cfg.parallelism);
         let spec = QuantSpec::fit(&network, bits);
         let layers = spec.layer_formats().len();
         let conventional = FixedNet::compile(
@@ -278,7 +298,8 @@ impl Pipeline {
             &spec,
             &LayerAlphabets::uniform(AlphabetSet::a8(), layers),
         )?;
-        let conventional_accuracy = conventional.accuracy(&data.test_images, &data.test_labels);
+        let conventional_accuracy =
+            conventional.accuracy_par(&data.test_images, &data.test_labels, cfg.parallelism);
         Ok(BaselineModel {
             network,
             spec,
@@ -402,6 +423,25 @@ impl BaselineModel {
     /// network fails to compile (it cannot, unless the projection is
     /// bypassed).
     pub fn retrain(&self, alphabets: &LayerAlphabets) -> Result<TrainedModel, ManError> {
+        self.retrain_with_parallelism(alphabets, self.cfg.parallelism)
+    }
+
+    /// [`BaselineModel::retrain`] with an explicit worker budget for the
+    /// accuracy evaluation (`K`). Results are identical for every
+    /// setting; this exists so an *outer* stage that already fans
+    /// candidates out across the cores — [`BaselineModel::select`], the
+    /// bench sweeps — can run each candidate's inner evaluation
+    /// sequentially instead of oversubscribing the machine with
+    /// `workers × workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// As [`BaselineModel::retrain`].
+    pub fn retrain_with_parallelism(
+        &self,
+        alphabets: &LayerAlphabets,
+        eval_parallelism: Parallelism,
+    ) -> Result<TrainedModel, ManError> {
         let layers = self.spec.layer_formats().len();
         if alphabets.len() != layers {
             return Err(ManError::config(format!(
@@ -418,7 +458,11 @@ impl BaselineModel {
             &self.cfg,
         );
         let fixed = FixedNet::compile(&candidate, &self.spec, alphabets)?;
-        let k = fixed.accuracy(&self.data.test_images, &self.data.test_labels);
+        let k = fixed.accuracy_par(
+            &self.data.test_images,
+            &self.data.test_labels,
+            eval_parallelism,
+        );
         let j = self.conventional_accuracy;
         let accepted = k >= j * self.cfg.quality;
         Ok(TrainedModel {
@@ -443,30 +487,70 @@ impl BaselineModel {
     /// accepted, the best-scoring one is kept and
     /// [`TrainedModel::accepted`] reports `false`.
     ///
+    /// On a parallel configuration ([`Pipeline::with_parallelism`]) the
+    /// candidates retrain concurrently — each retraining is independent
+    /// and seeded per-candidate, so every per-candidate result is
+    /// identical to the sequential run — and the attempt log is then
+    /// truncated at the first accepted set. The selected model *and* the
+    /// reported attempts therefore match the sequential algorithm
+    /// exactly; the speculative extra retrains only cost core-time.
+    ///
     /// # Errors
     ///
     /// Propagates retraining/compile failures as [`ManError`].
     pub fn select(self) -> Result<TrainedModel, ManError> {
         let candidates = self.cfg.candidates.clone();
         let layers = self.spec.layer_formats().len();
+        let workers = self.cfg.parallelism.workers().min(candidates.len());
+        let mut evaluated: Vec<TrainedModel> = Vec::new();
+        if workers > 1 {
+            // Walk the speculative results in candidate order, stopping —
+            // exactly like the sequential loop — at the first accepted
+            // set. An `Err` from a candidate *past* that point is a
+            // candidate Algorithm 2 would never have evaluated, so it
+            // must not surface; an `Err` at or before it is one the
+            // sequential run would have hit, and propagates. The worker
+            // budget is split between the two levels (candidates outer,
+            // accuracy evaluations inner — see `man_par::split_budget`)
+            // so parallel select never oversubscribes the machine.
+            let (outer, inner) = man_par::split_budget(self.cfg.parallelism, candidates.len());
+            for result in man_par::parallel_map(outer, candidates.len(), |i| {
+                self.retrain_with_parallelism(
+                    &LayerAlphabets::uniform(candidates[i].clone(), layers),
+                    inner,
+                )
+            }) {
+                let one = result?;
+                let accepted = one.attempts.first().is_some_and(|a| a.accepted);
+                evaluated.push(one);
+                if accepted {
+                    break; // Algorithm 2 would have stopped here.
+                }
+            }
+        } else {
+            for set in &candidates {
+                let one = self.retrain(&LayerAlphabets::uniform(set.clone(), layers))?;
+                let accepted = one.attempts.first().is_some_and(|a| a.accepted);
+                evaluated.push(one);
+                if accepted {
+                    break; // Algorithm 2: "end the training".
+                }
+            }
+        }
         let mut attempts: Vec<Attempt> = Vec::new();
         let mut models: Vec<(Network, LayerAlphabets)> = Vec::new();
         let mut selected = None;
-        for (idx, set) in candidates.iter().enumerate() {
-            let alphabets = LayerAlphabets::uniform(set.clone(), layers);
-            let one = self.retrain(&alphabets)?;
+        for (idx, one) in evaluated.into_iter().enumerate() {
             let attempt = one
                 .attempts
                 .into_iter()
                 .next()
                 .expect("retrain records one attempt");
-            let accepted = attempt.accepted;
-            attempts.push(attempt);
-            models.push((one.network, alphabets));
-            if accepted {
+            if attempt.accepted && selected.is_none() {
                 selected = Some(idx);
-                break; // Algorithm 2: "end the training".
             }
+            attempts.push(attempt);
+            models.push((one.network, one.alphabets));
         }
         // Fall back on the best-K attempt when nothing met the bar.
         let chosen = selected.unwrap_or_else(|| {

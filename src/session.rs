@@ -1,16 +1,31 @@
 //! The serving entry point: batched inference sessions.
 //!
 //! An [`InferenceSession`] owns a compiled [`man::fixed::FixedNet`] plus
-//! a persistent [`man::fixed::SessionCache`] of pre-computer banks. A
-//! bank depends only on the input magnitude and the layer's alphabet
-//! set, so across a batch most multiplications find their bank already
-//! computed — the software analogue of the paper's CSHM sharing. A
-//! session opened with [`InferenceSession::warm`] goes one step further
-//! and memoizes whole `(weight, input)` products across requests, the
-//! steady-state configuration the `man-serve` scheduler workers run.
+//! one persistent [`man::fixed::SessionCache`] of pre-computer banks per
+//! worker slot. A bank depends only on the input magnitude and the
+//! layer's alphabet set, so across a batch most multiplications find
+//! their bank already computed — the software analogue of the paper's
+//! CSHM sharing. A session opened with [`InferenceSession::warm`] goes
+//! one step further and memoizes whole `(weight, input)` products across
+//! requests, the steady-state configuration the `man-serve` scheduler
+//! workers run.
 //!
-//! The mutable state (bank cache, product plane) lives behind an
-//! internal lock, so the shared-reference entry points
+//! # Parallel execution
+//!
+//! [`InferenceSession::with_parallelism`] turns the session into the
+//! parallel batch engine: `infer_batch*` shards the rows of a batch
+//! across `Parallelism::workers()` threads (one bank cache per worker
+//! slot), and a lone large inference shards its big layers across output
+//! neurons instead. Both shardings are bit-identical to the sequential
+//! path **by construction**: every output neuron's shift-add chain is
+//! computed whole, on one thread, in fan-in order, and the merge only
+//! reassembles finished rows/neurons — accumulation within a neuron is
+//! never reordered, and the worker-local caches memoize pure functions
+//! of the compiled network. See `man-par` for the pool itself and
+//! DESIGN.md §8 for the determinism argument.
+//!
+//! The mutable state (bank caches, product planes) lives behind internal
+//! locks, so the shared-reference entry points
 //! [`InferenceSession::infer_shared`] / [`infer_batch_shared`] work
 //! through `&self` — which is what lets one session be driven from many
 //! scheduler threads via an `Arc`. The original `&mut self` signatures
@@ -18,9 +33,10 @@
 //!
 //! [`infer_batch_shared`]: InferenceSession::infer_batch_shared
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use man::fixed::{argmax_raw, FixedNet, LayerTrace, SessionCache};
+use man_par::Parallelism;
 
 use crate::artifact::CompiledModel;
 use crate::error::ManError;
@@ -44,9 +60,9 @@ pub struct Prediction {
 /// # Example
 ///
 /// ```no_run
-/// # use man_repro::CompiledModel;
+/// # use man_repro::{CompiledModel, Parallelism};
 /// # fn demo(model: &CompiledModel, batch: &[Vec<f32>]) {
-/// let mut session = model.session();
+/// let mut session = model.session().with_parallelism(Parallelism::Auto);
 /// for p in session.infer_batch(batch).expect("inputs match the network") {
 ///     println!("class {} (scores {:?})", p.class, p.scores);
 /// }
@@ -54,7 +70,11 @@ pub struct Prediction {
 /// ```
 pub struct InferenceSession {
     fixed: Arc<FixedNet>,
-    cache: Mutex<SessionCache>,
+    /// One cache per worker slot; `caches.len()` is the resolved worker
+    /// count (`Parallelism::Auto` is resolved once, at construction).
+    caches: Vec<Mutex<SessionCache>>,
+    parallelism: Parallelism,
+    warm: bool,
     trace_limit: Option<usize>,
 }
 
@@ -63,32 +83,73 @@ impl InferenceSession {
     /// shared, not copied — opening many sessions is cheap.
     pub fn new(model: &CompiledModel) -> Self {
         let fixed = model.fixed_shared();
-        let cache = Mutex::new(fixed.session_cache());
+        let caches = Self::build_caches(&fixed, false, 1);
         Self {
             fixed,
-            cache,
+            caches,
+            parallelism: Parallelism::Sequential,
+            warm: false,
             trace_limit: None,
         }
     }
 
-    /// Switches the session onto a warm cache that memoizes whole
+    fn build_caches(fixed: &FixedNet, warm: bool, workers: usize) -> Vec<Mutex<SessionCache>> {
+        // One template, cloned per worker slot: each slot gets a private
+        // bank table, while a warm template's product plane (16 MiB at
+        // the 12-bit maximum) is *shared* by clone — every slot fills
+        // and profits from the same memo.
+        let template = if warm {
+            fixed.session_cache_warm()
+        } else {
+            fixed.session_cache()
+        };
+        (0..workers.max(1))
+            .map(|_| Mutex::new(template.clone()))
+            .collect()
+    }
+
+    /// Switches the session onto warm caches that memoize whole
     /// `(weight, input)` products across inferences (see
     /// [`man::fixed::FixedNet::session_cache_warm`]). Bit-identical to
-    /// the plain cache; the right choice for long-lived serving
+    /// the plain caches; the right choice for long-lived serving
     /// sessions, and what the `man-serve` scheduler workers use. A
     /// no-op beyond the plain bank cache for word lengths past
     /// [`man::fixed::PRODUCT_PLANE_MAX_BITS`].
     #[must_use]
-    pub fn warm(self) -> Self {
-        Self {
-            cache: Mutex::new(self.fixed.session_cache_warm()),
-            ..self
-        }
+    pub fn warm(mut self) -> Self {
+        self.warm = true;
+        self.caches = Self::build_caches(&self.fixed, true, self.caches.len());
+        self
+    }
+
+    /// Sets how many worker threads batches may be sharded across. The
+    /// session keeps one persistent bank cache per worker slot, so the
+    /// cache-warmth story of a long-lived session survives going
+    /// parallel. [`Parallelism::Sequential`] (the default) restores the
+    /// single-threaded reference path; every setting returns
+    /// bit-identical predictions.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self.caches = Self::build_caches(&self.fixed, self.warm, parallelism.workers());
+        self
+    }
+
+    /// The parallelism the session was configured with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The resolved worker count ([`Parallelism::Auto`] resolved at
+    /// construction time).
+    pub fn workers(&self) -> usize {
+        self.caches.len()
     }
 
     /// Enables per-layer operand tracing on every prediction (up to
-    /// `limit` MACs per layer). Tracing costs time and memory; leave it
-    /// off for throughput serving.
+    /// `limit` MACs per layer). Tracing costs time and memory — and
+    /// forces the sequential path, since the operand stream is ordered —
+    /// so leave it off for throughput serving.
     #[must_use]
     pub fn with_trace(mut self, limit: usize) -> Self {
         self.trace_limit = Some(limit);
@@ -126,8 +187,22 @@ impl InferenceSession {
         }
     }
 
+    /// One untraced inference with large layers neuron-sharded across
+    /// the session's workers.
+    fn infer_locked_sharded(&self, input: &[f32], cache: &mut SessionCache) -> Prediction {
+        let scores =
+            self.fixed
+                .infer_raw_with_cache_par(input, cache, Parallelism::Threads(self.workers()));
+        Prediction {
+            class: argmax_raw(&scores),
+            scores,
+            traces: None,
+        }
+    }
+
     /// Runs one inference through a shared reference — the entry point
-    /// scheduler workers drive via `Arc<InferenceSession>`.
+    /// scheduler workers drive via `Arc<InferenceSession>`. On a
+    /// parallel session, large layers are sharded across the workers.
     ///
     /// # Errors
     ///
@@ -135,17 +210,20 @@ impl InferenceSession {
     /// `self.fixed().input_len()` values.
     pub fn infer_shared(&self, input: &[f32]) -> Result<Prediction, ManError> {
         self.check_shape(input)?;
-        let mut cache = self.lock_cache();
+        let mut cache = self.lock_cache(0);
+        if self.workers() > 1 && self.trace_limit.is_none() {
+            return Ok(self.infer_locked_sharded(input, &mut cache));
+        }
         Ok(self.infer_locked(input, &mut cache))
     }
 
-    /// The cache stays internally consistent even if a thread panicked
+    /// The caches stay internally consistent even if a thread panicked
     /// mid-inference (bank and plane slots are written atomically, and a
     /// half-run inference leaves no partial state behind), so a poisoned
     /// lock is recovered rather than propagated — one panicking request
     /// must not brick a long-lived serving session.
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, SessionCache> {
-        self.cache
+    fn lock_cache(&self, slot: usize) -> MutexGuard<'_, SessionCache> {
+        self.caches[slot]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -154,7 +232,12 @@ impl InferenceSession {
     /// pre-computer banks (and, on a [`InferenceSession::warm`] session,
     /// memoized products) across the whole batch. Equivalent to — and
     /// bit-identical with — calling [`InferenceSession::infer_shared`]
-    /// once per input. The internal lock is taken once for the batch.
+    /// once per input, for every [`Parallelism`] setting.
+    ///
+    /// On a parallel session the rows are sharded across the worker
+    /// slots (each with its own persistent cache); a batch smaller than
+    /// the worker count falls back to neuron-sharding each row instead,
+    /// so big lone requests still use every core.
     ///
     /// # Errors
     ///
@@ -164,10 +247,40 @@ impl InferenceSession {
         for input in inputs {
             self.check_shape(input)?;
         }
-        let mut cache = self.lock_cache();
-        Ok(inputs
-            .iter()
-            .map(|x| self.infer_locked(x, &mut cache))
+        let workers = self.workers().min(inputs.len().max(1));
+        if workers <= 1 || self.trace_limit.is_some() {
+            if self.workers() > 1 && self.trace_limit.is_none() && inputs.len() == 1 {
+                // A lone row cannot row-shard: shard its large layers
+                // across the workers instead (a no-op on warm sessions,
+                // whose product plane beats sharding — see
+                // `FixedNet::infer_raw_with_cache_par`).
+                let mut cache = self.lock_cache(0);
+                return Ok(inputs
+                    .iter()
+                    .map(|x| self.infer_locked_sharded(x, &mut cache))
+                    .collect());
+            }
+            let mut cache = self.lock_cache(0);
+            return Ok(inputs
+                .iter()
+                .map(|x| self.infer_locked(x, &mut cache))
+                .collect());
+        }
+        // Row sharding over as many worker slots as there are rows to
+        // fill; each slot's cache memoizes (banks and, when warm, plane
+        // entries) on the ordinary mutable path.
+        let mut guards: Vec<MutexGuard<'_, SessionCache>> =
+            (0..workers).map(|slot| self.lock_cache(slot)).collect();
+        let mut caches: Vec<&mut SessionCache> = guards.iter_mut().map(|g| &mut **g).collect();
+        Ok(self
+            .fixed
+            .infer_batch_raw_par(inputs, &mut caches)
+            .into_iter()
+            .map(|scores| Prediction {
+                class: argmax_raw(&scores),
+                scores,
+                traces: None,
+            })
             .collect())
     }
 

@@ -8,7 +8,7 @@ use man_repro::man::asm::AsmMultiplier;
 use man_repro::man::constrain::WeightLattice;
 use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use man_repro::man_nn::network::Network;
-use man_repro::Pipeline;
+use man_repro::{Parallelism, Pipeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -93,6 +93,54 @@ fn asm_plan_reuse_matches_fresh_decode() {
         for x in [0u32, 1, 64, 127] {
             let bank = asm.precompute(x);
             assert_eq!(asm.apply(&plan, &bank), asm.multiply(w, &bank).unwrap());
+        }
+    }
+}
+
+#[test]
+fn every_configuration_is_bit_identical_under_parallel_sessions() {
+    // The sweep of `every_configuration_compiles_and_infers`, re-run
+    // through the parallel batch engine: every alphabet set × word
+    // length × thread count must reproduce the sequential batch exactly.
+    let batch: Vec<Vec<f32>> = (0..12)
+        .map(|i| (0..10).map(|j| ((i * 3 + j) % 7) as f32 / 7.0).collect())
+        .collect();
+    for bits in [8u32, 12] {
+        for set in sets() {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let net = Network::new(vec![
+                Layer::Dense(Dense::new(10, 7, &mut rng)),
+                Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+                Layer::Dense(Dense::new(7, 3, &mut rng)),
+            ]);
+            let compiled = Pipeline::from_network(net)
+                .with_bits(bits)
+                .with_alphabets(vec![set.clone()])
+                .constrain()
+                .unwrap_or_else(|e| panic!("bits={bits} {set}: {e}"))
+                .compile()
+                .unwrap_or_else(|e| panic!("bits={bits} {set}: {e}"));
+            let expected: Vec<Vec<i64>> = compiled
+                .session()
+                .infer_batch_shared(&batch)
+                .expect("inputs match")
+                .into_iter()
+                .map(|p| p.scores)
+                .collect();
+            for p in [
+                Parallelism::Threads(2),
+                Parallelism::Threads(5),
+                Parallelism::Auto,
+            ] {
+                let got: Vec<Vec<i64>> = compiled
+                    .session_parallel(p)
+                    .infer_batch_shared(&batch)
+                    .expect("inputs match")
+                    .into_iter()
+                    .map(|x| x.scores)
+                    .collect();
+                assert_eq!(got, expected, "bits={bits} {set} {}", p.label());
+            }
         }
     }
 }

@@ -1,0 +1,157 @@
+//! Property tests of the parallel batch engine's one non-negotiable
+//! contract: for ANY model, batch and thread count, parallel inference
+//! is bit-identical to sequential inference — plus the pool's panic
+//! containment.
+
+use man_repro::man::alphabet::AlphabetSet;
+use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+use man_repro::man_nn::network::Network;
+use man_repro::man_par::{run_chunked, Parallelism};
+use man_repro::{CompiledModel, Pipeline};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn any_alphabet() -> impl Strategy<Value = AlphabetSet> {
+    prop_oneof![
+        Just(AlphabetSet::a1()),
+        Just(AlphabetSet::a2()),
+        Just(AlphabetSet::a4()),
+        Just(AlphabetSet::a8()),
+    ]
+}
+
+/// A random tiny MLP constrained onto `set`'s lattice and compiled.
+fn random_model(
+    seed: u64,
+    bits: u32,
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    set: AlphabetSet,
+) -> CompiledModel {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(in_dim, hidden, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(hidden, classes, &mut rng)),
+    ]);
+    Pipeline::from_network(net)
+        .with_bits(bits)
+        .with_alphabets(vec![set])
+        .constrain()
+        .expect("projection-only pipeline")
+        .compile()
+        .expect("projected weights compile")
+}
+
+fn random_batch(seed: u64, rows: usize, in_dim: usize) -> Vec<Vec<f32>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA7C);
+    (0..rows)
+        .map(|_| {
+            (0..in_dim)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0.0f32..1.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn scores_of(predictions: Vec<man_repro::Prediction>) -> Vec<(usize, Vec<i64>)> {
+    predictions
+        .into_iter()
+        .map(|p| (p.class, p.scores))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Parallel `infer_batch` == sequential `infer_batch`, across random
+    /// models, batch sizes 0..64 and `Threads(1..8)`, for both plain and
+    /// warm sessions.
+    #[test]
+    fn parallel_infer_batch_is_bit_identical(
+        seed in any::<u64>(),
+        bits in prop_oneof![Just(6u32), Just(8u32)],
+        set in any_alphabet(),
+        in_dim in 4usize..20,
+        hidden in 4usize..48,
+        classes in 2usize..6,
+        rows in 0usize..64,
+        threads in 1usize..8,
+        warm in any::<bool>(),
+    ) {
+        let model = random_model(seed, bits, in_dim, hidden, classes, set);
+        let batch = random_batch(seed, rows, in_dim);
+        let sequential = scores_of(
+            model.session().infer_batch_shared(&batch).expect("shapes match"),
+        );
+        let session = if warm {
+            model.session().warm().with_parallelism(Parallelism::Threads(threads))
+        } else {
+            model.session_parallel(Parallelism::Threads(threads))
+        };
+        let parallel = scores_of(session.infer_batch_shared(&batch).expect("shapes match"));
+        prop_assert_eq!(&parallel, &sequential);
+        // A second pass over the same session (caches now warm from the
+        // first) must still be identical — warmth never changes bits.
+        let again = scores_of(session.infer_batch_shared(&batch).expect("shapes match"));
+        prop_assert_eq!(&again, &sequential);
+    }
+
+    /// Single-inference neuron sharding agrees with the sequential path.
+    #[test]
+    fn parallel_single_inference_is_bit_identical(
+        seed in any::<u64>(),
+        set in any_alphabet(),
+        hidden in 16usize..64,
+        threads in 2usize..8,
+    ) {
+        let model = random_model(seed, 8, 12, hidden, 3, set);
+        let input = random_batch(seed, 1, 12).remove(0);
+        let sequential = model.session().infer_shared(&input).expect("shape ok");
+        let parallel = model
+            .session_parallel(Parallelism::Threads(threads))
+            .infer_shared(&input)
+            .expect("shape ok");
+        prop_assert_eq!(parallel.scores, sequential.scores);
+        prop_assert_eq!(parallel.class, sequential.class);
+    }
+}
+
+/// A panic inside one worker must surface to the caller — with its
+/// payload — after every thread has been joined, and leave the engine
+/// usable: the containment discipline the serving scheduler relies on
+/// (its `dispatch` then converts the panic into a typed error).
+#[test]
+fn panic_in_worker_is_contained() {
+    let result = std::panic::catch_unwind(|| {
+        let mut contexts = vec![(); 4];
+        run_chunked(&mut contexts, 64, 1, |(), range| {
+            if range.start == 13 {
+                panic!("poisoned row");
+            }
+            range.map(|i| i as u64).collect::<Vec<_>>()
+        })
+    });
+    let payload = result.expect_err("worker panic must propagate");
+    assert_eq!(payload.downcast_ref::<&str>(), Some(&"poisoned row"));
+
+    // The engine is unaffected afterwards: a real model still infers,
+    // in parallel, bit-identically.
+    let model = random_model(7, 8, 10, 24, 3, AlphabetSet::a2());
+    let batch = random_batch(7, 16, 10);
+    let sequential = scores_of(
+        model
+            .session()
+            .infer_batch_shared(&batch)
+            .expect("shapes match"),
+    );
+    let parallel = scores_of(
+        model
+            .session_parallel(Parallelism::Threads(4))
+            .infer_batch_shared(&batch)
+            .expect("shapes match"),
+    );
+    assert_eq!(parallel, sequential);
+}
