@@ -22,10 +22,16 @@ use serde::Serialize;
 
 #[derive(Serialize)]
 struct ThreadRow {
-    /// `sequential`, `threads(2)`, `threads(4)`, `auto(N)`.
+    /// Requested configuration: `sequential`, `threads(2)`,
+    /// `threads(4)`, `auto` (normalized — `Auto` resolves per host).
     parallelism: String,
-    /// Resolved worker count.
+    /// The worker count the session *resolved* for this batch (for
+    /// `Auto`, what the tuner actually engaged — the honest x-axis the
+    /// scaling-shape gate compares across core classes).
     workers: usize,
+    /// The resolved sharding plan (`sequential`, `rows(N)`,
+    /// `neurons(N)`).
+    plan: String,
     /// Inferences per second through `infer_batch` (best window).
     ips: f64,
     /// `ips / sequential ips` on the same host — the scaling headline.
@@ -86,8 +92,8 @@ fn main() {
     ];
     println!("Parallel batch engine — infer_batch over {batch} rows, {host_cores} host core(s)\n");
     println!(
-        "{:<30} {:>4} {:<12} {:>14} {:>12} {:>9}",
-        "Benchmark", "bits", "alphabet", "parallelism", "i/s", "speedup"
+        "{:<30} {:>4} {:<12} {:>14} {:>14} {:>12} {:>9}",
+        "Benchmark", "bits", "alphabet", "parallelism", "resolved plan", "i/s", "speedup"
     );
     let mut benchmarks = Vec::new();
     for b in Benchmark::ALL {
@@ -136,18 +142,22 @@ fn main() {
         }
         let sequential_ips = best[0];
         let mut rows: Vec<ThreadRow> = Vec::new();
-        for (p, ips) in configs.into_iter().zip(best) {
+        for ((p, session), ips) in configs.into_iter().zip(&sessions).zip(best) {
             let speedup = if sequential_ips > 0.0 {
                 ips / sequential_ips
             } else {
                 1.0
             };
+            // What the session actually engaged for this batch — under
+            // `Auto` the tuner's answer, not the request.
+            let plan = session.plan_for_batch(ds.test_images.len());
             println!(
-                "{:<30} {:>4} {:<12} {:>14} {:>12.1} {:>8.2}x",
+                "{:<30} {:>4} {:<12} {:>14} {:>14} {:>12.1} {:>8.2}x",
                 b.name(),
                 bits,
                 set.label(),
                 p.label(),
+                plan.label(),
                 ips,
                 speedup
             );
@@ -159,7 +169,8 @@ fn main() {
                     Parallelism::Auto => "auto".to_owned(),
                     other => other.label(),
                 },
-                workers: p.workers(),
+                workers: plan.workers(),
+                plan: plan.label(),
                 ips,
                 speedup_vs_sequential: speedup,
             });

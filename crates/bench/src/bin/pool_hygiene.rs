@@ -1,0 +1,124 @@
+//! CI pool-lifecycle gate: proves that `man-par` worker threads never
+//! outlive their pool and that repeated create/drop cycles do not leak
+//! threads.
+//!
+//! The persistent-pool design keeps OS threads parked between jobs, so
+//! the failure mode to guard against is no longer "spawn too much" but
+//! "never tear down": a pool whose drop stopped joining (or whose
+//! shutdown stopped draining) would accumulate parked threads across
+//! reloads and leak a thread per model swap in a long-lived server.
+//! This binary measures the process thread count around pool lifecycles
+//! (via `/proc/self/task` on Linux — the CI runner) and exits non-zero
+//! on any violation, so a lifecycle regression fails CI rather than
+//! ships.
+//!
+//! Run with: `cargo run --release -p man-bench --bin pool_hygiene`
+
+use man_par::{global_pool, Parallelism, WorkerPool};
+
+/// Live threads in this process. On Linux, one directory entry per
+/// thread under `/proc/self/task`; `None` elsewhere (the check is then
+/// skipped — CI runs on Linux).
+fn thread_count() -> Option<usize> {
+    let entries = std::fs::read_dir("/proc/self/task").ok()?;
+    Some(entries.count())
+}
+
+/// Polls until the process thread count settles at `expected`, or a
+/// generous deadline passes, returning the last observation. `join()`
+/// returns when the kernel clears the thread's TID futex, which happens
+/// a beat *before* the `/proc/self/task` entry disappears — on a loaded
+/// runner a one-shot sample right after drop can still see an exiting
+/// worker, which is scheduling noise, not a leak. A real leak (a parked
+/// thread that was never asked to exit) never settles, so the deadline
+/// converts it into a failure.
+fn settled_thread_count(expected: usize) -> usize {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let now = thread_count().expect("/proc/self/task readable");
+        if now == expected || std::time::Instant::now() > deadline {
+            return now;
+        }
+        std::thread::yield_now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+fn exercise(pool: &WorkerPool, rounds: usize) {
+    for round in 0..rounds {
+        let mut contexts = vec![0u64; pool.threads().max(1) + 1];
+        let out = pool.run_chunked(&mut contexts, 257, 8, move |ctx, range| {
+            *ctx += range.len() as u64;
+            range.map(|i| (i + round) as u64).collect()
+        });
+        let expected: Vec<u64> = (0..257).map(|i| (i + round) as u64).collect();
+        assert_eq!(out, expected, "pool produced wrong results");
+        assert_eq!(contexts.iter().sum::<u64>(), 257);
+    }
+}
+
+fn main() {
+    let Some(baseline) = thread_count() else {
+        println!("pool-hygiene: /proc/self/task unavailable on this platform — skipping");
+        return;
+    };
+    println!("pool-hygiene: baseline threads = {baseline}");
+
+    // 1. Repeated create/exercise/drop cycles must return the process
+    //    to its baseline thread count every time.
+    for cycle in 0..8 {
+        for threads in [0usize, 1, 4, 9] {
+            let pool = WorkerPool::new(threads);
+            exercise(&pool, 3);
+            drop(pool);
+            let now = settled_thread_count(baseline);
+            assert_eq!(
+                now,
+                baseline,
+                "cycle {cycle}: {threads}-thread pool leaked {} thread(s) past drop",
+                now.saturating_sub(baseline)
+            );
+        }
+    }
+    println!("pool-hygiene: 32 create/drop cycles leaked nothing");
+
+    // 2. Explicit shutdown is idempotent and equivalent to drop; a
+    //    shut-down pool still completes work (inline on the caller).
+    let pool = WorkerPool::new(4);
+    exercise(&pool, 1);
+    pool.shutdown();
+    pool.shutdown();
+    assert_eq!(
+        settled_thread_count(baseline),
+        baseline,
+        "shutdown() left workers alive"
+    );
+    exercise(&pool, 1); // inline completion after shutdown
+    drop(pool);
+    assert_eq!(
+        settled_thread_count(baseline),
+        baseline,
+        "drop after shutdown changed the thread count"
+    );
+    println!("pool-hygiene: shutdown is idempotent, drop after shutdown is a no-op");
+
+    // 3. The global pool spawns exactly once (its workers are the only
+    //    allowed steady-state growth) and repeated use adds nothing.
+    let before_global = thread_count().expect("/proc/self/task readable");
+    let expected_workers = global_pool().threads();
+    for _ in 0..16 {
+        let out = man_par::parallel_map(Parallelism::Auto, 503, |i| i as u64 * 3);
+        assert_eq!(out.len(), 503);
+        assert_eq!(out[500], 1500);
+    }
+    let after_global = settled_thread_count(before_global + expected_workers);
+    assert_eq!(
+        after_global,
+        before_global + expected_workers,
+        "global pool grew past its one-time spawn of {expected_workers} worker(s)"
+    );
+    println!(
+        "pool-hygiene: global pool holds steady at {expected_workers} worker(s) across 16 jobs"
+    );
+    println!("pool-hygiene: PASS");
+}

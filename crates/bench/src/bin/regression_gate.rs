@@ -9,18 +9,26 @@
 //!
 //! ```text
 //! regression_gate --baseline <dir> --current <dir> \
-//!     [--tolerance 0.25] [FILE ...]
+//!     [--tolerance 0.25] [--scaling-shape] [FILE ...]
 //! ```
 //!
 //! `FILE`s default to the three bench reports
 //! (`BENCH_pipeline.json`, `BENCH_serve.json`, `BENCH_par.json`). A file
 //! with no baseline yet is reported and skipped (first run); a baseline
 //! whose current counterpart is missing or unparsable fails the gate.
+//!
+//! With `--scaling-shape`, a report pair whose `host_cores` fields
+//! *differ* (a baseline recorded on a different core class than the CI
+//! runner) is compared by thread-scaling shape — speedup at matching
+//! resolved worker counts, normalized to `workers == 1` — instead of
+//! absolute ips, which are meaningless across core classes. Pairs on
+//! the same core class (or without `host_cores`) keep the absolute
+//! comparison.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use man_bench::regression::{compare, Comparison};
+use man_bench::regression::{compare_report, CompareMode, Comparison};
 use serde::Value;
 
 const DEFAULT_FILES: &[&str] = &["BENCH_pipeline.json", "BENCH_serve.json", "BENCH_par.json"];
@@ -30,6 +38,7 @@ struct Args {
     baseline_dir: PathBuf,
     current_dir: PathBuf,
     tolerance: f64,
+    scaling_shape: bool,
     files: Vec<String>,
 }
 
@@ -37,10 +46,12 @@ fn parse_args() -> Result<Args, String> {
     let mut baseline_dir = None;
     let mut current_dir = None;
     let mut tolerance = DEFAULT_TOLERANCE;
+    let mut scaling_shape = false;
     let mut files = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
+            "--scaling-shape" => scaling_shape = true,
             "--baseline" => {
                 baseline_dir = Some(PathBuf::from(
                     argv.next().ok_or("--baseline needs a directory")?,
@@ -72,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         baseline_dir: baseline_dir.ok_or("--baseline <dir> is required")?,
         current_dir: current_dir.ok_or("--current <dir> is required")?,
         tolerance,
+        scaling_shape,
         files,
     })
 }
@@ -81,9 +93,13 @@ fn load(path: &Path) -> Result<Value, String> {
     serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn print_comparison(file: &str, cmp: &Comparison, tolerance: f64) {
+fn print_comparison(file: &str, cmp: &Comparison, tolerance: f64, mode: CompareMode) {
+    let mode = match mode {
+        CompareMode::Absolute => "absolute",
+        CompareMode::ScalingShape => "scaling-shape (cross-core-class)",
+    };
     println!(
-        "  {file}: {} metrics compared, {} improved, {} regressed, {} missing (tolerance -{:.0}%)",
+        "  {file} [{mode}]: {} metrics compared, {} improved, {} regressed, {} missing (tolerance -{:.0}%)",
         cmp.compared,
         cmp.improved,
         cmp.regressions.len(),
@@ -101,6 +117,15 @@ fn print_comparison(file: &str, cmp: &Comparison, tolerance: f64) {
     }
     for m in &cmp.missing {
         println!("    MISSING    {m} (present in baseline, absent in current run)");
+    }
+    if cmp.vacuous() {
+        println!(
+            "    WARNING    0 metrics were comparable — the gate passed on absence of \
+             evidence, not evidence. For scaling-shape pairs this means the baseline's \
+             core class shares no multi-worker points with this runner (e.g. a baseline \
+             seeded on a 1-core container): re-seed {file} from a core-classed runner to \
+             make this gate binding."
+        );
     }
 }
 
@@ -125,11 +150,13 @@ fn main() -> ExitCode {
             println!("  {file}: no baseline yet — skipping (check the current run in to seed it)");
             continue;
         }
-        let verdict = load(&base_path)
-            .and_then(|base| load(&cur_path).map(|cur| compare(&base, &cur, args.tolerance)));
+        let verdict = load(&base_path).and_then(|base| {
+            load(&cur_path)
+                .map(|cur| compare_report(&base, &cur, args.tolerance, args.scaling_shape))
+        });
         match verdict {
-            Ok(cmp) => {
-                print_comparison(file, &cmp, args.tolerance);
+            Ok((cmp, mode)) => {
+                print_comparison(file, &cmp, args.tolerance, mode);
                 failed |= !cmp.passed();
             }
             Err(e) => {

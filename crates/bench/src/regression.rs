@@ -160,6 +160,17 @@ impl Comparison {
     pub fn passed(&self) -> bool {
         self.regressions.is_empty() && self.missing.is_empty()
     }
+
+    /// `true` when the comparison passed *without comparing anything* —
+    /// a pass by absence of evidence, not by evidence. In scaling-shape
+    /// mode this happens when the two hosts' core classes share no
+    /// multi-worker points (e.g. a baseline seeded on a 1-core
+    /// container): correct by physics, but the gate is not actually
+    /// guarding the metric, so callers should surface it loudly and
+    /// re-seed the baseline from a core-classed runner.
+    pub fn vacuous(&self) -> bool {
+        self.passed() && self.compared == 0
+    }
 }
 
 /// Compares `current` against `baseline` with a relative `tolerance`
@@ -209,6 +220,218 @@ pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Comparison 
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     cmp
+}
+
+// ---------------------------------------------------------------------------
+// Scaling-shape comparison (cross-core-class baselines)
+// ---------------------------------------------------------------------------
+
+/// One benchmark's thread-scaling curve: resolved worker count → best
+/// measured ips, extracted from a `BENCH_par.json`-shaped report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingCurve {
+    /// Stable identity of the benchmark block (its ID fields).
+    pub key: String,
+    /// `(workers, ips)` points, ascending by workers, deduplicated by
+    /// best ips (the `sequential` and a 1-core-resolved `auto` row both
+    /// land on `workers == 1`).
+    pub points: Vec<(usize, f64)>,
+}
+
+impl ScalingCurve {
+    /// Speedup at `workers`, normalized to the curve's `workers == 1`
+    /// anchor. `None` when the curve lacks the anchor or the point.
+    pub fn speedup(&self, workers: usize) -> Option<f64> {
+        let anchor = self.anchor()?;
+        let (_, ips) = self.points.iter().find(|(w, _)| *w == workers)?;
+        (anchor > 0.0).then(|| ips / anchor)
+    }
+
+    fn anchor(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(w, _)| *w == 1)
+            .map(|(_, ips)| *ips)
+    }
+}
+
+/// The top-level `host_cores` field of a bench report, when present.
+pub fn host_cores(doc: &Value) -> Option<usize> {
+    let entries = doc.as_object()?;
+    entries
+        .iter()
+        .find(|(k, _)| k == "host_cores")
+        .and_then(|(_, v)| numeric(v))
+        .map(|n| n as usize)
+}
+
+/// Extracts per-benchmark scaling curves from a report shaped like
+/// `BENCH_par.json`: a `benchmarks` array whose elements carry ID fields
+/// plus a `rows` array of `{workers, ips}` measurements. `workers` must
+/// be the *resolved* count (the par bench records what `Auto` actually
+/// engaged), so curve points from different hosts pair honestly.
+pub fn extract_scaling_curves(doc: &Value) -> Vec<ScalingCurve> {
+    let Some(entries) = doc.as_object() else {
+        return Vec::new();
+    };
+    let Some(benchmarks) = entries
+        .iter()
+        .find(|(k, _)| k == "benchmarks")
+        .and_then(|(_, v)| v.as_array())
+    else {
+        return Vec::new();
+    };
+    benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, bench)| {
+            let key = element_label(bench, i);
+            let mut points: Vec<(usize, f64)> = Vec::new();
+            let rows = bench
+                .as_object()
+                .and_then(|fields| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == "rows")
+                        .and_then(|(_, v)| v.as_array())
+                })
+                .unwrap_or(&[]);
+            for row in rows {
+                let Some(fields) = row.as_object() else {
+                    continue;
+                };
+                let field = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .and_then(|(_, v)| numeric(v))
+                };
+                let (Some(workers), Some(ips)) = (field("workers"), field("ips")) else {
+                    continue;
+                };
+                let workers = workers as usize;
+                match points.iter_mut().find(|(w, _)| *w == workers) {
+                    // Two rows can resolve to the same worker count
+                    // (`sequential` and a 1-core `auto`): keep the best.
+                    Some((_, best)) => *best = best.max(ips),
+                    None => points.push((workers, ips)),
+                }
+            }
+            points.sort_by_key(|(w, _)| *w);
+            ScalingCurve { key, points }
+        })
+        .collect()
+}
+
+/// Compares thread-scaling *shape* instead of absolute ips: for every
+/// benchmark, the speedup-over-`workers == 1` curves of baseline and
+/// current are compared at matching worker counts, capped at the
+/// smaller of the two hosts' core counts (a worker count beyond either
+/// host's cores measures oversubscription, not scaling). This is the
+/// comparison that stays meaningful when the baseline was recorded on a
+/// different core class than the current runner.
+///
+/// A baseline point inside the cap that the current run no longer
+/// measures is `missing` (a bench surface must not silently rot); a
+/// point whose relative speedup fell below `1 - tolerance` of the
+/// baseline's is a regression. Reports without `host_cores` yield a
+/// `missing` finding for that field.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not in `[0, 1)`.
+pub fn compare_scaling_shape(baseline: &Value, current: &Value, tolerance: f64) -> Comparison {
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be a fraction in [0, 1)"
+    );
+    let mut cmp = Comparison::default();
+    let (Some(base_cores), Some(cur_cores)) = (host_cores(baseline), host_cores(current)) else {
+        cmp.missing.push("host_cores".to_owned());
+        return cmp;
+    };
+    let cap = base_cores.min(cur_cores);
+    let cur_curves = extract_scaling_curves(current);
+    for base in extract_scaling_curves(baseline) {
+        let Some(cur) = cur_curves.iter().find(|c| c.key == base.key) else {
+            cmp.missing.push(format!("[{}]", base.key));
+            continue;
+        };
+        let Some(base_anchor) = base.anchor() else {
+            // No workers==1 row to normalize against: nothing to compare
+            // for this benchmark (quick-mode reports always record one).
+            continue;
+        };
+        if base_anchor <= 0.0 {
+            continue;
+        }
+        for &(workers, ips) in &base.points {
+            if workers <= 1 || workers > cap {
+                continue;
+            }
+            let base_speedup = ips / base_anchor;
+            let Some(cur_speedup) = cur.speedup(workers) else {
+                cmp.missing
+                    .push(format!("[{}]/speedup@{workers}", base.key));
+                continue;
+            };
+            cmp.compared += 1;
+            if base_speedup <= 0.0 {
+                continue;
+            }
+            let ratio = cur_speedup / base_speedup;
+            if ratio < 1.0 - tolerance {
+                cmp.regressions.push(Finding {
+                    path: format!("[{}]/speedup@{workers}", base.key),
+                    baseline: base_speedup,
+                    current: cur_speedup,
+                    ratio,
+                });
+            } else if ratio > 1.0 + tolerance {
+                cmp.improved += 1;
+            }
+        }
+    }
+    cmp.regressions.sort_by(|a, b| {
+        a.ratio
+            .partial_cmp(&b.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cmp
+}
+
+/// How [`compare_report`] compared a file (for gate logs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CompareMode {
+    /// Absolute throughput metrics ([`compare`]).
+    Absolute,
+    /// Thread-scaling shape ([`compare_scaling_shape`]).
+    ScalingShape,
+}
+
+/// The gate's entry point: picks the right comparison for one report
+/// pair. With `scaling_shape` enabled and both reports carrying a
+/// `host_cores` field that *differs*, absolute ips are meaningless —
+/// the baseline was measured on a different core class — so the
+/// thread-scaling shape is compared instead; in every other case the
+/// absolute comparison runs (same core class ⇒ like against like).
+pub fn compare_report(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+    scaling_shape: bool,
+) -> (Comparison, CompareMode) {
+    if scaling_shape {
+        if let (Some(base_cores), Some(cur_cores)) = (host_cores(baseline), host_cores(current)) {
+            if base_cores != cur_cores {
+                return (
+                    compare_scaling_shape(baseline, current, tolerance),
+                    CompareMode::ScalingShape,
+                );
+            }
+        }
+    }
+    (compare(baseline, current, tolerance), CompareMode::Absolute)
 }
 
 #[cfg(test)]
@@ -323,5 +546,114 @@ mod tests {
         let cmp = compare(&parse(BASELINE), &parse(cur), 0.25);
         assert!(cmp.passed());
         assert_eq!(cmp.improved, 1);
+    }
+
+    // -- scaling shape -------------------------------------------------
+
+    /// A synthetic BENCH_par-shaped report: one benchmark, a thread
+    /// sweep with the given `(workers, ips)` points.
+    fn par_report(host_cores: usize, points: &[(usize, f64)]) -> Value {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|(w, ips)| {
+                format!(r#"{{"parallelism": "threads({w})", "workers": {w}, "ips": {ips}}}"#)
+            })
+            .collect();
+        parse(&format!(
+            r#"{{"host_cores": {host_cores}, "quick": true, "benchmarks": [
+                {{"benchmark": "Digit", "bits": 8, "alphabet": "1 {{1}}", "rows": [{}]}}
+            ]}}"#,
+            rows.join(",")
+        ))
+    }
+
+    #[test]
+    fn scaling_curves_extract_resolved_workers_and_dedupe_by_best() {
+        // `sequential` and a 1-core-resolved `auto` both land on w=1.
+        let doc = parse(
+            r#"{"host_cores": 8, "benchmarks": [{"benchmark": "D", "bits": 8, "rows": [
+                {"parallelism": "sequential", "workers": 1, "ips": 100.0},
+                {"parallelism": "threads(4)", "workers": 4, "ips": 350.0},
+                {"parallelism": "auto", "workers": 1, "ips": 110.0}
+            ]}]}"#,
+        );
+        assert_eq!(host_cores(&doc), Some(8));
+        let curves = extract_scaling_curves(&doc);
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].key, "benchmark=D,bits=8");
+        assert_eq!(curves[0].points, vec![(1, 110.0), (4, 350.0)]);
+        assert!((curves[0].speedup(4).unwrap() - 350.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_shape_across_core_classes_passes() {
+        // 8-core baseline, 4-core current: absolute ips differ wildly
+        // (different silicon), but the speedup curve matches where the
+        // worker counts overlap (cap = 4).
+        let base = par_report(8, &[(1, 100.0), (2, 190.0), (4, 370.0), (8, 700.0)]);
+        let cur = par_report(4, &[(1, 1000.0), (2, 1850.0), (4, 3600.0)]);
+        let cmp = compare_scaling_shape(&base, &cur, 0.25);
+        assert!(cmp.passed(), "{cmp:?}");
+        // w=2 and w=4 compared; w=8 is beyond the current host's cores.
+        assert_eq!(cmp.compared, 2);
+    }
+
+    #[test]
+    fn collapsed_scaling_fails_the_shape_gate() {
+        // The pool regressed: threads no longer help at all.
+        let base = par_report(8, &[(1, 100.0), (2, 190.0), (4, 370.0)]);
+        let cur = par_report(8, &[(1, 100.0), (2, 100.0), (4, 95.0)]);
+        let cmp = compare_scaling_shape(&base, &cur, 0.25);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 2);
+        // Worst ratio first: w=4 collapsed to 0.95/3.7 of baseline.
+        assert!(cmp.regressions[0].path.contains("speedup@4"));
+    }
+
+    #[test]
+    fn one_core_host_trivially_passes_shape() {
+        // A 1-core runner cannot measure scaling; the cap leaves
+        // nothing to compare and the gate must not fail on physics.
+        let base = par_report(8, &[(1, 100.0), (2, 190.0), (4, 370.0)]);
+        let cur = par_report(1, &[(1, 950.0)]);
+        let cmp = compare_scaling_shape(&base, &cur, 0.25);
+        assert!(cmp.passed(), "{cmp:?}");
+        assert_eq!(cmp.compared, 0);
+        // ...but the pass is flagged as vacuous, so the gate can warn
+        // that the baseline needs re-seeding on a core-classed runner.
+        assert!(cmp.vacuous());
+        let real = par_report(4, &[(1, 1000.0), (2, 1850.0)]);
+        assert!(!compare_scaling_shape(&base, &real, 0.25).vacuous());
+    }
+
+    #[test]
+    fn vanished_benchmark_or_point_is_missing_in_shape_mode() {
+        let base = par_report(8, &[(1, 100.0), (2, 190.0), (4, 370.0)]);
+        // Current dropped the w=4 measurement entirely.
+        let cur = par_report(8, &[(1, 100.0), (2, 190.0)]);
+        let cmp = compare_scaling_shape(&base, &cur, 0.25);
+        assert_eq!(
+            cmp.missing,
+            vec!["[benchmark=Digit,alphabet=1 {1},bits=8]/speedup@4".to_owned()]
+        );
+        assert!(!cmp.passed());
+        // And a report without host_cores cannot be shape-compared.
+        let anon = parse(r#"{"benchmarks": []}"#);
+        assert!(!compare_scaling_shape(&anon, &cur, 0.25).passed());
+    }
+
+    #[test]
+    fn compare_report_picks_shape_only_across_core_classes() {
+        let base = par_report(8, &[(1, 100.0), (2, 190.0)]);
+        let same_cores = par_report(8, &[(1, 100.0), (2, 190.0)]);
+        let cross_cores = par_report(2, &[(1, 400.0), (2, 760.0)]);
+        let (_, mode) = compare_report(&base, &same_cores, 0.25, true);
+        assert_eq!(mode, CompareMode::Absolute);
+        let (cmp, mode) = compare_report(&base, &cross_cores, 0.25, true);
+        assert_eq!(mode, CompareMode::ScalingShape);
+        assert!(cmp.passed(), "{cmp:?}");
+        // The flag off keeps the absolute comparison everywhere.
+        let (_, mode) = compare_report(&base, &cross_cores, 0.25, false);
+        assert_eq!(mode, CompareMode::Absolute);
     }
 }

@@ -629,6 +629,14 @@ impl FixedNet {
             .collect()
     }
 
+    /// Multiply-accumulate operations one whole inference costs (the
+    /// per-layer [`FixedNet::macs_per_layer`] summed) — recorded at
+    /// compile time and fed to the `man-par` Auto tuner as the work
+    /// measure per batch row.
+    pub fn macs_per_inference(&self) -> u64 {
+        self.macs_per_layer().iter().sum()
+    }
+
     /// Neuron outputs per inference, per layer (activation-unit uses).
     pub fn neurons_per_layer(&self) -> Vec<u64> {
         self.layers
@@ -1075,10 +1083,15 @@ impl FixedNet {
         correct as f64 / images.len() as f64
     }
 
-    /// [`FixedNet::accuracy`] with the test set row-sharded across
-    /// `parallelism` workers (one bank cache per worker). Exactly the
-    /// same count as the sequential pass — inference is deterministic per
-    /// row — just faster on multi-core hosts.
+    /// [`FixedNet::accuracy`] parallelized across `parallelism` workers.
+    /// Exactly the same count as the sequential pass — inference is
+    /// deterministic per row — just faster on multi-core hosts.
+    /// `Threads(n)` row-shards the set across `n` bank caches; under
+    /// [`Parallelism::Auto`] the `man-par` decision table (compile-time
+    /// MACs per row × set size) resolves the whole plan, so tiny
+    /// evaluation sets skip the pool handoff entirely and a *small* set
+    /// of *large* rows neuron-shards each row's layers instead of
+    /// starving on rows.
     ///
     /// # Panics
     ///
@@ -1089,29 +1102,64 @@ impl FixedNet {
         labels: &[usize],
         parallelism: Parallelism,
     ) -> f64 {
+        use man_par::ShardPlan;
         assert_eq!(images.len(), labels.len());
         if images.is_empty() {
             return 0.0;
         }
-        let workers = parallelism.workers().min(images.len());
-        if workers <= 1 {
-            return self.accuracy(images, labels);
-        }
-        let mut caches: Vec<SessionCache> = (0..workers).map(|_| self.session_cache()).collect();
-        let hits = run_chunked(
-            &mut caches,
-            images.len(),
-            default_chunk_size(images.len(), workers),
-            |cache, range| {
-                range
-                    .map(|i| {
-                        (argmax_raw(&self.forward_layers(&images[i], None, cache)) == labels[i])
-                            as u64
-                    })
-                    .collect()
+        let plan = match parallelism {
+            Parallelism::Auto => man_par::plan_shards(
+                &man_par::AutoContext {
+                    macs_per_row: self.macs_per_inference(),
+                    batch: images.len(),
+                    streams: 1,
+                    cores: man_par::available_cores(),
+                },
+                &man_par::AutoTuning::default(),
+            ),
+            // Static request: row sharding, the historical behavior.
+            other => match other.workers().min(images.len()) {
+                0 | 1 => ShardPlan::Sequential,
+                workers => ShardPlan::Rows { workers },
             },
-        );
-        hits.iter().sum::<u64>() as f64 / images.len() as f64
+        };
+        match plan {
+            ShardPlan::Sequential => self.accuracy(images, labels),
+            ShardPlan::Neurons { workers } => {
+                // Few large rows: walk them in order, sharding each
+                // row's big layers across the pool (bit-identical — see
+                // `run_mac_layer`).
+                let mut cache = self.session_cache();
+                let correct = images
+                    .iter()
+                    .zip(labels)
+                    .filter(|(img, &l)| {
+                        argmax_raw(&self.forward_layers_sharded(img, None, &mut cache, workers))
+                            == l
+                    })
+                    .count();
+                correct as f64 / images.len() as f64
+            }
+            ShardPlan::Rows { workers } => {
+                let workers = workers.min(images.len()).max(1);
+                let mut caches: Vec<SessionCache> =
+                    (0..workers).map(|_| self.session_cache()).collect();
+                let hits = run_chunked(
+                    &mut caches,
+                    images.len(),
+                    default_chunk_size(images.len(), workers),
+                    |cache, range| {
+                        range
+                            .map(|i| {
+                                (argmax_raw(&self.forward_layers(&images[i], None, cache))
+                                    == labels[i]) as u64
+                            })
+                            .collect()
+                    },
+                );
+                hits.iter().sum::<u64>() as f64 / images.len() as f64
+            }
+        }
     }
 
     /// Runs inferences over `images` collecting per-layer operand traces

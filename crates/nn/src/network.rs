@@ -70,6 +70,24 @@ impl Network {
             .sum()
     }
 
+    /// Multiply-accumulate operations one inference costs — the float
+    /// twin of the fixed engine's compile-time MAC count, and the work
+    /// measure [`Network::accuracy_par`] hands the `man-par` Auto tuner.
+    pub fn macs_per_inference(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => (d.in_dim * d.out_dim) as u64,
+                Layer::Conv2d(c) => {
+                    (c.in_channels * c.out_channels * c.kernel * c.kernel * c.out_h() * c.out_w())
+                        as u64
+                }
+                Layer::ScaledAvgPool(p) => (p.channels * p.out_h() * p.out_w()) as u64,
+                Layer::Activation(_) => 0,
+            })
+            .sum()
+    }
+
     /// Inference forward pass (no gradient caches touched).
     pub fn infer(&self, x: &[f32]) -> Vec<f32> {
         let mut v = x.to_vec();
@@ -134,7 +152,10 @@ impl Network {
     /// [`Network::accuracy`] with the dataset row-sharded across
     /// `parallelism` worker threads. Each sample's forward pass is
     /// independent and deterministic, so the count — and therefore the
-    /// returned accuracy — is identical to the sequential pass.
+    /// returned accuracy — is identical to the sequential pass. Under
+    /// [`man_par::Parallelism::Auto`] the worker count comes from the
+    /// `man-par` decision table (MACs per row × set size), so tiny
+    /// evaluation sets skip the pool handoff entirely.
     ///
     /// # Panics
     ///
@@ -149,10 +170,34 @@ impl Network {
         if samples.is_empty() {
             return 0.0;
         }
-        if parallelism.workers() <= 1 {
+        let resolved = match parallelism {
+            man_par::Parallelism::Auto => {
+                // The float engine has no neuron-sharded forward pass,
+                // so the only plans this path can honor are Sequential
+                // and Rows — disable the decision table's neuron row
+                // rather than misreading a Neurons plan's worker count
+                // as a row-shard width.
+                let plan = man_par::plan_shards(
+                    &man_par::AutoContext {
+                        macs_per_row: self.macs_per_inference(),
+                        batch: samples.len(),
+                        streams: 1,
+                        cores: man_par::available_cores(),
+                    },
+                    &man_par::AutoTuning {
+                        neuron_shard_min_macs: u64::MAX,
+                        ..man_par::AutoTuning::default()
+                    },
+                );
+                debug_assert!(!matches!(plan, man_par::ShardPlan::Neurons { .. }));
+                man_par::Parallelism::Threads(plan.workers())
+            }
+            other => other,
+        };
+        if resolved.workers() <= 1 {
             return self.accuracy(samples, labels);
         }
-        let hits = man_par::parallel_map(parallelism, samples.len(), |i| {
+        let hits = man_par::parallel_map(resolved, samples.len(), |i| {
             u64::from(self.predict(&samples[i]) == labels[i])
         });
         hits.iter().sum::<u64>() as f64 / samples.len() as f64

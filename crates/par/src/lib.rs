@@ -2,9 +2,10 @@
 //!
 //! Everything above this crate (the fixed-point engine, the facade
 //! sessions, the serving scheduler, the experiment binaries) parallelizes
-//! through one primitive: [`run_chunked`], a scoped worker pool over a
-//! chunked work queue. The contract is deliberately narrow so that
-//! callers can argue determinism *by construction*:
+//! through one primitive: [`run_chunked`], a chunked work queue drained
+//! by a **persistent** [`WorkerPool`] of parked workers. The contract is
+//! deliberately narrow so that callers can argue determinism *by
+//! construction*:
 //!
 //! * work is split into contiguous index chunks and results are
 //!   reassembled in item order — output never depends on scheduling;
@@ -12,21 +13,36 @@
 //!   accumulator, …); nothing is shared mutably between workers;
 //! * a panic inside one chunk never deadlocks or leaks threads: the
 //!   remaining workers finish their current chunk, stop pulling new
-//!   ones, and the panic resumes on the caller once every worker has
-//!   been joined — mirroring the containment discipline of the serving
-//!   scheduler's `dispatch`.
+//!   ones, and the panic resumes on the caller once every worker slot
+//!   has been accounted for — mirroring the containment discipline of
+//!   the serving scheduler's `dispatch`.
 //!
-//! The pool is std-only (`std::thread::scope`): no rayon, no global
-//! state, no `'static` bounds, so borrowed engines and input slices flow
-//! straight into workers.
+//! The pool is std-only (`Mutex` + `Condvar`, no rayon, no global
+//! executor crate). Worker threads are spawned **once** — by
+//! [`WorkerPool::new`] or lazily by [`global_pool`] — and parked on a
+//! condvar between jobs, so the serving hot path no longer pays the
+//! ~tens-of-µs thread-spawn cost once per large layer. Borrowed engines
+//! and input slices still flow straight into workers: a job blocks its
+//! submitter until every worker slot has completed, which is what makes
+//! the (single, encapsulated) lifetime erasure in [`WorkerPool::run_chunked`]
+//! sound.
+//!
+//! This crate also hosts the [`Parallelism::Auto`] tuner: a small,
+//! unit-tested decision table ([`plan_shards`]) that resolves row- vs
+//! neuron-sharding and the worker count per batch from measured MACs per
+//! row, batch size and serve queue pressure (see [`AutoContext`] /
+//! [`AutoTuning`]).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
 
 /// How much parallelism a caller wants.
 ///
@@ -36,18 +52,24 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 /// time.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum Parallelism {
-    /// One worker, no threads spawned — the reference path.
+    /// One worker, no threads engaged — the reference path.
     #[default]
     Sequential,
     /// Exactly `n` workers (clamped to at least 1).
     Threads(usize),
-    /// One worker per available hardware thread
-    /// ([`std::thread::available_parallelism`]).
+    /// Let the tuner decide: the worker *budget* is one per available
+    /// hardware thread ([`std::thread::available_parallelism`]), and
+    /// call sites that know their workload (the facade session, the
+    /// serve scheduler, the accuracy evaluators) resolve sharding mode
+    /// and worker count per batch through [`plan_shards`].
     Auto,
 }
 
 impl Parallelism {
-    /// The number of workers this configuration resolves to (always ≥ 1).
+    /// The worker *budget* this configuration resolves to (always ≥ 1).
+    /// For [`Parallelism::Auto`] this is the upper bound the tuner works
+    /// under — the per-batch resolved count can be lower (see
+    /// [`plan_shards`]).
     pub fn workers(self) -> usize {
         match self {
             Parallelism::Sequential => 1,
@@ -93,115 +115,583 @@ pub fn default_chunk_size(items: usize, workers: usize) -> usize {
     (items / (workers.max(1) * 4)).max(1)
 }
 
-/// Runs `work` over the index range `0..items`, split into contiguous
-/// chunks of `chunk_size`, on one worker per element of `contexts`.
-///
-/// Each worker repeatedly pulls the next unclaimed chunk off a shared
-/// atomic queue and maps it through `work(&mut context, range)`; the
-/// per-chunk result vectors are reassembled in item order, so the output
-/// is exactly what the single-context sequential loop would produce
-/// (provided `work` is a pure function of `(range, context-local
-/// memoization)` — which is what every caller in this workspace
-/// guarantees).
-///
-/// With a single context (or a single chunk) no thread is spawned and
-/// `work` runs inline on the caller.
-///
-/// # Panics
-///
-/// Panics if `contexts` is empty, if `chunk_size` is zero, or if `work`
-/// returns a vector whose length differs from its range. If `work`
-/// itself panics, the panic is *contained*: remaining workers finish
-/// their current chunk and stop, every thread is joined, and then the
-/// first panic (by chunk order) resumes on the caller.
-pub fn run_chunked<C, R, F>(contexts: &mut [C], items: usize, chunk_size: usize, work: F) -> Vec<R>
-where
-    C: Send,
-    R: Send,
-    F: Fn(&mut C, Range<usize>) -> Vec<R> + Sync,
-{
-    assert!(
-        !contexts.is_empty(),
-        "run_chunked needs at least one worker context"
-    );
-    assert!(chunk_size > 0, "chunk size must be positive");
-    let chunks = items.div_ceil(chunk_size);
-    let range_of = |c: usize| (c * chunk_size)..((c + 1) * chunk_size).min(items);
+// ---------------------------------------------------------------------------
+// The Auto tuner
+// ---------------------------------------------------------------------------
 
-    if contexts.len() == 1 || chunks <= 1 {
-        // Inline fast path: the reference sequential loop.
-        let ctx = &mut contexts[0];
-        let mut out = Vec::with_capacity(items);
-        for c in 0..chunks {
-            let range = range_of(c);
+/// Thresholds of the [`Parallelism::Auto`] decision table. Every field
+/// is public so callers (tests, the serve `BatchConfig`, ablation
+/// studies) can override individual entries; [`AutoTuning::default`] is
+/// the production table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AutoTuning {
+    /// Below this many MACs in the *whole* batch, parallel dispatch
+    /// overhead (queue handoff, condvar wake) outweighs the work:
+    /// stay sequential.
+    pub min_total_macs: u64,
+    /// A lone row (or a batch too small to row-shard) only
+    /// neuron-shards its layers when one inference costs at least this
+    /// many MACs — below it, per-layer prefill + handout costs more
+    /// than it saves.
+    pub neuron_shard_min_macs: u64,
+    /// The smallest batch worth row-sharding.
+    pub row_shard_min_batch: usize,
+    /// Hard cap on resolved workers (`None` = the host core count).
+    pub max_workers: Option<usize>,
+}
+
+impl Default for AutoTuning {
+    fn default() -> Self {
+        Self {
+            min_total_macs: 50_000,
+            neuron_shard_min_macs: 16_384,
+            row_shard_min_batch: 2,
+            max_workers: None,
+        }
+    }
+}
+
+/// What the tuner knows about one batch when [`Parallelism::Auto`]
+/// resolves it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AutoContext {
+    /// Multiply-accumulates one inference of this model costs — recorded
+    /// at compile time (`FixedNet::macs_per_layer` summed; carried by
+    /// `CompiledModel`/`CostedModel`).
+    pub macs_per_row: u64,
+    /// Rows in this batch.
+    pub batch: usize,
+    /// Concurrent streams competing for the same cores (≥ 1). The serve
+    /// scheduler derives this from its queue depth: a backlog deep
+    /// enough to keep sibling workers busy means this batch should not
+    /// grab every core for itself.
+    pub streams: usize,
+    /// The worker budget (usually [`available_cores`], or the session's
+    /// configured slot count).
+    pub cores: usize,
+}
+
+/// How a batch resolved: the sharding mode and worker count
+/// [`plan_shards`] picked. Every variant is bit-identical to
+/// `Sequential`; the plan only moves wall-clock time around.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShardPlan {
+    /// Run on the caller thread — the reference path.
+    Sequential,
+    /// Shard batch rows across `workers` pool slots (each row's whole
+    /// forward pass on one thread).
+    Rows {
+        /// Resolved worker count (≥ 2).
+        workers: usize,
+    },
+    /// Shard each row's large layers across `workers` output-neuron
+    /// ranges (rows run one after another).
+    Neurons {
+        /// Resolved worker count (≥ 2).
+        workers: usize,
+    },
+}
+
+impl ShardPlan {
+    /// The resolved worker count (1 for `Sequential`).
+    pub fn workers(self) -> usize {
+        match self {
+            ShardPlan::Sequential => 1,
+            ShardPlan::Rows { workers } | ShardPlan::Neurons { workers } => workers,
+        }
+    }
+
+    /// A short label (`"sequential"`, `"rows(4)"`, `"neurons(8)"`) for
+    /// logs and bench reports.
+    pub fn label(self) -> String {
+        match self {
+            ShardPlan::Sequential => "sequential".to_owned(),
+            ShardPlan::Rows { workers } => format!("rows({workers})"),
+            ShardPlan::Neurons { workers } => format!("neurons({workers})"),
+        }
+    }
+}
+
+/// The [`Parallelism::Auto`] decision table. Deterministic in its
+/// inputs, unit-tested row by row, and overridable through
+/// [`AutoTuning`]:
+///
+/// | # | condition                                             | plan |
+/// |---|-------------------------------------------------------|------|
+/// | 1 | worker budget (`cores / streams`, capped) is 1        | `Sequential` |
+/// | 2 | `macs_per_row × batch < min_total_macs`               | `Sequential` |
+/// | 3 | `batch ≥ row_shard_min_batch` and `2·batch ≥ budget`  | `Rows(min(budget, batch))` |
+/// | 4 | `macs_per_row ≥ neuron_shard_min_macs`                | `Neurons(budget)` |
+/// | 5 | `batch ≥ row_shard_min_batch`                         | `Rows(min(budget, batch))` |
+/// | 6 | otherwise                                             | `Sequential` |
+///
+/// Row 3 prefers row sharding whenever there are enough rows to keep at
+/// least half the budget busy — row sharding has no prefill phase and
+/// perfect per-row locality. Row 4 catches the lone-large-inference
+/// case (one expensive row, many idle cores). Row 5 is the small-rows
+/// fallback: a few cheap rows still beat neuron-sharding's prefill.
+pub fn plan_shards(ctx: &AutoContext, tuning: &AutoTuning) -> ShardPlan {
+    let mut budget = (ctx.cores / ctx.streams.max(1)).max(1);
+    if let Some(cap) = tuning.max_workers {
+        budget = budget.min(cap.max(1));
+    }
+    if budget <= 1 || ctx.batch == 0 {
+        return ShardPlan::Sequential;
+    }
+    let total_macs = ctx.macs_per_row.saturating_mul(ctx.batch as u64);
+    if total_macs < tuning.min_total_macs {
+        return ShardPlan::Sequential;
+    }
+    if ctx.batch >= tuning.row_shard_min_batch && 2 * ctx.batch >= budget {
+        return ShardPlan::Rows {
+            workers: budget.min(ctx.batch),
+        };
+    }
+    if ctx.macs_per_row >= tuning.neuron_shard_min_macs {
+        return ShardPlan::Neurons { workers: budget };
+    }
+    if ctx.batch >= tuning.row_shard_min_batch {
+        return ShardPlan::Rows {
+            workers: budget.min(ctx.batch),
+        };
+    }
+    ShardPlan::Sequential
+}
+
+// ---------------------------------------------------------------------------
+// The persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// A queued unit of work: one worker slot of one job, with every borrow
+/// lifetime erased (see the safety argument in
+/// [`WorkerPool::run_chunked`]). Tagged with the job id so a submitter
+/// can steal its own unstarted slots back.
+type ErasedSlot = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    tasks: VecDeque<(u64, ErasedSlot)>,
+    /// Set once by [`WorkerPool::shutdown`]; workers drain the queue
+    /// and then exit.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Workers park here between jobs.
+    work_ready: Condvar,
+}
+
+impl PoolShared {
+    fn lock(&self) -> MutexGuard<'_, PoolQueue> {
+        // A worker can only hold this lock around queue pops, which do
+        // not panic; recover rather than poison-cascade regardless.
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Counts outstanding worker slots of one job; the submitter blocks on
+/// it until every slot has run (which is what keeps the erased borrows
+/// alive long enough — see [`WorkerPool::run_chunked`]).
+struct JobLatch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl JobLatch {
+    fn new(slots: usize) -> Self {
+        Self {
+            remaining: Mutex::new(slots),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *remaining > 0 {
+            remaining = self
+                .all_done
+                .wait(remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// A long-lived pool of parked worker threads.
+///
+/// Threads are spawned once, at construction, and parked on a condvar
+/// between jobs — [`WorkerPool::run_chunked`] hands them work without
+/// spawning anything, which removes the per-call thread-spawn cost
+/// (~tens of µs per worker) the old scoped pool paid on every
+/// large-layer forward pass of the serving hot path.
+///
+/// # Lifecycle
+///
+/// * The submitting thread always **participates**: it runs one worker
+///   slot inline and then steals back any of its own slots still queued,
+///   so a job completes even on a zero-thread (or already shut down)
+///   pool, and a nested `run_chunked` from inside a pool worker can
+///   never deadlock — every slot is either running somewhere or
+///   stealable by its submitter.
+/// * [`WorkerPool::shutdown`] (also run by `Drop`) is an idempotent
+///   drain-then-join: the queue is closed, workers finish every
+///   already-queued slot (abandoning one would deadlock its submitter),
+///   then exit and are joined. After shutdown the pool still *works* —
+///   jobs simply run entirely on their submitting thread.
+///
+/// Most code should use the process-wide [`global_pool`] (which the
+/// free-function [`run_chunked`] / [`parallel_map`] route through) so
+/// facade sessions, the serve scheduler, training evaluations and the
+/// bench binaries all share one set of workers; private pools exist for
+/// lifecycle tests and isolation experiments.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+/// Monotonic job ids, process-wide (the tag steal-back filters on).
+static NEXT_JOB: AtomicU64 = AtomicU64::new(0);
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` parked workers (0 is allowed: every
+    /// job then runs inline on its submitter, which is also the natural
+    /// configuration for a 1-core host).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("man-par/worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawning a man-par pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles: Mutex::new(handles),
+            threads,
+        }
+    }
+
+    /// The number of worker threads the pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Idempotent drain-then-join shutdown: closes the queue, lets the
+    /// workers finish every already-queued slot, joins them. Called by
+    /// `Drop`; safe to call any number of times. A pool that has been
+    /// shut down still completes jobs — inline on the submitter.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.lock();
+            queue.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles: Vec<_> = {
+            let mut handles = self
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            handles.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn submit(&self, tasks: Vec<(u64, ErasedSlot)>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let woken = tasks.len();
+        {
+            let mut queue = self.shared.lock();
+            queue.tasks.extend(tasks);
+        }
+        // Wake one parked worker per slot; extras fall back asleep.
+        for _ in 0..woken {
+            self.shared.work_ready.notify_one();
+        }
+    }
+
+    /// Removes one still-queued slot of `job`, if any — the submitter's
+    /// steal-back path.
+    fn steal(&self, job: u64) -> Option<ErasedSlot> {
+        let mut queue = self.shared.lock();
+        let pos = queue.tasks.iter().position(|(id, _)| *id == job)?;
+        queue.tasks.remove(pos).map(|(_, slot)| slot)
+    }
+
+    /// Runs `work` over the index range `0..items`, split into
+    /// contiguous chunks of `chunk_size`, on one worker slot per element
+    /// of `contexts` — the pool-method form of the crate-level
+    /// [`run_chunked`] (same contract, same panics, same bit-exact
+    /// output assembly).
+    pub fn run_chunked<C, R, F>(
+        &self,
+        contexts: &mut [C],
+        items: usize,
+        chunk_size: usize,
+        work: F,
+    ) -> Vec<R>
+    where
+        C: Send,
+        R: Send,
+        F: Fn(&mut C, Range<usize>) -> Vec<R> + Sync,
+    {
+        assert!(
+            !contexts.is_empty(),
+            "run_chunked needs at least one worker context"
+        );
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let chunks = items.div_ceil(chunk_size);
+
+        if contexts.len() == 1 || chunks <= 1 {
+            // Inline fast path: the reference sequential loop.
+            return drain_sequential(&mut contexts[0], items, chunks, chunk_size, &work);
+        }
+
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let slots = contexts.len();
+        let mut outcomes: Vec<WorkerOutcome<R>> = (0..slots).map(|_| (Vec::new(), None)).collect();
+        let job = NEXT_JOB.fetch_add(1, Ordering::Relaxed);
+        let latch = Arc::new(JobLatch::new(slots));
+
+        {
+            let work = &work;
+            let next = &next;
+            let abort = &abort;
+            // One closure per worker slot. Each owns disjoint `&mut`s
+            // (its context, its outcome cell) plus shared `&`s (the
+            // work function, the chunk counter, the abort flag) and an
+            // owned Arc on the latch.
+            let mut pending: Vec<(u64, ErasedSlot)> = contexts
+                .iter_mut()
+                .zip(outcomes.iter_mut())
+                .map(|(ctx, out)| {
+                    let latch = Arc::clone(&latch);
+                    let slot: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        // Nothing may unwind out of a slot: an escaped
+                        // panic would kill a pool thread and strand the
+                        // submitter on the latch. `drain_chunks` contains
+                        // per-chunk panics itself; this outer catch is the
+                        // belt for anything outside that loop.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            drain_chunks(ctx, items, chunks, chunk_size, work, next, abort)
+                        }));
+                        *out = match outcome {
+                            Ok(o) => o,
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                (Vec::new(), Some((usize::MAX, payload)))
+                            }
+                        };
+                        // Last touch of any borrow: after this the slot
+                        // only drops plain references (no-op) and its
+                        // owned latch Arc.
+                        latch.complete_one();
+                    });
+                    (job, erase_slot(slot))
+                })
+                .collect();
+
+            // The submitter keeps one slot for itself (guaranteed
+            // progress even on a busy/zero-thread pool) and queues the
+            // rest for the parked workers.
+            let inline = pending.pop();
+            self.submit(pending);
+            if let Some((_, slot)) = inline {
+                slot();
+            }
+            // Steal back any of this job's slots the pool has not
+            // started yet, then wait for the in-flight ones. Every slot
+            // is thereby either run here or run by a pool worker — the
+            // latch cannot be left hanging.
+            while let Some(slot) = self.steal(job) {
+                slot();
+            }
+            latch.wait();
+        }
+
+        assemble(outcomes, items)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Erases the borrow lifetimes of one worker slot so it can sit in the
+/// persistent pool's queue.
+///
+/// # Safety argument
+///
+/// This is the single `unsafe` expression in the workspace, and the
+/// only thing it does is extend a closure's lifetime parameter; the
+/// pointee, layout and vtable are untouched (`Box<dyn FnOnce + Send>`
+/// with two different lifetime bounds is the same fat pointer).
+/// Soundness rests on three invariants local to
+/// [`WorkerPool::run_chunked`]:
+///
+/// 1. **The submitter outlives the slot.** `run_chunked` blocks on a
+///    [`JobLatch`] that counts every slot of the job and is only
+///    released by the slot's final statement, *after* its last use of
+///    any borrow. The borrows all live in `run_chunked`'s frame (or its
+///    caller's), which cannot unwind past `latch.wait()`.
+/// 2. **Every slot runs exactly once.** A slot is either executed
+///    inline by the submitter, stolen back from the queue by the
+///    submitter, executed by a pool worker, or — during shutdown —
+///    drained by an exiting worker. The queue never drops a slot on the
+///    floor (dropping one would strand its submitter on the latch, so
+///    shutdown drains instead of discarding).
+/// 3. **Nothing escapes the slot.** The closure's captures are disjoint
+///    `&mut`s, shared `&`s of `Sync` values, and an owned latch `Arc`;
+///    after the latch is signalled the remaining drop glue touches only
+///    that `Arc`.
+#[allow(unsafe_code)]
+fn erase_slot(slot: Box<dyn FnOnce() + Send + '_>) -> ErasedSlot {
+    // SAFETY: see above — the submitter blocks until the slot has run,
+    // so every erased borrow strictly outlives every use.
+    unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+            slot,
+        )
+    }
+}
+
+fn worker_main(shared: &PoolShared) {
+    loop {
+        let slot = {
+            let mut queue = shared.lock();
+            loop {
+                if let Some((_, slot)) = queue.tasks.pop_front() {
+                    break slot;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Slots never unwind (outer catch_unwind inside the slot).
+        slot();
+    }
+}
+
+/// The chunks one worker slot completed plus, possibly, the chunk index
+/// at which it panicked (with the payload). `usize::MAX` marks a panic
+/// outside the per-chunk containment (e.g. the result-length assert).
+type ChunkResults<R> = Vec<(usize, Vec<R>)>;
+type WorkerOutcome<R> = (
+    ChunkResults<R>,
+    Option<(usize, Box<dyn std::any::Any + Send>)>,
+);
+
+fn range_of(c: usize, chunk_size: usize, items: usize) -> Range<usize> {
+    (c * chunk_size)..((c + 1) * chunk_size).min(items)
+}
+
+fn drain_sequential<C, R, F>(
+    ctx: &mut C,
+    items: usize,
+    chunks: usize,
+    chunk_size: usize,
+    work: &F,
+) -> Vec<R>
+where
+    F: Fn(&mut C, Range<usize>) -> Vec<R>,
+{
+    let mut out = Vec::with_capacity(items);
+    for c in 0..chunks {
+        let range = range_of(c, chunk_size, items);
+        let produced = work(ctx, range.clone());
+        assert_eq!(
+            produced.len(),
+            range.len(),
+            "work must yield one result per item"
+        );
+        out.extend(produced);
+    }
+    out
+}
+
+/// One worker slot's loop: pull the next unclaimed chunk off the shared
+/// atomic counter, run it under per-chunk panic containment, repeat
+/// until the chunks run out or a co-worker aborts.
+fn drain_chunks<C, R, F>(
+    ctx: &mut C,
+    items: usize,
+    chunks: usize,
+    chunk_size: usize,
+    work: &F,
+    next: &AtomicUsize,
+    abort: &AtomicBool,
+) -> WorkerOutcome<R>
+where
+    F: Fn(&mut C, Range<usize>) -> Vec<R>,
+{
+    let mut done: ChunkResults<R> = Vec::new();
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            return (done, None);
+        }
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= chunks {
+            return (done, None);
+        }
+        let range = range_of(c, chunk_size, items);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
             let produced = work(ctx, range.clone());
             assert_eq!(
                 produced.len(),
                 range.len(),
                 "work must yield one result per item"
             );
-            out.extend(produced);
+            produced
+        }));
+        match attempt {
+            Ok(produced) => done.push((c, produced)),
+            Err(payload) => {
+                abort.store(true, Ordering::Relaxed);
+                return (done, Some((c, payload)));
+            }
         }
-        return out;
     }
+}
 
-    let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    let work = &work;
-    let next = &next;
-    let abort = &abort;
-
-    // Each worker returns the chunks it completed plus, possibly, the
-    // chunk index at which it panicked (with the payload).
-    type ChunkResults<R> = Vec<(usize, Vec<R>)>;
-    type WorkerOutcome<R> = (
-        ChunkResults<R>,
-        Option<(usize, Box<dyn std::any::Any + Send>)>,
-    );
-
-    let outcomes: Vec<WorkerOutcome<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = contexts
-            .iter_mut()
-            .map(|ctx| {
-                scope.spawn(move || {
-                    let mut done: ChunkResults<R> = Vec::new();
-                    loop {
-                        if abort.load(Ordering::Relaxed) {
-                            return (done, None);
-                        }
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= chunks {
-                            return (done, None);
-                        }
-                        let range = range_of(c);
-                        match catch_unwind(AssertUnwindSafe(|| work(ctx, range.clone()))) {
-                            Ok(produced) => {
-                                assert_eq!(
-                                    produced.len(),
-                                    range.len(),
-                                    "work must yield one result per item"
-                                );
-                                done.push((c, produced));
-                            }
-                            Err(payload) => {
-                                abort.store(true, Ordering::Relaxed);
-                                return (done, Some((c, payload)));
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .expect("man-par worker panicked outside containment")
-            })
-            .collect()
-    });
-
-    // Surface the earliest panic deterministically (by chunk index).
+/// Reassembles per-slot outcomes in item order, resuming the earliest
+/// panic (by chunk index) if any slot contained one.
+fn assemble<R>(outcomes: Vec<WorkerOutcome<R>>, items: usize) -> Vec<R> {
     let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
     let mut completed: ChunkResults<R> = Vec::new();
     for (done, panic) in outcomes {
@@ -214,7 +704,6 @@ where
         panics.sort_by_key(|(c, _)| *c);
         resume_unwind(panics.remove(0).1);
     }
-
     completed.sort_by_key(|(c, _)| *c);
     let mut out = Vec::with_capacity(items);
     for (_, produced) in completed {
@@ -226,6 +715,49 @@ where
         "every chunk must have been processed exactly once"
     );
     out
+}
+
+/// The process-wide shared pool: one parked worker per available
+/// hardware thread, spawned lazily on first parallel call and kept for
+/// the process lifetime. Facade sessions, the serve scheduler, the
+/// training pipeline's parallel evaluations and the bench binaries all
+/// draw from this one pool (submitters additionally run one slot
+/// inline, so an N-core host keeps N+1 runnable threads at peak — the
+/// submitter's slot drains the queue rather than idling).
+pub fn global_pool() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| WorkerPool::new(available_cores()))
+}
+
+/// Runs `work` over the index range `0..items`, split into contiguous
+/// chunks of `chunk_size`, on one worker slot per element of `contexts`,
+/// drawn from the [`global_pool`].
+///
+/// Each worker slot repeatedly pulls the next unclaimed chunk off a
+/// shared atomic queue and maps it through `work(&mut context, range)`;
+/// the per-chunk result vectors are reassembled in item order, so the
+/// output is exactly what the single-context sequential loop would
+/// produce (provided `work` is a pure function of `(range, context-local
+/// memoization)` — which is what every caller in this workspace
+/// guarantees).
+///
+/// With a single context (or a single chunk) no pool interaction happens
+/// and `work` runs inline on the caller.
+///
+/// # Panics
+///
+/// Panics if `contexts` is empty, if `chunk_size` is zero, or if `work`
+/// returns a vector whose length differs from its range. If `work`
+/// itself panics, the panic is *contained*: remaining workers finish
+/// their current chunk and stop, every worker slot is accounted for,
+/// and then the first panic (by chunk order) resumes on the caller.
+pub fn run_chunked<C, R, F>(contexts: &mut [C], items: usize, chunk_size: usize, work: F) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(&mut C, Range<usize>) -> Vec<R> + Sync,
+{
+    global_pool().run_chunked(contexts, items, chunk_size, work)
 }
 
 /// Maps `0..items` through `f` with `parallelism`, stateless-worker
@@ -301,10 +833,10 @@ mod tests {
             })
         }));
         // Containment: the panic surfaced on the caller (no deadlock, no
-        // leaked thread — `thread::scope` joined everything), with the
-        // original payload intact. How many chunks the *other* workers
-        // completed before seeing the abort flag is scheduling-dependent,
-        // so it is deliberately not asserted.
+        // stranded worker — every slot was accounted for by the latch),
+        // with the original payload intact. How many chunks the *other*
+        // workers completed before seeing the abort flag is
+        // scheduling-dependent, so it is deliberately not asserted.
         let payload = result.expect_err("the worker panic must surface to the caller");
         let msg = payload
             .downcast_ref::<&str>()
@@ -316,7 +848,7 @@ mod tests {
             "chunk 7 was reached"
         );
 
-        // The pool is stateless: the very next call works normally.
+        // The pool survives: the very next call works normally.
         let mut contexts = vec![(); 4];
         let ok = run_chunked(&mut contexts, 8, 2, |(), range| range.collect::<Vec<_>>());
         assert_eq!(ok, (0..8).collect::<Vec<_>>());
@@ -337,5 +869,178 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         assert!(parallel_map::<u64, _>(Parallelism::Threads(4), 0, |_| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn private_pool_runs_jobs_and_shuts_down_idempotently() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let mut contexts = vec![0u64; 4];
+        let out = pool.run_chunked(&mut contexts, 50, 3, |ctx, range| {
+            *ctx += 1;
+            range.map(|i| i * 2).collect()
+        });
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+
+        // A shut-down pool still completes jobs (inline on the caller).
+        let mut contexts = vec![0u64; 4];
+        let out = pool.run_chunked(&mut contexts, 10, 2, |_, range| range.collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        // Only the caller's slot plus its steal-backs could have run.
+        assert_eq!(contexts.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn zero_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let mut contexts = vec![(); 4];
+        let out = pool.run_chunked(&mut contexts, 20, 2, |(), range| {
+            range.map(|i| i + 100).collect()
+        });
+        assert_eq!(out, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_run_chunked_on_the_global_pool_does_not_deadlock() {
+        // Outer fan-out over the pool; each outer slot runs an inner
+        // run_chunked on the SAME pool. Steal-back guarantees progress.
+        let out = parallel_map(Parallelism::Threads(4), 8, |i| {
+            parallel_map(Parallelism::Threads(3), 16, move |j| (i * 16 + j) as u64)
+                .iter()
+                .sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8)
+            .map(|i| (0..16).map(|j| (i * 16 + j) as u64).sum())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn pool_reuse_across_many_jobs_is_stable() {
+        let pool = WorkerPool::new(2);
+        for round in 0..64u64 {
+            let mut contexts = vec![0u64; 3];
+            let out = pool.run_chunked(&mut contexts, 31, 4, move |ctx, range| {
+                *ctx += range.len() as u64;
+                range.map(|i| i as u64 + round).collect()
+            });
+            assert_eq!(out, (0..31).map(|i| i + round).collect::<Vec<_>>());
+            assert_eq!(contexts.iter().sum::<u64>(), 31);
+        }
+    }
+
+    // -- Auto tuner decision table -------------------------------------
+
+    fn ctx(macs_per_row: u64, batch: usize, streams: usize, cores: usize) -> AutoContext {
+        AutoContext {
+            macs_per_row,
+            batch,
+            streams,
+            cores,
+        }
+    }
+
+    #[test]
+    fn tuner_stays_sequential_on_one_core_or_tiny_work() {
+        let t = AutoTuning::default();
+        // Row 1: no budget.
+        assert_eq!(
+            plan_shards(&ctx(1_000_000, 64, 1, 1), &t),
+            ShardPlan::Sequential
+        );
+        // Row 1 via streams: 8 cores but 8 competing streams.
+        assert_eq!(
+            plan_shards(&ctx(1_000_000, 64, 8, 8), &t),
+            ShardPlan::Sequential
+        );
+        // Row 2: total work below the floor.
+        assert_eq!(plan_shards(&ctx(100, 64, 1, 8), &t), ShardPlan::Sequential);
+        // Empty batch.
+        assert_eq!(
+            plan_shards(&ctx(1_000_000, 0, 1, 8), &t),
+            ShardPlan::Sequential
+        );
+    }
+
+    #[test]
+    fn tuner_row_shards_plentiful_batches() {
+        let t = AutoTuning::default();
+        // Row 3: 64 rows, 8 cores -> rows across all 8.
+        assert_eq!(
+            plan_shards(&ctx(100_000, 64, 1, 8), &t),
+            ShardPlan::Rows { workers: 8 }
+        );
+        // Workers never exceed rows.
+        assert_eq!(
+            plan_shards(&ctx(100_000, 5, 1, 8), &t),
+            ShardPlan::Rows { workers: 5 }
+        );
+    }
+
+    #[test]
+    fn tuner_neuron_shards_lone_large_inferences() {
+        let t = AutoTuning::default();
+        // Row 4: one expensive row, 8 idle cores.
+        assert_eq!(
+            plan_shards(&ctx(400_000, 1, 1, 8), &t),
+            ShardPlan::Neurons { workers: 8 }
+        );
+        // Two expensive rows against 8 cores: still neurons (2*2 < 8).
+        assert_eq!(
+            plan_shards(&ctx(400_000, 2, 1, 8), &t),
+            ShardPlan::Neurons { workers: 8 }
+        );
+        // Same two rows against 4 cores: rows win (2*2 >= 4).
+        assert_eq!(
+            plan_shards(&ctx(400_000, 2, 1, 4), &t),
+            ShardPlan::Rows { workers: 2 }
+        );
+    }
+
+    #[test]
+    fn tuner_small_rows_fall_back_to_row_sharding() {
+        let t = AutoTuning::default();
+        // Row 5: 4 cheap rows (below the neuron floor per row, above the
+        // total floor), budget 16: 2*4 < 16 so row 3 misses, neuron floor
+        // misses, rows still beat sequential.
+        assert_eq!(
+            plan_shards(&ctx(15_000, 4, 1, 16), &t),
+            ShardPlan::Rows { workers: 4 }
+        );
+        // Row 6: a lone cheap-ish row parallelizes nowhere.
+        assert_eq!(
+            plan_shards(
+                &ctx(60_000, 1, 1, 8),
+                &AutoTuning {
+                    neuron_shard_min_macs: 100_000,
+                    ..AutoTuning::default()
+                }
+            ),
+            ShardPlan::Sequential
+        );
+    }
+
+    #[test]
+    fn tuner_respects_stream_pressure_and_caps() {
+        let t = AutoTuning::default();
+        // 2 competing streams halve the budget.
+        assert_eq!(
+            plan_shards(&ctx(100_000, 64, 2, 8), &t),
+            ShardPlan::Rows { workers: 4 }
+        );
+        // Explicit worker cap.
+        let capped = AutoTuning {
+            max_workers: Some(2),
+            ..AutoTuning::default()
+        };
+        assert_eq!(
+            plan_shards(&ctx(100_000, 64, 1, 8), &capped),
+            ShardPlan::Rows { workers: 2 }
+        );
+        assert_eq!(ShardPlan::Rows { workers: 2 }.workers(), 2);
+        assert_eq!(ShardPlan::Neurons { workers: 8 }.label(), "neurons(8)");
+        assert_eq!(ShardPlan::Sequential.workers(), 1);
     }
 }

@@ -17,6 +17,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use man_par::AutoTuning;
 use man_repro::{CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError};
 
 use crate::metrics::ModelMetrics;
@@ -61,8 +62,15 @@ pub struct BatchConfig {
     /// default — keeps one core per micro-batch, which is right when
     /// `workers` already covers the machine; raise it instead of
     /// `workers` when per-request latency matters more than stream
-    /// throughput.
+    /// throughput. [`Parallelism::Auto`] hands the choice to the
+    /// `man-par` tuner, which folds in the model's MACs per row, the
+    /// coalesced batch size *and* the live queue depth — a deep backlog
+    /// means sibling batches are right behind this one, so it should not
+    /// grab every core.
     pub parallelism: Parallelism,
+    /// Threshold overrides for the [`Parallelism::Auto`] decision table
+    /// (ignored under `Sequential`/`Threads`).
+    pub auto_tuning: AutoTuning,
     /// How long a submitter waits for its reply before giving up.
     pub request_timeout: Duration,
 }
@@ -76,6 +84,7 @@ impl Default for BatchConfig {
             workers: 1,
             session_mode: SessionMode::Warm,
             parallelism: Parallelism::Sequential,
+            auto_tuning: AutoTuning::default(),
             request_timeout: Duration::from_secs(30),
         }
     }
@@ -240,16 +249,25 @@ impl Drop for ModelHost {
 }
 
 /// Builds the session a persistent-mode worker keeps for its lifetime.
-fn worker_session(
-    model: &CompiledModel,
-    mode: SessionMode,
-    parallelism: Parallelism,
-) -> Option<InferenceSession> {
-    match mode {
+fn worker_session(model: &CompiledModel, cfg: &BatchConfig) -> Option<InferenceSession> {
+    let tuned = |s: InferenceSession| {
+        s.with_parallelism(cfg.parallelism)
+            .with_auto_tuning(cfg.auto_tuning.clone())
+    };
+    match cfg.session_mode {
         SessionMode::Cold => None,
-        SessionMode::Persistent => Some(model.session().with_parallelism(parallelism)),
-        SessionMode::Warm => Some(model.session().warm().with_parallelism(parallelism)),
+        SessionMode::Persistent => Some(tuned(model.session())),
+        SessionMode::Warm => Some(tuned(model.session().warm())),
     }
+}
+
+/// Concurrent batch streams the scheduler expects around one dispatch:
+/// this worker plus however many sibling workers the backlog can feed —
+/// the [`Parallelism::Auto`] tuner's `streams` input, so a deep queue
+/// stops one micro-batch from grabbing every core.
+fn concurrent_streams(cfg: &BatchConfig, queued: usize) -> usize {
+    let feedable = queued.div_ceil(cfg.max_batch.max(1));
+    1 + feedable.min(cfg.workers.max(1) - 1)
 }
 
 fn worker_loop(
@@ -258,7 +276,7 @@ fn worker_loop(
     cfg: &BatchConfig,
     metrics: &ModelMetrics,
 ) {
-    let session = worker_session(model, cfg.session_mode, cfg.parallelism);
+    let session = worker_session(model, cfg);
     loop {
         // Hold the receiver lock across the blocking wait *and* the batch
         // drain: idle co-workers queue behind it and take over the moment
@@ -292,7 +310,10 @@ fn worker_loop(
             .queue_depth
             .fetch_sub(batch.len(), Ordering::Relaxed);
         metrics.observe_batch(batch.len());
-        dispatch(batch, session.as_ref(), model, metrics);
+        // Sample the backlog *after* draining this batch: what is left
+        // is what sibling workers will be batching while we infer.
+        let backlog = metrics.queue_depth.load(Ordering::Relaxed);
+        dispatch(batch, session.as_ref(), model, cfg, backlog, metrics);
     }
 }
 
@@ -301,18 +322,21 @@ fn dispatch(
     batch: Vec<Job>,
     session: Option<&InferenceSession>,
     model: &CompiledModel,
+    cfg: &BatchConfig,
+    backlog: usize,
     metrics: &ModelMetrics,
 ) {
     let (inputs, replies): (Vec<Vec<f32>>, Vec<_>) = batch
         .into_iter()
         .map(|j| (j.input, (j.reply, j.enqueued)))
         .unzip();
+    let streams = concurrent_streams(cfg, backlog);
     // A panicking inference must not kill the worker thread: with the
     // default single worker, a dead worker would silently turn the host
     // into a black hole (requests accepted, never answered). Contain the
     // panic, answer the batch with a typed error, keep serving.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match session {
-        Some(session) => session.infer_batch_shared(&inputs),
+        Some(session) => session.infer_batch_with_load(&inputs, streams),
         // Cold mode: a throwaway session per dispatch call, sharing
         // nothing beyond this call (deliberately sequential, too — it is
         // the naive-server baseline).
@@ -359,5 +383,29 @@ mod tests {
         assert!(cfg.max_batch >= 8);
         assert!(cfg.queue_capacity >= cfg.max_batch);
         assert_eq!(cfg.session_mode, SessionMode::Warm);
+        assert_eq!(cfg.auto_tuning, AutoTuning::default());
+    }
+
+    #[test]
+    fn stream_estimate_tracks_backlog_and_sibling_workers() {
+        let cfg = BatchConfig {
+            max_batch: 8,
+            workers: 4,
+            ..BatchConfig::default()
+        };
+        // Empty backlog: this worker is the only stream.
+        assert_eq!(concurrent_streams(&cfg, 0), 1);
+        // A partial batch queued still feeds one sibling.
+        assert_eq!(concurrent_streams(&cfg, 3), 2);
+        // Two full batches feed two siblings.
+        assert_eq!(concurrent_streams(&cfg, 16), 3);
+        // The estimate never exceeds the scheduler's worker count.
+        assert_eq!(concurrent_streams(&cfg, 10_000), 4);
+        // A single-worker host is always exactly one stream.
+        let solo = BatchConfig {
+            workers: 1,
+            ..BatchConfig::default()
+        };
+        assert_eq!(concurrent_streams(&solo, 10_000), 1);
     }
 }

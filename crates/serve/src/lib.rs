@@ -75,5 +75,5 @@ pub use server::{Server, TcpClient, WireError};
 // Re-export the facade's serving-relevant types so a server binary can
 // depend on `man-serve` alone.
 pub use man_repro::{
-    CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError,
+    AutoTuning, CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError,
 };

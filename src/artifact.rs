@@ -112,6 +112,15 @@ impl CompiledModel {
         self.spec.bits()
     }
 
+    /// Multiply-accumulate operations one inference costs, recorded at
+    /// compile time — the work measure the [`Parallelism::Auto`] tuner
+    /// plans batches with (see `man_par::plan_shards`).
+    ///
+    /// [`Parallelism::Auto`]: man_par::Parallelism::Auto
+    pub fn macs_per_inference(&self) -> u64 {
+        self.fixed.macs_per_inference()
+    }
+
     /// Classification accuracy of the fixed-point engine over a set.
     pub fn accuracy(&self, images: &[Vec<f32>], labels: &[usize]) -> f64 {
         self.fixed.accuracy(images, labels)
@@ -274,6 +283,14 @@ impl CostedModel {
     /// The underlying compiled model.
     pub fn model(&self) -> &CompiledModel {
         &self.model
+    }
+
+    /// Compile-time MACs per inference (see
+    /// [`CompiledModel::macs_per_inference`]) — alongside the measured
+    /// cycles in [`CostedModel::report`], the static half of the cost
+    /// picture the Auto tuner plans with.
+    pub fn macs_per_inference(&self) -> u64 {
+        self.model.macs_per_inference()
     }
 
     /// Unwraps back into the compiled model, dropping the report.

@@ -32,7 +32,12 @@
 //! * [`Parallelism`] — the deterministic parallel batch engine
 //!   (`man-par`): `session.with_parallelism(Parallelism::Auto)` shards
 //!   batch rows (and lone large inferences, by output neuron) across
-//!   cores with bit-identical results by construction (DESIGN.md §8).
+//!   cores with bit-identical results by construction. Threads come
+//!   from one process-wide persistent [`WorkerPool`] of parked workers
+//!   (no per-call spawning), and `Auto` resolves row- vs
+//!   neuron-sharding and the worker count per batch from compile-time
+//!   MACs/row, batch size and serve queue pressure ([`AutoTuning`],
+//!   [`ShardPlan`]; DESIGN.md §8–§9).
 //! * [`ManError`] — one `Result`-first error taxonomy wrapping the
 //!   member crates' typed errors, including the serving-runtime
 //!   [`ServeError`] variants.
@@ -78,6 +83,6 @@ pub mod session;
 
 pub use artifact::{CompiledModel, CostedModel};
 pub use error::{ManError, ServeError};
-pub use man_par::Parallelism;
+pub use man_par::{AutoContext, AutoTuning, Parallelism, ShardPlan, WorkerPool};
 pub use pipeline::{BaselineModel, Pipeline, TrainedModel, TrainingData};
 pub use session::{InferenceSession, Prediction};

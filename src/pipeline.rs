@@ -195,12 +195,17 @@ impl Pipeline {
         self
     }
 
-    /// Sets the worker-thread budget for the methodology's evaluation
-    /// work: every accuracy measurement shards its test rows, and
+    /// Sets the worker budget for the methodology's evaluation work:
+    /// every accuracy measurement shards its test rows, and
     /// [`BaselineModel::select`] retrains candidate alphabet sets
-    /// concurrently. Results are identical to the sequential run for
-    /// every setting — only wall-clock time changes (SGD itself stays
-    /// sequential; its update chain is order-dependent by definition).
+    /// concurrently. All of it drains the process-wide persistent
+    /// `man-par` pool (no threads spawned per evaluation), and
+    /// [`Parallelism::Auto`] routes each evaluation through the
+    /// `man-par` decision table — MACs per row × set size — so tiny
+    /// quick-mode sets skip the pool handoff. Results are identical to
+    /// the sequential run for every setting — only wall-clock time
+    /// changes (SGD itself stays sequential; its update chain is
+    /// order-dependent by definition).
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = Some(parallelism);

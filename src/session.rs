@@ -14,15 +14,24 @@
 //!
 //! [`InferenceSession::with_parallelism`] turns the session into the
 //! parallel batch engine: `infer_batch*` shards the rows of a batch
-//! across `Parallelism::workers()` threads (one bank cache per worker
-//! slot), and a lone large inference shards its big layers across output
-//! neurons instead. Both shardings are bit-identical to the sequential
-//! path **by construction**: every output neuron's shift-add chain is
-//! computed whole, on one thread, in fan-in order, and the merge only
-//! reassembles finished rows/neurons — accumulation within a neuron is
-//! never reordered, and the worker-local caches memoize pure functions
-//! of the compiled network. See `man-par` for the pool itself and
-//! DESIGN.md §8 for the determinism argument.
+//! across worker slots (one bank cache per slot, threads drawn from the
+//! process-wide persistent `man-par` pool), and a lone large inference
+//! shards its big layers across output neurons instead. Both shardings
+//! are bit-identical to the sequential path **by construction**: every
+//! output neuron's shift-add chain is computed whole, on one thread, in
+//! fan-in order, and the merge only reassembles finished rows/neurons —
+//! accumulation within a neuron is never reordered, and the worker-local
+//! caches memoize pure functions of the compiled network. See `man-par`
+//! for the pool itself and DESIGN.md §8–§9 for the determinism argument.
+//!
+//! With [`Parallelism::Auto`] the session resolves the sharding *per
+//! batch* through the `man-par` decision table ([`man_par::plan_shards`]):
+//! the model's compile-time MACs-per-inference, the batch size and the
+//! serve scheduler's queue pressure pick between staying sequential,
+//! row sharding and neuron sharding — see
+//! [`InferenceSession::plan_for_batch`] for the resolved plan and
+//! [`InferenceSession::with_auto_tuning`] to override the table's
+//! thresholds. Explicit `Threads(n)` keeps the static behavior.
 //!
 //! The mutable state (bank caches, product planes) lives behind internal
 //! locks, so the shared-reference entry points
@@ -36,7 +45,7 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use man::fixed::{argmax_raw, FixedNet, LayerTrace, SessionCache};
-use man_par::Parallelism;
+use man_par::{plan_shards, AutoContext, AutoTuning, Parallelism, ShardPlan};
 
 use crate::artifact::CompiledModel;
 use crate::error::ManError;
@@ -70,10 +79,15 @@ pub struct Prediction {
 /// ```
 pub struct InferenceSession {
     fixed: Arc<FixedNet>,
-    /// One cache per worker slot; `caches.len()` is the resolved worker
-    /// count (`Parallelism::Auto` is resolved once, at construction).
+    /// One cache per worker slot; `caches.len()` is the worker *budget*
+    /// (`Parallelism::Auto` allocates one slot per core and the tuner
+    /// resolves how many of them a given batch engages).
     caches: Vec<Mutex<SessionCache>>,
     parallelism: Parallelism,
+    /// Compile-time MACs per inference — the tuner's work measure.
+    macs_per_row: u64,
+    /// Thresholds for the [`Parallelism::Auto`] decision table.
+    auto_tuning: AutoTuning,
     warm: bool,
     trace_limit: Option<usize>,
 }
@@ -84,10 +98,13 @@ impl InferenceSession {
     pub fn new(model: &CompiledModel) -> Self {
         let fixed = model.fixed_shared();
         let caches = Self::build_caches(&fixed, false, 1);
+        let macs_per_row = fixed.macs_per_inference();
         Self {
             fixed,
             caches,
             parallelism: Parallelism::Sequential,
+            macs_per_row,
+            auto_tuning: AutoTuning::default(),
             warm: false,
             trace_limit: None,
         }
@@ -122,16 +139,29 @@ impl InferenceSession {
         self
     }
 
-    /// Sets how many worker threads batches may be sharded across. The
+    /// Sets the worker budget batches may be sharded across. The
     /// session keeps one persistent bank cache per worker slot, so the
     /// cache-warmth story of a long-lived session survives going
-    /// parallel. [`Parallelism::Sequential`] (the default) restores the
-    /// single-threaded reference path; every setting returns
-    /// bit-identical predictions.
+    /// parallel; the threads themselves come from the process-wide
+    /// persistent `man-par` pool, so resizing a session never spawns or
+    /// kills OS threads. [`Parallelism::Sequential`] (the default)
+    /// restores the single-threaded reference path;
+    /// [`Parallelism::Auto`] lets the tuner resolve sharding mode and
+    /// worker count per batch (see [`InferenceSession::plan_for_batch`]).
+    /// Every setting returns bit-identical predictions.
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self.caches = Self::build_caches(&self.fixed, self.warm, parallelism.workers());
+        self
+    }
+
+    /// Overrides the [`Parallelism::Auto`] decision-table thresholds
+    /// (a no-op under `Sequential`/`Threads`). The default table is
+    /// [`AutoTuning::default`].
+    #[must_use]
+    pub fn with_auto_tuning(mut self, tuning: AutoTuning) -> Self {
+        self.auto_tuning = tuning;
         self
     }
 
@@ -140,10 +170,63 @@ impl InferenceSession {
         self.parallelism
     }
 
-    /// The resolved worker count ([`Parallelism::Auto`] resolved at
-    /// construction time).
+    /// The worker budget (one persistent cache slot per worker; under
+    /// [`Parallelism::Auto`] the per-batch resolved count can be lower —
+    /// see [`InferenceSession::plan_for_batch`]).
     pub fn workers(&self) -> usize {
         self.caches.len()
+    }
+
+    /// Compile-time MACs one inference of this model costs — the work
+    /// measure the Auto tuner plans with.
+    pub fn macs_per_row(&self) -> u64 {
+        self.macs_per_row
+    }
+
+    /// How a batch of `batch` rows would shard on this session, assuming
+    /// no competing streams — the honest "what did `Auto` resolve to"
+    /// answer the bench reports record. Sessions configured with
+    /// explicit [`Parallelism`] values keep their static plan (rows when
+    /// the batch has them, neurons for a lone row); [`Parallelism::Auto`]
+    /// consults the `man-par` decision table with the model's
+    /// compile-time MACs per row.
+    pub fn plan_for_batch(&self, batch: usize) -> ShardPlan {
+        self.plan_with_load(batch, 1)
+    }
+
+    fn plan_with_load(&self, batch: usize, streams: usize) -> ShardPlan {
+        // Tracing forces the sequential path: the operand stream is
+        // ordered.
+        if self.trace_limit.is_some() || batch == 0 {
+            return ShardPlan::Sequential;
+        }
+        let slots = self.caches.len();
+        match self.parallelism {
+            Parallelism::Sequential => ShardPlan::Sequential,
+            Parallelism::Threads(_) => {
+                // Static behavior: the caller asked for exactly this
+                // many workers; rows when the batch has them, neurons
+                // for a lone row.
+                if slots <= 1 {
+                    ShardPlan::Sequential
+                } else if batch == 1 {
+                    ShardPlan::Neurons { workers: slots }
+                } else {
+                    ShardPlan::Rows {
+                        workers: slots.min(batch),
+                    }
+                }
+            }
+            Parallelism::Auto => plan_shards(
+                &AutoContext {
+                    macs_per_row: self.macs_per_row,
+                    batch,
+                    streams,
+                    cores: slots,
+                },
+                &self.auto_tuning,
+            ),
+        }
     }
 
     /// Enables per-layer operand tracing on every prediction (up to
@@ -188,11 +271,16 @@ impl InferenceSession {
     }
 
     /// One untraced inference with large layers neuron-sharded across
-    /// the session's workers.
-    fn infer_locked_sharded(&self, input: &[f32], cache: &mut SessionCache) -> Prediction {
+    /// `workers` pool threads.
+    fn infer_locked_sharded(
+        &self,
+        input: &[f32],
+        cache: &mut SessionCache,
+        workers: usize,
+    ) -> Prediction {
         let scores =
             self.fixed
-                .infer_raw_with_cache_par(input, cache, Parallelism::Threads(self.workers()));
+                .infer_raw_with_cache_par(input, cache, Parallelism::Threads(workers));
         Prediction {
             class: argmax_raw(&scores),
             scores,
@@ -202,7 +290,9 @@ impl InferenceSession {
 
     /// Runs one inference through a shared reference — the entry point
     /// scheduler workers drive via `Arc<InferenceSession>`. On a
-    /// parallel session, large layers are sharded across the workers.
+    /// parallel session, large layers are sharded across the workers
+    /// (under [`Parallelism::Auto`], only when the tuner decides the
+    /// row is worth it).
     ///
     /// # Errors
     ///
@@ -211,10 +301,12 @@ impl InferenceSession {
     pub fn infer_shared(&self, input: &[f32]) -> Result<Prediction, ManError> {
         self.check_shape(input)?;
         let mut cache = self.lock_cache(0);
-        if self.workers() > 1 && self.trace_limit.is_none() {
-            return Ok(self.infer_locked_sharded(input, &mut cache));
+        match self.plan_with_load(1, 1) {
+            ShardPlan::Neurons { workers } | ShardPlan::Rows { workers } => {
+                Ok(self.infer_locked_sharded(input, &mut cache, workers))
+            }
+            ShardPlan::Sequential => Ok(self.infer_locked(input, &mut cache)),
         }
-        Ok(self.infer_locked(input, &mut cache))
     }
 
     /// The caches stay internally consistent even if a thread panicked
@@ -237,51 +329,76 @@ impl InferenceSession {
     /// On a parallel session the rows are sharded across the worker
     /// slots (each with its own persistent cache); a batch smaller than
     /// the worker count falls back to neuron-sharding each row instead,
-    /// so big lone requests still use every core.
+    /// so big lone requests still use every core. Under
+    /// [`Parallelism::Auto`], the `man-par` decision table resolves the
+    /// mode and worker count per batch.
     ///
     /// # Errors
     ///
     /// Returns [`ManError::Shape`] on the first wrong-length input; the
     /// whole batch is validated before any inference runs.
     pub fn infer_batch_shared(&self, inputs: &[Vec<f32>]) -> Result<Vec<Prediction>, ManError> {
+        self.infer_batch_with_load(inputs, 1)
+    }
+
+    /// [`InferenceSession::infer_batch_shared`] with a load hint:
+    /// `streams` is the number of concurrent batch streams competing for
+    /// the same cores (≥ 1). The serve scheduler derives it from its
+    /// queue depth so a deep backlog does not let one micro-batch grab
+    /// every core; it only influences the [`Parallelism::Auto`] plan and
+    /// never the predicted bits.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceSession::infer_batch_shared`].
+    pub fn infer_batch_with_load(
+        &self,
+        inputs: &[Vec<f32>],
+        streams: usize,
+    ) -> Result<Vec<Prediction>, ManError> {
         for input in inputs {
             self.check_shape(input)?;
         }
-        let workers = self.workers().min(inputs.len().max(1));
-        if workers <= 1 || self.trace_limit.is_some() {
-            if self.workers() > 1 && self.trace_limit.is_none() && inputs.len() == 1 {
-                // A lone row cannot row-shard: shard its large layers
-                // across the workers instead (a no-op on warm sessions,
-                // whose product plane beats sharding — see
+        match self.plan_with_load(inputs.len(), streams) {
+            ShardPlan::Sequential => {
+                let mut cache = self.lock_cache(0);
+                Ok(inputs
+                    .iter()
+                    .map(|x| self.infer_locked(x, &mut cache))
+                    .collect())
+            }
+            ShardPlan::Neurons { workers } => {
+                // Rows too few (or too expensive each) to row-shard:
+                // shard each row's large layers across the workers
+                // instead (a no-op on warm sessions, whose product
+                // plane beats sharding — see
                 // `FixedNet::infer_raw_with_cache_par`).
                 let mut cache = self.lock_cache(0);
-                return Ok(inputs
+                Ok(inputs
                     .iter()
-                    .map(|x| self.infer_locked_sharded(x, &mut cache))
-                    .collect());
+                    .map(|x| self.infer_locked_sharded(x, &mut cache, workers))
+                    .collect())
             }
-            let mut cache = self.lock_cache(0);
-            return Ok(inputs
-                .iter()
-                .map(|x| self.infer_locked(x, &mut cache))
-                .collect());
+            ShardPlan::Rows { workers } => {
+                // Row sharding over as many worker slots as the plan
+                // engaged; each slot's cache memoizes (banks and, when
+                // warm, plane entries) on the ordinary mutable path.
+                let mut guards: Vec<MutexGuard<'_, SessionCache>> =
+                    (0..workers).map(|slot| self.lock_cache(slot)).collect();
+                let mut caches: Vec<&mut SessionCache> =
+                    guards.iter_mut().map(|g| &mut **g).collect();
+                Ok(self
+                    .fixed
+                    .infer_batch_raw_par(inputs, &mut caches)
+                    .into_iter()
+                    .map(|scores| Prediction {
+                        class: argmax_raw(&scores),
+                        scores,
+                        traces: None,
+                    })
+                    .collect())
+            }
         }
-        // Row sharding over as many worker slots as there are rows to
-        // fill; each slot's cache memoizes (banks and, when warm, plane
-        // entries) on the ordinary mutable path.
-        let mut guards: Vec<MutexGuard<'_, SessionCache>> =
-            (0..workers).map(|slot| self.lock_cache(slot)).collect();
-        let mut caches: Vec<&mut SessionCache> = guards.iter_mut().map(|g| &mut **g).collect();
-        Ok(self
-            .fixed
-            .infer_batch_raw_par(inputs, &mut caches)
-            .into_iter()
-            .map(|scores| Prediction {
-                class: argmax_raw(&scores),
-                scores,
-                traces: None,
-            })
-            .collect())
     }
 
     /// Runs one inference ([`InferenceSession::infer_shared`] behind the

@@ -1,7 +1,10 @@
 //! Property tests of the parallel batch engine's one non-negotiable
 //! contract: for ANY model, batch and thread count, parallel inference
 //! is bit-identical to sequential inference — plus the pool's panic
-//! containment.
+//! containment, and the persistent pool's reuse story: every parallel
+//! call in the process (facade batches, warm sessions, training
+//! evaluations) drains the SAME long-lived worker pool, interleaved and
+//! across session resizes, without changing a bit.
 
 use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
@@ -117,30 +120,134 @@ proptest! {
         prop_assert_eq!(parallel.scores, sequential.scores);
         prop_assert_eq!(parallel.class, sequential.class);
     }
+
+    /// One persistent pool, many tenants: interleaving plain parallel
+    /// batches, a warm session's batches, training-style accuracy
+    /// evaluations and session resizes over the SAME process-wide pool
+    /// (the `man-par` global pool every parallel call drains) never
+    /// changes a bit relative to the sequential reference — the pool
+    /// carries no job state from one call into the next.
+    #[test]
+    fn pool_reuse_across_interleaved_tenants_is_bit_identical(
+        seed in any::<u64>(),
+        set in any_alphabet(),
+        hidden in 8usize..48,
+        rows in 1usize..24,
+        // Each element is one interleaved operation; the value picks
+        // the tenant and (for resizes) the new worker count.
+        ops in prop::collection::vec(0usize..12, 4..10),
+    ) {
+        let in_dim = 10;
+        let model = random_model(seed, 8, in_dim, hidden, 4, set);
+        let batch = random_batch(seed, rows, in_dim);
+        let labels: Vec<usize> = (0..rows).map(|i| i % 4).collect();
+
+        // Sequential references, computed once.
+        let seq_scores = scores_of(
+            model.session().infer_batch_shared(&batch).expect("shapes match"),
+        );
+        let seq_accuracy = model.fixed().accuracy(&batch, &labels);
+
+        // Long-lived tenants sharing the pool across the op sequence.
+        let mut plain = model.session_parallel(Parallelism::Threads(4));
+        let warm = model.session().warm().with_parallelism(Parallelism::Threads(3));
+        for op in ops {
+            match op % 4 {
+                0 => {
+                    let got = scores_of(
+                        plain.infer_batch_shared(&batch).expect("shapes match"),
+                    );
+                    prop_assert_eq!(&got, &seq_scores, "plain tenant diverged");
+                }
+                1 => {
+                    let got = scores_of(
+                        warm.infer_batch_shared(&batch).expect("shapes match"),
+                    );
+                    prop_assert_eq!(&got, &seq_scores, "warm tenant diverged");
+                }
+                2 => {
+                    // Training-eval tenant: row-sharded accuracy over
+                    // the same pool (Auto exercises the tuner).
+                    let p = if op < 6 { Parallelism::Threads(1 + op) } else { Parallelism::Auto };
+                    let acc = model.fixed().accuracy_par(&batch, &labels, p);
+                    prop_assert_eq!(acc, seq_accuracy, "eval tenant diverged");
+                }
+                _ => {
+                    // Resize: a fresh worker-slot allocation on the same
+                    // pool; results must survive the resize.
+                    plain = model.session_parallel(Parallelism::Threads(1 + op % 7));
+                    let got = scores_of(
+                        plain.infer_batch_shared(&batch).expect("shapes match"),
+                    );
+                    prop_assert_eq!(&got, &seq_scores, "resized tenant diverged");
+                }
+            }
+        }
+    }
+
+    /// `Parallelism::Auto` — whatever plan the tuner resolves (rows,
+    /// neurons or sequential) — is bit-identical to the sequential
+    /// path, warm or plain.
+    #[test]
+    fn auto_tuned_sessions_are_bit_identical(
+        seed in any::<u64>(),
+        set in any_alphabet(),
+        hidden in 8usize..64,
+        rows in 0usize..32,
+        warm in any::<bool>(),
+    ) {
+        let model = random_model(seed, 8, 14, hidden, 3, set);
+        let batch = random_batch(seed, rows, 14);
+        let sequential = scores_of(
+            model.session().infer_batch_shared(&batch).expect("shapes match"),
+        );
+        let session = if warm {
+            model.session().warm().with_parallelism(Parallelism::Auto)
+        } else {
+            model.session_parallel(Parallelism::Auto)
+        };
+        let auto = scores_of(session.infer_batch_shared(&batch).expect("shapes match"));
+        prop_assert_eq!(&auto, &sequential);
+        // Load hints only influence the plan, never the bits.
+        for streams in [1usize, 2, 16] {
+            let hinted = scores_of(
+                session.infer_batch_with_load(&batch, streams).expect("shapes match"),
+            );
+            prop_assert_eq!(&hinted, &sequential, "streams={}", streams);
+        }
+    }
 }
 
 /// A panic inside one worker must surface to the caller — with its
-/// payload — after every thread has been joined, and leave the engine
-/// usable: the containment discipline the serving scheduler relies on
-/// (its `dispatch` then converts the panic into a typed error).
+/// payload — after every worker slot has been accounted for, and leave
+/// the engine usable: the containment discipline the serving scheduler
+/// relies on (its `dispatch` then converts the panic into a typed
+/// error). With the persistent pool this is a sharper claim than
+/// before: the SAME pool threads that contained the panic keep serving
+/// every later job, so the test drives several post-panic tenants
+/// (plain parallel, warm, training eval) — and panics again — through
+/// the reused pool.
 #[test]
-fn panic_in_worker_is_contained() {
-    let result = std::panic::catch_unwind(|| {
-        let mut contexts = vec![(); 4];
-        run_chunked(&mut contexts, 64, 1, |(), range| {
-            if range.start == 13 {
-                panic!("poisoned row");
-            }
-            range.map(|i| i as u64).collect::<Vec<_>>()
+fn panic_in_worker_is_contained_and_pool_survives_reuse() {
+    let poison = |marker: usize| {
+        std::panic::catch_unwind(move || {
+            let mut contexts = vec![(); 4];
+            run_chunked(&mut contexts, 64, 1, move |(), range| {
+                if range.start == marker {
+                    panic!("poisoned row");
+                }
+                range.map(|i| i as u64).collect::<Vec<_>>()
+            })
         })
-    });
-    let payload = result.expect_err("worker panic must propagate");
+    };
+    let payload = poison(13).expect_err("worker panic must propagate");
     assert_eq!(payload.downcast_ref::<&str>(), Some(&"poisoned row"));
 
-    // The engine is unaffected afterwards: a real model still infers,
-    // in parallel, bit-identically.
+    // The pool is unaffected afterwards: a real model still infers,
+    // in parallel, bit-identically, through the same pool threads.
     let model = random_model(7, 8, 10, 24, 3, AlphabetSet::a2());
     let batch = random_batch(7, 16, 10);
+    let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
     let sequential = scores_of(
         model
             .session()
@@ -154,4 +261,23 @@ fn panic_in_worker_is_contained() {
             .expect("shapes match"),
     );
     assert_eq!(parallel, sequential);
+
+    // A second panic on the reused pool is contained just the same...
+    let payload = poison(31).expect_err("second panic must propagate too");
+    assert_eq!(payload.downcast_ref::<&str>(), Some(&"poisoned row"));
+
+    // ...and the other tenants keep getting exact answers.
+    let warm = scores_of(
+        model
+            .session()
+            .warm()
+            .with_parallelism(Parallelism::Threads(3))
+            .infer_batch_shared(&batch)
+            .expect("shapes match"),
+    );
+    assert_eq!(warm, sequential);
+    let seq_acc = model.fixed().accuracy(&batch, &labels);
+    for p in [Parallelism::Threads(4), Parallelism::Auto] {
+        assert_eq!(model.fixed().accuracy_par(&batch, &labels, p), seq_acc);
+    }
 }
