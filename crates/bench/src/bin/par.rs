@@ -32,6 +32,9 @@ struct ThreadRow {
     /// The resolved sharding plan (`sequential`, `rows(N)`,
     /// `neurons(N)`).
     plan: String,
+    /// The resolved MAC kernel (`scalar`/`swar`/`avx2`) — the second
+    /// tuner axis; kernel-mismatched rows are incomparable in the gate.
+    kernel: String,
     /// Inferences per second through `infer_batch` (best window).
     ips: f64,
     /// `ips / sequential ips` on the same host — the scaling headline.
@@ -90,10 +93,15 @@ fn main() {
         Parallelism::Threads(4),
         Parallelism::Auto,
     ];
+    println!(
+        "[man-kernel] cpu: {}; default kernel: {}",
+        man::kernel::cpu_features(),
+        man::kernel::default_kernel().label()
+    );
     println!("Parallel batch engine — infer_batch over {batch} rows, {host_cores} host core(s)\n");
     println!(
-        "{:<30} {:>4} {:<12} {:>14} {:>14} {:>12} {:>9}",
-        "Benchmark", "bits", "alphabet", "parallelism", "resolved plan", "i/s", "speedup"
+        "{:<30} {:>4} {:<12} {:>14} {:>16} {:>12} {:>9}",
+        "Benchmark", "bits", "alphabet", "parallelism", "plan+kernel", "i/s", "speedup"
     );
     let mut benchmarks = Vec::new();
     for b in Benchmark::ALL {
@@ -149,15 +157,17 @@ fn main() {
                 1.0
             };
             // What the session actually engaged for this batch — under
-            // `Auto` the tuner's answer, not the request.
+            // `Auto` the tuner's answer, not the request — on both
+            // axes: sharding plan and MAC kernel.
             let plan = session.plan_for_batch(ds.test_images.len());
+            let kernel = session.kernel_label();
             println!(
-                "{:<30} {:>4} {:<12} {:>14} {:>14} {:>12.1} {:>8.2}x",
+                "{:<30} {:>4} {:<12} {:>14} {:>16} {:>12.1} {:>8.2}x",
                 b.name(),
                 bits,
                 set.label(),
                 p.label(),
-                plan.label(),
+                plan.label_with_kernel(kernel),
                 ips,
                 speedup
             );
@@ -171,6 +181,7 @@ fn main() {
                 },
                 workers: plan.workers(),
                 plan: plan.label(),
+                kernel: kernel.to_owned(),
                 ips,
                 speedup_vs_sequential: speedup,
             });

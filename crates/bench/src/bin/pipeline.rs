@@ -23,6 +23,10 @@ struct ThroughputRow {
     bits: u32,
     alphabet: String,
     batch: usize,
+    /// The resolved MAC kernel these rows were measured under
+    /// (`scalar`/`swar`/`avx2`). The regression gate treats rows whose
+    /// kernel differs from the baseline's as incomparable.
+    kernel: String,
     /// Inferences per second through `infer_batch` (shared bank cache).
     batched_ips: f64,
     /// Inferences per second with a fresh session per input (no sharing).
@@ -41,6 +45,11 @@ fn main() {
     // noise hits both alike. Each rep still opens fresh sessions — the
     // row measures bank sharing *within* a batch, not across reps.
     let reps = if full { 5 } else { 3 };
+    println!(
+        "[man-kernel] cpu: {}; default kernel: {}",
+        man::kernel::cpu_features(),
+        man::kernel::default_kernel().label()
+    );
     println!("Pipeline serving throughput (batch = {batch_size}, best of {reps})\n");
     println!(
         "{:<30} {:>4} {:<14} {:>12} {:>12} {:>8}",
@@ -65,6 +74,7 @@ fn main() {
             let macs: u64 = compiled.fixed().macs_per_layer().iter().sum();
 
             let (mut batched_s, mut cold_s) = (f64::MAX, f64::MAX);
+            let kernel = compiled.session().kernel_label().to_owned();
             for _ in 0..reps {
                 // Shared path: one session, banks shared across the batch.
                 let mut session = compiled.session();
@@ -90,6 +100,7 @@ fn main() {
                 bits,
                 alphabet: set.label(),
                 batch: batch_size,
+                kernel,
                 batched_ips: batch_size as f64 / batched_s,
                 cold_ips: batch_size as f64 / cold_s,
                 speedup: cold_s / batched_s,

@@ -40,6 +40,10 @@ struct ModeRow {
     mode: String,
     max_batch: usize,
     session: String,
+    /// The resolved MAC kernel the mode's scheduler sessions ran
+    /// (`scalar`/`swar`/`avx2`) — scopes this row's throughput in the
+    /// regression gate (kernel-mismatched rows are incomparable).
+    kernel: String,
     /// Throughput of the mode's *best* measurement window.
     load: LoadReport,
     /// Scheduler metrics accumulated over the warmup plus every
@@ -135,13 +139,14 @@ fn run_modes(
                 .expect("model is loaded")
                 .remove(0);
             println!(
-                "  {name:<26} {:>9.1} req/s   p50 {:>6} us   p99 {:>7} us   mean batch {:>5.2}",
-                load.throughput_rps, stats.p50_us, stats.p99_us, stats.mean_batch
+                "  {name:<26} {:>9.1} req/s   p50 {:>6} us   p99 {:>7} us   mean batch {:>5.2}   plan {}",
+                load.throughput_rps, stats.p50_us, stats.p99_us, stats.mean_batch, stats.plan
             );
             ModeRow {
                 mode: name.to_owned(),
                 max_batch: config.max_batch,
                 session: session_label(config.session_mode).to_owned(),
+                kernel: stats.kernel.clone(),
                 load,
                 stats,
             }
@@ -264,6 +269,11 @@ fn main() {
         .compile()
         .expect("projected weights compile");
 
+    println!(
+        "[man-kernel] cpu: {}; default kernel: {}",
+        man::kernel::cpu_features(),
+        man::kernel::default_kernel().label()
+    );
     println!(
         "man-serve load benchmark — {} ({bits}-bit, {}) with {CLIENTS} closed-loop clients\n",
         benchmark.name(),

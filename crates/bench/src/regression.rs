@@ -51,6 +51,15 @@ pub struct Metric {
     pub path: String,
     /// The metric value (inferences/requests per second).
     pub value: f64,
+    /// The MAC-kernel label of the nearest enclosing row that records
+    /// one (`"scalar"`/`"swar"`/`"avx2"`), if any. A baseline and
+    /// current metric measured under *different* kernels are
+    /// incomparable — a kernel switch is a configuration change, not a
+    /// regression — so [`compare`] skips such pairs instead of gating
+    /// them. `kernel` is deliberately **not** part of the row identity:
+    /// paths stay stable across kernel changes, so a switched row pairs
+    /// up (and is then skipped) rather than reported missing.
+    pub kernel: Option<String>,
 }
 
 fn numeric(v: &Value) -> Option<f64> {
@@ -85,9 +94,25 @@ fn element_label(v: &Value, index: usize) -> String {
     index.to_string()
 }
 
-fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
+/// The object's own `kernel` field (a string label), if it records one.
+fn kernel_of(v: &Value) -> Option<String> {
+    let entries = v.as_object()?;
+    entries
+        .iter()
+        .find(|(k, _)| k == "kernel")
+        .and_then(|(_, v)| match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+}
+
+fn walk(v: &Value, path: &str, kernel: Option<&str>, out: &mut Vec<Metric>) {
     match v {
         Value::Object(entries) => {
+            // A row that records its kernel scopes every metric below it
+            // (the closest enclosing label wins).
+            let own = kernel_of(v);
+            let kernel = own.as_deref().or(kernel);
             for (key, child) in entries {
                 let child_path = if path.is_empty() {
                     key.clone()
@@ -99,11 +124,12 @@ fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
                         out.push(Metric {
                             path: child_path,
                             value,
+                            kernel: kernel.map(str::to_owned),
                         });
                         continue;
                     }
                 }
-                walk(child, &child_path, out);
+                walk(child, &child_path, kernel, out);
             }
         }
         Value::Array(items) => {
@@ -114,7 +140,7 @@ fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
                 } else {
                     format!("{path}/[{label}]")
                 };
-                walk(item, &child_path, out);
+                walk(item, &child_path, kernel, out);
             }
         }
         _ => {}
@@ -124,7 +150,7 @@ fn walk(v: &Value, path: &str, out: &mut Vec<Metric>) {
 /// Extracts every throughput metric from a bench JSON document.
 pub fn extract_metrics(doc: &Value) -> Vec<Metric> {
     let mut out = Vec::new();
-    walk(doc, "", &mut out);
+    walk(doc, "", None, &mut out);
     out
 }
 
@@ -153,6 +179,13 @@ pub struct Comparison {
     pub compared: usize,
     /// Compared metrics that improved beyond the tolerance (informational).
     pub improved: usize,
+    /// Metric pairs skipped because baseline and current were measured
+    /// under different MAC kernels (both rows record a `kernel` label
+    /// and the labels differ): a kernel switch changes the
+    /// configuration, so the pair is incomparable rather than
+    /// regressed. Informational — the gate still fails if the metric
+    /// vanished outright.
+    pub incomparable: usize,
 }
 
 impl Comparison {
@@ -195,6 +228,14 @@ pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Comparison 
             cmp.missing.push(base.path.clone());
             continue;
         };
+        if let (Some(bk), Some(ck)) = (&base.kernel, &cur.kernel) {
+            if bk != ck {
+                // Measured under different MAC kernels: a configuration
+                // change, not a regression — skip rather than gate.
+                cmp.incomparable += 1;
+                continue;
+            }
+        }
         cmp.compared += 1;
         // A zero/negative baseline can't anchor a ratio; count it as
         // compared but never as a regression (quick-mode benches can
@@ -535,6 +576,54 @@ mod tests {
             cmp.regressions[0].path,
             "modes/[mode=micro]/load/throughput_rps"
         );
+    }
+
+    #[test]
+    fn kernel_mismatched_rows_are_incomparable_not_regressed() {
+        let base = parse(
+            r#"[
+            {"benchmark": "A", "kernel": "scalar", "batched_ips": 1000.0},
+            {"benchmark": "B", "kernel": "avx2", "batched_ips": 2000.0}
+        ]"#,
+        );
+        // A's kernel switched (scalar -> avx2) and its throughput
+        // "fell" 10x: incomparable, not a regression. B kept its kernel
+        // and genuinely collapsed: still a regression.
+        let cur = parse(
+            r#"[
+            {"benchmark": "A", "kernel": "avx2", "batched_ips": 100.0},
+            {"benchmark": "B", "kernel": "avx2", "batched_ips": 900.0}
+        ]"#,
+        );
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.incomparable, 1);
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].path.contains("benchmark=B"));
+        // The kernel label scopes but does not rename rows: nothing is
+        // "missing" just because a kernel switched.
+        assert!(cmp.missing.is_empty());
+    }
+
+    #[test]
+    fn kernel_label_scopes_nested_metrics_and_absent_labels_compare() {
+        // The label on an enclosing row scopes metrics nested below it
+        // (serve's ModeRow.kernel scoping load/throughput_rps)...
+        let base = parse(
+            r#"{"modes": [{"mode": "m", "kernel": "swar", "load": {"throughput_rps": 500.0}}]}"#,
+        );
+        let cur = parse(
+            r#"{"modes": [{"mode": "m", "kernel": "avx2", "load": {"throughput_rps": 100.0}}]}"#,
+        );
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.incomparable, 1);
+        assert!(cmp.passed(), "{cmp:?}");
+        // ...while a pre-kernel baseline (no labels) keeps comparing
+        // absolutely against a labelled current run.
+        let old_base = parse(r#"{"modes": [{"mode": "m", "load": {"throughput_rps": 500.0}}]}"#);
+        let cmp = compare(&old_base, &cur, 0.25);
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.regressions.len(), 1);
     }
 
     #[test]

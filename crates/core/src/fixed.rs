@@ -21,6 +21,7 @@ use std::fmt;
 
 use crate::alphabet::AlphabetSet;
 use crate::asm::AsmMultiplier;
+use crate::kernel::{self, BankArena, KernelKind, MacRun, MacSoa};
 
 /// Per-layer alphabet assignment (uniform or mixed, as in the paper's
 /// Section VI-E where early layers use `{1}` and late layers `{1,3}` /
@@ -127,6 +128,26 @@ impl QuantSpec {
     }
 }
 
+/// The flat input index of every (output position, fan-in slot) of a
+/// valid convolution, positions row-major and slots in the scalar
+/// fan-in order `(c, ky, kx)` — shared by every output channel.
+fn conv_gather(in_ch: usize, k: usize, in_h: usize, in_w: usize) -> Vec<u32> {
+    let (oh, ow) = (in_h - k + 1, in_w - k + 1);
+    let mut gather = Vec::with_capacity(oh * ow * in_ch * k * k);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for c in 0..in_ch {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        gather.push((c * in_h * in_w + (oy + ky) * in_w + (ox + kx)) as u32);
+                    }
+                }
+            }
+        }
+    }
+    gather
+}
+
 fn weights_of(layer: &Layer) -> Option<&[f32]> {
     match layer {
         Layer::Dense(d) => Some(d.weights()),
@@ -207,6 +228,9 @@ struct MacParams {
     w_mag: Vec<u32>,
     /// Pre-decoded select/shift plans, one per weight.
     plans: Vec<crate::asm::AsmPlan>,
+    /// The same plans repacked as structure-of-arrays term bytes — what
+    /// the vectorized MAC kernels consume (see `crate::kernel`).
+    soa: MacSoa,
     /// Biases at the accumulator fraction.
     bias: Vec<i64>,
     /// Weight format (fraction defines the accumulator fraction).
@@ -227,6 +251,12 @@ enum FixedLayer {
         k: usize,
         in_h: usize,
         in_w: usize,
+        /// Flat input index per (output position, fan-in slot), in the
+        /// scalar fan-in order `(c, ky, kx)` — the static half of the
+        /// vectorized path's gather lists, depending only on layer
+        /// geometry, so it is built once at compile time instead of
+        /// per inference.
+        gather: Vec<u32>,
         mac: MacParams,
     },
     /// LeNet trainable pooling: 2×2 average, one multiplicative weight and
@@ -321,6 +351,11 @@ impl ProductPlane {
         self.table[w_mag as usize * self.side + x_mag as usize]
             .store(product as u32, std::sync::atomic::Ordering::Relaxed);
     }
+
+    /// Bytes of the (fully allocated, shared-by-clone) product table.
+    fn bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
 }
 
 /// Reusable per-layer pre-computer bank caches.
@@ -328,16 +363,18 @@ impl ProductPlane {
 /// A bank depends only on the input magnitude and the layer's alphabet
 /// set, so it can be shared across every inference of a session — the
 /// mechanism behind [`FixedNet::infer_raw_with_cache`] and the batched
-/// `InferenceSession` in the facade crate. Banks are stored in a dense
-/// table indexed by magnitude (activation magnitudes are strictly below
-/// `2^(bits-1)`), so the hot path is an array index, not a hash lookup.
+/// `InferenceSession` in the facade crate. Banks live in one contiguous
+/// structure-of-arrays slab per layer (a [`BankArena`]: one padded row
+/// per magnitude, addressed by row offset), so the scalar hot path is
+/// an array index — and the vectorized MAC kernels stream rows out of
+/// the same slab without pointer chasing.
 ///
 /// A cache built by [`FixedNet::session_cache_warm`] additionally carries
 /// a [`ProductPlane`] that memoizes whole products across inferences —
 /// the right choice for long-lived serving sessions, and bit-identical
 /// to the plain path. **Cloning** a warm cache shares the plane (its
 /// slots are relaxed atomics over pure values) while deep-copying the
-/// bank tables — which is how a parallel session gives every worker
+/// bank arenas — which is how a parallel session gives every worker
 /// slot a private bank cache without multiplying the plane's memory or
 /// its steady-state warm-up cost by the worker count.
 #[derive(Clone, Debug)]
@@ -347,13 +384,32 @@ pub struct SessionCache {
     /// fingerprint may share a cache and any other pairing is rejected.
     bits: u32,
     layer_alphabets: Vec<Vec<u8>>,
-    layers: Vec<Vec<Option<Box<[u64]>>>>,
+    layers: Vec<BankArena>,
     plane: Option<ProductPlane>,
+}
+
+/// A [`SessionCache`]'s memory footprint — what the facade session and
+/// serve `stats` report so operators can see where cache bytes went.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheFootprint {
+    /// Heap bytes of each layer's bank arena (rows + magnitude index).
+    pub layer_bank_bytes: Vec<usize>,
+    /// Bytes of the shared product plane (0 without one). The plane is
+    /// shared across a session's worker-slot clones, so when summing
+    /// slot footprints it must be counted once.
+    pub plane_bytes: usize,
+}
+
+impl CacheFootprint {
+    /// Total bytes: every layer's banks plus the plane.
+    pub fn total_bytes(&self) -> usize {
+        self.layer_bank_bytes.iter().sum::<usize>() + self.plane_bytes
+    }
 }
 
 impl SessionCache {
     /// One signed-magnitude product through the cache: the plane when the
-    /// cache is warm (a plane miss fills from the per-layer bank cache,
+    /// cache is warm (a plane miss fills from the per-layer bank arena,
     /// so the bank for an input magnitude is still computed only once),
     /// the bank alone otherwise.
     #[inline]
@@ -364,28 +420,30 @@ impl SessionCache {
                 if let Some(p) = plane.get(mac.w_mag[wi], x_mag) {
                     return p;
                 }
-                let bank = layers[layer][x_mag as usize]
-                    .get_or_insert_with(|| mac.asm.precompute(x_mag).into_boxed_slice());
-                let p = mac.asm.apply(&mac.plans[wi], bank);
+                let arena = &mut layers[layer];
+                let row = arena.row_or_fill(&mac.asm, x_mag);
+                let p = mac.asm.apply(&mac.plans[wi], arena.bank(row));
                 plane.store(mac.w_mag[wi], x_mag, p);
                 p
             }
             None => {
-                let bank = layers[layer][x_mag as usize]
-                    .get_or_insert_with(|| mac.asm.precompute(x_mag).into_boxed_slice());
-                mac.asm.apply(&mac.plans[wi], bank)
+                let arena = &mut layers[layer];
+                let row = arena.row_or_fill(&mac.asm, x_mag);
+                mac.asm.apply(&mac.plans[wi], arena.bank(row))
             }
         }
     }
 
-    /// Ensures a pre-computer bank exists for every activation in `xs` —
-    /// the write phase that lets [`SessionCache::product_ro`] run the MAC
-    /// loop itself through a shared reference from many worker threads.
+    /// Ensures a pre-computer bank row exists for every activation in
+    /// `xs` — the write phase that lets [`SessionCache::product_ro`] and
+    /// the vector kernels run the MAC loop itself through a shared
+    /// reference from many worker threads. The arena grows by *exactly*
+    /// the missing rows (`BankArena::prefill` counts first, then
+    /// `reserve_exact`s), so SoA repacking never silently doubles the
+    /// peak bank memory — and never thrashes the allocator with
+    /// grow-then-trim cycles as new magnitudes trickle in.
     fn prefill_layer(&mut self, layer: usize, mac: &MacParams, xs: &[SignedAct]) {
-        for x in xs {
-            self.layers[layer][x.mag as usize]
-                .get_or_insert_with(|| mac.asm.precompute(x.mag).into_boxed_slice());
-        }
+        self.layers[layer].prefill(&mac.asm, xs.iter().map(|x| x.mag));
     }
 
     /// Read-only twin of [`SessionCache::product`]: a plane hit when the
@@ -405,15 +463,38 @@ impl SessionCache {
                 return p;
             }
         }
-        let bank = self.layers[layer][x_mag as usize]
-            .as_ref()
+        let arena = &self.layers[layer];
+        let row = arena
+            .row(x_mag)
             .expect("bank prefilled for every input magnitude before sharding");
-        mac.asm.apply(&mac.plans[wi], bank)
+        mac.asm.apply(&mac.plans[wi], arena.bank(row))
     }
 
     /// `true` when this cache memoizes whole products.
     pub fn has_product_plane(&self) -> bool {
         self.plane.is_some()
+    }
+
+    /// The cache's current memory footprint: per-layer bank-arena bytes
+    /// plus the product plane's bytes (when warm).
+    pub fn footprint(&self) -> CacheFootprint {
+        CacheFootprint {
+            layer_bank_bytes: self.layers.iter().map(BankArena::bytes).collect(),
+            plane_bytes: self
+                .plane
+                .as_ref()
+                .map(ProductPlane::bytes)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Releases growth slack in every layer's bank arena — cheap (a
+    /// no-op per layer unless that arena actually over-allocated), and
+    /// called automatically after every prefill.
+    pub fn shrink_to_fit(&mut self) {
+        for arena in &mut self.layers {
+            arena.shrink_to_fit();
+        }
     }
 }
 
@@ -508,6 +589,7 @@ impl FixedNet {
                     k: c.kernel,
                     in_h: c.in_h,
                     in_w: c.in_w,
+                    gather: conv_gather(c.in_channels, c.kernel, c.in_h, c.in_w),
                     mac,
                 },
                 Layer::ScaledAvgPool(p) => FixedLayer::Pool {
@@ -561,11 +643,13 @@ impl FixedNet {
             .iter()
             .map(|&b| (b as f64 * (1u64 << acc_frac) as f64).round() as i64)
             .collect();
+        let soa = MacSoa::build(&asm, &plans);
         Ok(MacParams {
             asm,
             w_neg,
             w_mag,
             plans,
+            soa,
             bias,
             w_format: format,
             output,
@@ -635,6 +719,15 @@ impl FixedNet {
     /// measure per batch row.
     pub fn macs_per_inference(&self) -> u64 {
         self.macs_per_layer().iter().sum()
+    }
+
+    /// Heap bytes of the per-layer structure-of-arrays kernel plans
+    /// (the repacked select/shift term buffers the vectorized MAC
+    /// kernels consume). Shared by every session over this engine —
+    /// part of the memory story `stats` surfaces next to the per-cache
+    /// bank footprint.
+    pub fn kernel_plan_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.mac().soa.bytes()).sum()
     }
 
     /// Neuron outputs per inference, per layer (activation-unit uses).
@@ -751,26 +844,80 @@ impl FixedNet {
         accs
     }
 
+    /// Runs one MAC layer through a vectorized kernel (see
+    /// `crate::kernel`): banks are prefilled into the layer's contiguous
+    /// arena (the only writes), per-output fan-in runs are described by
+    /// arena row offsets, and the kernel evaluates 4 weights per step —
+    /// with the `i64` accumulation still in exact sequential fan-in
+    /// order, so the results are bit-identical to [`Self::run_mac_layer`]
+    /// by construction. `fan_of(o)` yields output `o`'s
+    /// `(first weight, fan-in gather range)`; the gather lists live in
+    /// `rows`/`x_neg` (for dense layers one shared list, for
+    /// convolutions one list per output position).
+    #[allow(clippy::too_many_arguments)]
+    fn run_mac_layer_soa(
+        &self,
+        mac: &MacParams,
+        outputs: usize,
+        rows: &[u32],
+        x_neg: &[bool],
+        acc_init: impl Fn(usize) -> i64 + Sync,
+        fan_of: impl Fn(usize) -> (usize, std::ops::Range<usize>) + Sync,
+        slab: &[u64],
+        workers: usize,
+        kind: KernelKind,
+    ) -> Vec<i64> {
+        let k = kernel::kernel_for(kind);
+        let run_output = |o: usize| {
+            let (w0, gather) = fan_of(o);
+            k.accumulate(MacRun {
+                soa: &mac.soa,
+                slab,
+                w_neg: &mac.w_neg,
+                w0,
+                rows: &rows[gather.clone()],
+                x_neg: &x_neg[gather],
+                acc: acc_init(o),
+            })
+        };
+        // Same shard threshold as the scalar path; the kernel loop never
+        // touches the product plane, so plane-backed caches may shard
+        // here too (the prefilled arena is all it reads).
+        if workers > 1 && outputs >= workers * 4 {
+            let mut slots = vec![(); workers];
+            return run_chunked(
+                &mut slots,
+                outputs,
+                default_chunk_size(outputs, workers),
+                |(), range| range.map(run_output).collect(),
+            );
+        }
+        (0..outputs).map(run_output).collect()
+    }
+
     fn forward_layers(
         &self,
         image: &[f32],
         traces: Option<&mut Vec<LayerTrace>>,
         cache: &mut SessionCache,
     ) -> Vec<i64> {
-        self.forward_layers_sharded(image, traces, cache, 1)
+        self.forward_layers_sharded(image, traces, cache, 1, kernel::default_kernel())
     }
 
     /// [`FixedNet::forward_layers`] with the MAC loops of large layers
-    /// sharded over `workers` threads (neuron-level parallelism). Pool
+    /// sharded over `workers` threads (neuron-level parallelism) and the
+    /// per-layer kernel dispatched per `kind` (DESIGN.md §10). Pool
     /// layers multiply *derived* 2×2-average activations whose magnitudes
-    /// are not in the layer input, so they keep the sequential path — they
-    /// are a vanishing fraction of the MACs anyway.
+    /// are not in the layer input, so they keep the sequential scalar
+    /// path — they are a vanishing fraction of the MACs anyway; traced
+    /// runs force the scalar path too (the operand stream is ordered).
     fn forward_layers_sharded(
         &self,
         image: &[f32],
         mut traces: Option<&mut Vec<LayerTrace>>,
         cache: &mut SessionCache,
         workers: usize,
+        kind: KernelKind,
     ) -> Vec<i64> {
         assert_eq!(
             image.len(),
@@ -793,7 +940,83 @@ impl FixedNet {
                 .as_deref_mut()
                 .map(|ts| &mut ts[li])
                 .map(|t| t as &mut LayerTrace);
+            // The §10 dispatch rule: vectorized kernels run every
+            // untraced dense/conv layer over the prefilled SoA arena;
+            // traced runs, pool layers and the scalar kernel keep the
+            // per-weight reference loop (which is also the only path
+            // that reads — and fills — the warm product plane).
+            let vectorize = kind.is_vectorized() && layer_trace.is_none();
             let accs: Vec<i64> = match layer {
+                FixedLayer::Dense {
+                    in_dim, out_dim, ..
+                } if vectorize => {
+                    let xs: &[SignedAct] = &x;
+                    let (in_dim, out_dim) = (*in_dim, *out_dim);
+                    cache.prefill_layer(li, mac, xs);
+                    let arena = &cache.layers[li];
+                    let rows: Vec<u32> = xs
+                        .iter()
+                        .map(|x| arena.row(x.mag).expect("prefilled above"))
+                        .collect();
+                    let x_neg: Vec<bool> = xs.iter().map(|x| x.neg).collect();
+                    // Every output shares one gather list; its weights
+                    // are the contiguous run starting at `o * in_dim`.
+                    self.run_mac_layer_soa(
+                        mac,
+                        out_dim,
+                        &rows,
+                        &x_neg,
+                        |o| mac.bias[o],
+                        |o| (o * in_dim, 0..in_dim),
+                        arena.slab(),
+                        workers,
+                        kind,
+                    )
+                }
+                FixedLayer::Conv {
+                    in_ch,
+                    out_ch,
+                    k,
+                    in_h,
+                    in_w,
+                    gather,
+                    ..
+                } if vectorize => {
+                    let xs: &[SignedAct] = &x;
+                    let (in_h, in_w, in_ch, k, out_ch) = (*in_h, *in_w, *in_ch, *k, *out_ch);
+                    let (oh, ow) = (in_h - k + 1, in_w - k + 1);
+                    let fan = in_ch * k * k;
+                    cache.prefill_layer(li, mac, xs);
+                    let arena = &cache.layers[li];
+                    // One gather list per output *position* (shared by
+                    // all output channels), in exactly the scalar
+                    // fan-in order (c, ky, kx) — which is also weight
+                    // order within an output channel's contiguous run.
+                    // The input-index pattern is static per layer
+                    // geometry (`gather`, built at compile time); only
+                    // the per-activation row offsets and signs are
+                    // resolved per inference.
+                    let row_of: Vec<u32> = xs
+                        .iter()
+                        .map(|x| arena.row(x.mag).expect("prefilled above"))
+                        .collect();
+                    let rows: Vec<u32> = gather.iter().map(|&xi| row_of[xi as usize]).collect();
+                    let x_neg: Vec<bool> = gather.iter().map(|&xi| xs[xi as usize].neg).collect();
+                    self.run_mac_layer_soa(
+                        mac,
+                        out_ch * oh * ow,
+                        &rows,
+                        &x_neg,
+                        |o| mac.bias[o / (oh * ow)],
+                        |o| {
+                            let pos = o % (oh * ow);
+                            (o / (oh * ow) * fan, pos * fan..(pos + 1) * fan)
+                        },
+                        arena.slab(),
+                        workers,
+                        kind,
+                    )
+                }
                 FixedLayer::Dense {
                     in_dim, out_dim, ..
                 } => {
@@ -932,7 +1155,11 @@ impl FixedNet {
         SessionCache {
             bits: self.bits,
             layer_alphabets: self.layer_alphabet_members(),
-            layers: self.layers.iter().map(|_| vec![None; slots]).collect(),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| BankArena::new(slots, l.mac().asm.alphabet().len()))
+                .collect(),
             plane: None,
         }
     }
@@ -988,12 +1215,28 @@ impl FixedNet {
     /// length or alphabet assignment — its banks would silently corrupt
     /// this network's products.
     pub fn infer_raw_with_cache(&self, image: &[f32], cache: &mut SessionCache) -> Vec<i64> {
+        self.infer_raw_with_cache_kernel(image, cache, kernel::default_kernel())
+    }
+
+    /// [`FixedNet::infer_raw_with_cache`] with an explicit MAC kernel
+    /// (see `crate::kernel`). Every kernel returns bit-identical logits;
+    /// the choice only moves wall-clock time around.
+    ///
+    /// # Panics
+    ///
+    /// As [`FixedNet::infer_raw_with_cache`].
+    pub fn infer_raw_with_cache_kernel(
+        &self,
+        image: &[f32],
+        cache: &mut SessionCache,
+        kind: KernelKind,
+    ) -> Vec<i64> {
         assert!(
             self.cache_matches(cache),
             "session cache belongs to a network with a different word \
              length or alphabet assignment"
         );
-        self.forward_layers(image, None, cache)
+        self.forward_layers_sharded(image, None, cache, 1, kind)
     }
 
     /// [`FixedNet::infer_raw_with_cache`] with large layers sharded over
@@ -1015,12 +1258,30 @@ impl FixedNet {
         cache: &mut SessionCache,
         parallelism: Parallelism,
     ) -> Vec<i64> {
+        self.infer_raw_with_cache_par_kernel(image, cache, parallelism, kernel::default_kernel())
+    }
+
+    /// [`FixedNet::infer_raw_with_cache_par`] with an explicit MAC
+    /// kernel. With a vectorized kernel, neuron sharding runs through
+    /// the prefilled SoA arena — including on plane-backed (warm)
+    /// caches, which the kernel path never reads the plane of.
+    ///
+    /// # Panics
+    ///
+    /// As [`FixedNet::infer_raw_with_cache`].
+    pub fn infer_raw_with_cache_par_kernel(
+        &self,
+        image: &[f32],
+        cache: &mut SessionCache,
+        parallelism: Parallelism,
+        kind: KernelKind,
+    ) -> Vec<i64> {
         assert!(
             self.cache_matches(cache),
             "session cache belongs to a network with a different word \
              length or alphabet assignment"
         );
-        self.forward_layers_sharded(image, None, cache, parallelism.workers())
+        self.forward_layers_sharded(image, None, cache, parallelism.workers(), kind)
     }
 
     /// Runs a batch with rows sharded across one worker per element of
@@ -1040,6 +1301,21 @@ impl FixedNet {
         images: &[Vec<f32>],
         caches: &mut [&mut SessionCache],
     ) -> Vec<Vec<i64>> {
+        self.infer_batch_raw_par_kernel(images, caches, kernel::default_kernel())
+    }
+
+    /// [`FixedNet::infer_batch_raw_par`] with an explicit MAC kernel for
+    /// every row's forward pass.
+    ///
+    /// # Panics
+    ///
+    /// As [`FixedNet::infer_batch_raw_par`].
+    pub fn infer_batch_raw_par_kernel(
+        &self,
+        images: &[Vec<f32>],
+        caches: &mut [&mut SessionCache],
+        kind: KernelKind,
+    ) -> Vec<Vec<i64>> {
         assert!(!caches.is_empty(), "need at least one worker cache");
         for cache in caches.iter() {
             assert!(
@@ -1055,7 +1331,7 @@ impl FixedNet {
             default_chunk_size(images.len(), workers),
             |cache, range| {
                 range
-                    .map(|i| self.forward_layers(&images[i], None, cache))
+                    .map(|i| self.forward_layers_sharded(&images[i], None, cache, 1, kind))
                     .collect()
             },
         )
@@ -1134,8 +1410,13 @@ impl FixedNet {
                     .iter()
                     .zip(labels)
                     .filter(|(img, &l)| {
-                        argmax_raw(&self.forward_layers_sharded(img, None, &mut cache, workers))
-                            == l
+                        argmax_raw(&self.forward_layers_sharded(
+                            img,
+                            None,
+                            &mut cache,
+                            workers,
+                            kernel::default_kernel(),
+                        )) == l
                     })
                     .count();
                 correct as f64 / images.len() as f64
@@ -1508,6 +1789,119 @@ mod tests {
         ] {
             assert_eq!(fixed.accuracy_par(&images, &labels, p), seq);
         }
+    }
+
+    /// Every resolved kernel (scalar reference, portable SWAR, AVX2
+    /// when the host has it) produces bit-identical logits on dense
+    /// *and* convolutional networks, plain and warm caches, sequential
+    /// and neuron-sharded — the engine-level half of the §10
+    /// bit-exactness contract (the kernel-level half is exhaustive in
+    /// `crate::kernel`'s tests).
+    #[test]
+    fn all_kernels_are_bit_identical_on_dense_and_conv() {
+        use man_nn::layers::{Conv2d, ScaledAvgPool};
+        let mut kinds = vec![KernelKind::Scalar, KernelKind::Swar];
+        if crate::kernel::avx2_available() {
+            kinds.push(KernelKind::Avx2);
+        }
+        let mut rng = SmallRng::seed_from_u64(91);
+        let nets: Vec<(Network, usize, u32)> = vec![
+            // A wide MLP (dense SoA path, shard threshold engages).
+            (
+                Network::new(vec![
+                    Layer::Dense(Dense::new(18, 48, &mut rng)),
+                    Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+                    Layer::Dense(Dense::new(48, 5, &mut rng)),
+                ]),
+                18,
+                8,
+            ),
+            // A conv → pool → dense LeNet-style stack (conv SoA path,
+            // requant stage, signed activations into the pool layer).
+            (
+                Network::new(vec![
+                    Layer::Conv2d(Conv2d::new(1, 4, 3, 10, 10, &mut rng)),
+                    Layer::ScaledAvgPool(ScaledAvgPool::new(4, 8, 8)),
+                    Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+                    Layer::Dense(Dense::new(4 * 4 * 4, 3, &mut rng)),
+                    Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+                    Layer::Dense(Dense::new(3, 2, &mut rng)),
+                ]),
+                100,
+                12,
+            ),
+        ];
+        for (mut net, in_len, bits) in nets {
+            let spec = QuantSpec::fit(&net, bits);
+            let layers = spec.layer_formats().len();
+            let alphabets = LayerAlphabets::uniform(AlphabetSet::a2(), layers);
+            constrain_net(&mut net, &spec, &alphabets);
+            let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+            let images: Vec<Vec<f32>> = (0..5)
+                .map(|i| {
+                    (0..in_len)
+                        .map(|j| ((i * 17 + j * 7) % 23) as f32 / 23.0)
+                        .collect()
+                })
+                .collect();
+            let mut ref_cache = fixed.session_cache();
+            let reference: Vec<Vec<i64>> = images
+                .iter()
+                .map(|x| fixed.infer_raw_with_cache_kernel(x, &mut ref_cache, KernelKind::Scalar))
+                .collect();
+            for &kind in &kinds {
+                for warm in [false, true] {
+                    let mut cache = if warm {
+                        fixed.session_cache_warm()
+                    } else {
+                        fixed.session_cache()
+                    };
+                    for (x, want) in images.iter().zip(&reference) {
+                        assert_eq!(
+                            &fixed.infer_raw_with_cache_kernel(x, &mut cache, kind),
+                            want,
+                            "bits={bits} kernel={} warm={warm}",
+                            kind.label()
+                        );
+                        assert_eq!(
+                            &fixed.infer_raw_with_cache_par_kernel(
+                                x,
+                                &mut cache,
+                                Parallelism::Threads(3),
+                                kind
+                            ),
+                            want,
+                            "bits={bits} kernel={} warm={warm} sharded",
+                            kind.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_footprint_reports_banks_and_plane() {
+        let mut net = tiny_net(90);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a4(), 2);
+        constrain_net(&mut net, &spec, &alphabets);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        let mut cache = fixed.session_cache_warm();
+        let empty = cache.footprint();
+        assert_eq!(empty.layer_bank_bytes.len(), 2);
+        assert_eq!(empty.plane_bytes, 128 * 128 * 4, "8-bit plane is 64 KiB");
+        let x: Vec<f32> = (0..16).map(|j| (j % 7) as f32 / 7.0).collect();
+        let _ = fixed.infer_raw_with_cache(&x, &mut cache);
+        let filled = cache.footprint();
+        assert!(
+            filled.layer_bank_bytes[0] > empty.layer_bank_bytes[0],
+            "inference fills bank rows: {filled:?}"
+        );
+        assert!(filled.total_bytes() > filled.plane_bytes);
+        cache.shrink_to_fit();
+        assert!(cache.footprint().total_bytes() <= filled.total_bytes());
+        assert!(fixed.kernel_plan_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,720 @@
+//! The MAC kernel layer: runtime-dispatched implementations of the
+//! fixed-point engine's inner select/shift/add loop.
+//!
+//! The paper's datapath multiplies by selecting a pre-computed alphabet
+//! product, shifting it into quartet position and adding — per weight,
+//! per quartet. The engine's original inner loop executed that one
+//! weight at a time through an [`crate::asm::AsmPlan`] walk (a
+//! `Vec<Option<(usize, u32)>>` with a branch per quartet) and a
+//! per-magnitude `Box<[u64]>` bank lookup. This module repacks both
+//! sides into contiguous structure-of-arrays buffers and evaluates the
+//! exact same arithmetic four weights per step:
+//!
+//! * [`MacSoa`] — every weight's decoded plan, re-encoded as one byte
+//!   per (weight, quartet-slot): `padded bank index << 4 | total
+//!   shift`. Index 0 is a zero sentinel, so a masked (zero) quartet
+//!   adds nothing without a branch. Bytes are laid out plane-major
+//!   (slot-0 bytes of all weights, then slot-1, …) so a 4-weight step
+//!   reads four adjacent bytes per slot.
+//! * [`BankArena`] — the session cache's bank store, one *padded*
+//!   contiguous row per input magnitude (`[0, a₁·x, a₂·x, …]`), filled
+//!   lazily and addressed by row offset instead of a per-magnitude heap
+//!   box.
+//!
+//! Three [`MacKernel`] implementations evaluate a fan-in run over those
+//! buffers: the **scalar** reference (the same per-term walk as
+//! `AsmMultiplier::apply`, kept as the bit-exact anchor), a portable
+//! **SWAR**-style kernel (branch-free, four weights per unrolled step,
+//! plain `u64` arithmetic — no `std::arch`), and an **AVX2**
+//! specialization (`vpgatherqq` bank selects + `vpsllvq` per-lane
+//! shifts), selected at runtime behind `is_x86_feature_detected!`.
+//!
+//! # Bit-exactness by construction
+//!
+//! Every kernel computes, per weight, `Σ_q bank[idx_q] << (shift_q +
+//! offset_q)` — the identical terms the scalar `apply` sums, and the
+//! identical value (`u64` addition is associative and the terms cannot
+//! overflow: magnitudes are below `2^15`, so a product is below
+//! `2^30`). The signed product is applied through the very same
+//! [`man_fixed::bits::apply_sign`], and the **accumulation across the
+//! fan-in runs in exactly the sequential order** — vectorization packs
+//! the product computation, never the `i64` accumulator chain (the only
+//! order-sensitive loop; DESIGN.md §8). Equivalence is additionally
+//! pinned exhaustively in this module's tests and by the
+//! `tests/par_equivalence.rs` proptest matrix.
+
+use std::sync::OnceLock;
+
+use man_par::Kernel;
+
+use crate::asm::{AsmMultiplier, AsmPlan};
+
+/// The kernel that actually runs after dispatch — what bench rows,
+/// session stats and the serve scheduler report.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The per-weight reference loop.
+    Scalar,
+    /// The portable structure-of-arrays SWAR kernel.
+    Swar,
+    /// The `std::arch` AVX2 specialization (x86-64 with AVX2 only).
+    Avx2,
+}
+
+impl KernelKind {
+    /// A short label (`"scalar"`, `"swar"`, `"avx2"`) for logs, stats
+    /// and bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Swar => "swar",
+            KernelKind::Avx2 => "avx2",
+        }
+    }
+
+    /// `true` for the vectorized kernels (everything but the scalar
+    /// reference).
+    pub fn is_vectorized(self) -> bool {
+        !matches!(self, KernelKind::Scalar)
+    }
+}
+
+/// `true` when the host supports the AVX2 specialization.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The best vectorized kernel this host supports: AVX2 when detected,
+/// the portable SWAR kernel otherwise.
+pub fn detect() -> KernelKind {
+    if avx2_available() {
+        KernelKind::Avx2
+    } else {
+        KernelKind::Swar
+    }
+}
+
+/// A one-line description of the detected CPU features relevant to
+/// kernel dispatch (for example `x86_64: avx2 detected`), printed by
+/// the examples for CI log forensics.
+pub fn cpu_features() -> String {
+    let avx2 = if avx2_available() {
+        "avx2 detected"
+    } else {
+        "no avx2 (portable SWAR fallback)"
+    };
+    format!("{}: {avx2}", std::env::consts::ARCH)
+}
+
+/// Resolves a kernel *request* to the kernel that will run:
+///
+/// | request  | resolves to |
+/// |----------|-------------|
+/// | `Scalar` | `Scalar` |
+/// | `Swar`   | `Swar` (AVX2 explicitly off) |
+/// | `Vector` | [`detect`]: `Avx2` when available, else `Swar` |
+/// | `Auto`   | the `MAN_KERNEL` env override when set, else `Vector` |
+///
+/// The environment is consulted once per process (the answer is
+/// cached); explicit non-`Auto` requests always win over `MAN_KERNEL`,
+/// so an equivalence test that pins both kernels stays meaningful under
+/// the CI jobs that set the variable.
+pub fn resolve(request: Kernel) -> KernelKind {
+    match request {
+        Kernel::Scalar => KernelKind::Scalar,
+        Kernel::Swar => KernelKind::Swar,
+        Kernel::Vector => detect(),
+        Kernel::Auto => default_kernel(),
+    }
+}
+
+/// What [`Kernel::Auto`] resolves to on this host (env override
+/// included) — the kernel every engine entry point without an explicit
+/// request runs.
+pub fn default_kernel() -> KernelKind {
+    static AUTO: OnceLock<KernelKind> = OnceLock::new();
+    *AUTO.get_or_init(|| match Kernel::from_env() {
+        Some(Kernel::Scalar) => KernelKind::Scalar,
+        Some(Kernel::Swar) => KernelKind::Swar,
+        Some(Kernel::Vector) | Some(Kernel::Auto) | None => detect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Structure-of-arrays buffers
+// ---------------------------------------------------------------------------
+
+/// A layer's decoded select/shift plans, repacked for vector kernels:
+/// one byte per (weight, quartet slot), plane-major.
+///
+/// Term byte layout: `(padded bank index) << 4 | total shift`, where
+/// the padded index is `alphabet index + 1` (0 selects the arena row's
+/// zero sentinel — a masked quartet) and the total shift folds the
+/// quartet's bit offset into the control shift (`offset + shift ≤ 15`
+/// for every supported word length, so it always fits the low nibble).
+#[derive(Clone, Debug)]
+pub(crate) struct MacSoa {
+    /// Quartet slots per weight.
+    q: usize,
+    /// Weights in the layer.
+    weights: usize,
+    /// `q * weights` term bytes; slot `s` of weight `w` is at
+    /// `s * weights + w`.
+    terms: Vec<u8>,
+}
+
+impl MacSoa {
+    /// Repacks a layer's decoded plans. Pure metadata — the arena rows
+    /// supply the actual bank values at run time.
+    pub(crate) fn build(asm: &AsmMultiplier, plans: &[AsmPlan]) -> Self {
+        let widths = asm.scheme().widths();
+        let q = widths.len();
+        let weights = plans.len();
+        let mut terms = vec![0u8; q * weights];
+        for (wi, plan) in plans.iter().enumerate() {
+            let mut offset = 0u32;
+            for (s, (control, &width)) in plan.controls.iter().zip(widths).enumerate() {
+                if let Some((idx, shift)) = control {
+                    let total = shift + offset;
+                    debug_assert!(*idx < 15, "padded bank index must fit a nibble");
+                    debug_assert!(total < 16, "total shift must fit a nibble");
+                    terms[s * weights + wi] = (((idx + 1) as u8) << 4) | total as u8;
+                }
+                offset += width;
+            }
+        }
+        Self { q, weights, terms }
+    }
+
+    /// Heap bytes of the repacked plan buffer.
+    pub(crate) fn bytes(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// The session cache's bank store: one contiguous *padded* row per
+/// input magnitude, filled lazily.
+///
+/// Row layout: `[0, a₁·x, a₂·x, …]` — slot 0 is the zero sentinel
+/// vector kernels select for masked quartets; slots `1..` are the
+/// classic pre-computer bank. Rows live back-to-back in one `Vec<u64>`
+/// and are addressed by row offset, so the vector kernels index one
+/// flat slab instead of chasing per-magnitude heap boxes — and the
+/// scalar path reads the unpadded tail of the same row, so both paths
+/// share one store.
+#[derive(Clone, Debug)]
+pub(crate) struct BankArena {
+    /// Padded row length: alphabet members + 1.
+    stride: usize,
+    /// Magnitude → row offset into `data`; [`BankArena::EMPTY`] marks a
+    /// row not yet computed.
+    index: Vec<u32>,
+    /// The contiguous padded rows.
+    data: Vec<u64>,
+}
+
+impl BankArena {
+    const EMPTY: u32 = u32::MAX;
+
+    /// An empty arena for magnitudes `0..slots` under an alphabet of
+    /// `alphabet_len` members.
+    pub(crate) fn new(slots: usize, alphabet_len: usize) -> Self {
+        Self {
+            stride: alphabet_len + 1,
+            index: vec![Self::EMPTY; slots],
+            data: Vec::new(),
+        }
+    }
+
+    /// The row offset for `mag`, computing (and memoizing) the padded
+    /// bank on first sight — the write phase.
+    #[inline]
+    pub(crate) fn row_or_fill(&mut self, asm: &AsmMultiplier, mag: u32) -> u32 {
+        let cached = self.index[mag as usize];
+        if cached != Self::EMPTY {
+            return cached;
+        }
+        let off = self.data.len() as u32;
+        self.data.push(0);
+        self.data.extend(
+            asm.alphabet()
+                .members()
+                .iter()
+                .map(|&a| a as u64 * mag as u64),
+        );
+        self.index[mag as usize] = off;
+        off
+    }
+
+    /// Fills rows for every magnitude in `mags` that is still missing,
+    /// growing the slab by *exactly* the missing rows (a counting pass
+    /// plus `reserve_exact`) — so batch prefills never introduce
+    /// doubling slack, and peak bank memory tracks the rows actually
+    /// held instead of the allocator's growth curve (no grow-then-trim
+    /// reallocation churn as magnitudes trickle in across batches).
+    pub(crate) fn prefill(&mut self, asm: &AsmMultiplier, mags: impl Iterator<Item = u32>) {
+        let missing = mags
+            .filter(|&m| self.index[m as usize] == Self::EMPTY)
+            .collect::<std::collections::BTreeSet<u32>>();
+        self.data.reserve_exact(missing.len() * self.stride);
+        for mag in missing {
+            self.row_or_fill(asm, mag);
+        }
+    }
+
+    /// The row offset for an already-filled magnitude — the read-only
+    /// twin of [`BankArena::row_or_fill`] the sharded loops use.
+    #[inline]
+    pub(crate) fn row(&self, mag: u32) -> Option<u32> {
+        let off = self.index[mag as usize];
+        (off != Self::EMPTY).then_some(off)
+    }
+
+    /// The classic (unpadded) pre-computer bank slice of a row — what
+    /// the scalar `AsmPlan` walk consumes.
+    #[inline]
+    pub(crate) fn bank(&self, off: u32) -> &[u64] {
+        &self.data[off as usize + 1..off as usize + self.stride]
+    }
+
+    /// The whole padded slab (vector kernels index it by row offset).
+    #[inline]
+    pub(crate) fn slab(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Heap bytes currently held (rows plus the magnitude index).
+    pub(crate) fn bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u64>()
+            + self.index.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Releases the growth slack of the row slab. A no-op when capacity
+    /// already equals length, so calling it after every prefill is
+    /// cheap — it only pays (one realloc) when new magnitudes actually
+    /// appeared.
+    pub(crate) fn shrink_to_fit(&mut self) {
+        self.data.shrink_to_fit();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The kernels
+// ---------------------------------------------------------------------------
+
+/// One output neuron's fan-in run over the SoA buffers: weights
+/// `w0..w0 + rows.len()` of the layer, against the activations whose
+/// arena row offsets (and signs) are `rows` / `x_neg`, starting from
+/// accumulator `acc` (the bias).
+pub(crate) struct MacRun<'a> {
+    /// The layer's repacked plans.
+    pub soa: &'a MacSoa,
+    /// The arena's padded row slab.
+    pub slab: &'a [u64],
+    /// The layer's weight signs (all weights, not just this run).
+    pub w_neg: &'a [bool],
+    /// First weight of the run.
+    pub w0: usize,
+    /// Arena row offset per fan-in position.
+    pub rows: &'a [u32],
+    /// Activation sign per fan-in position.
+    pub x_neg: &'a [bool],
+    /// Initial accumulator value.
+    pub acc: i64,
+}
+
+/// A MAC kernel: evaluates one fan-in run, bit-identically to the
+/// scalar reference (same per-weight terms, same [`apply_sign`], same
+/// accumulation order).
+///
+/// [`apply_sign`]: man_fixed::bits::apply_sign
+pub(crate) trait MacKernel: Sync {
+    /// Runs one fan-in accumulation.
+    fn accumulate(&self, run: MacRun<'_>) -> i64;
+}
+
+/// Static dispatch table: the kernel instance for a resolved kind.
+/// [`detect`]/[`resolve`] never produce [`KernelKind::Avx2`] on a host
+/// without the feature, but `KernelKind` is public — a caller *can*
+/// force it into the safe engine entry points — so the AVX2 arm
+/// re-checks [`avx2_available`] (a cached `cpuid` lookup) and falls
+/// back to the bit-identical portable SWAR kernel rather than letting
+/// a forced kind reach `target_feature` code the CPU lacks (which
+/// would be undefined behavior). Non-x86-64 hosts always take the
+/// SWAR fallback.
+pub(crate) fn kernel_for(kind: KernelKind) -> &'static dyn MacKernel {
+    match kind {
+        KernelKind::Scalar => &ScalarKernel,
+        KernelKind::Swar => &SwarKernel,
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => {
+            if avx2_available() {
+                &Avx2Kernel
+            } else {
+                &SwarKernel
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelKind::Avx2 => &SwarKernel,
+    }
+}
+
+/// The scalar reference over the SoA buffers: the same term walk as
+/// `AsmMultiplier::apply`, one weight at a time.
+struct ScalarKernel;
+
+impl MacKernel for ScalarKernel {
+    fn accumulate(&self, run: MacRun<'_>) -> i64 {
+        let MacRun {
+            soa,
+            slab,
+            w_neg,
+            w0,
+            rows,
+            x_neg,
+            mut acc,
+        } = run;
+        for (j, (&row, &xn)) in rows.iter().zip(x_neg).enumerate() {
+            let mut p = 0u64;
+            for s in 0..soa.q {
+                let term = soa.terms[s * soa.weights + w0 + j] as usize;
+                p += slab[row as usize + (term >> 4)] << (term & 15);
+            }
+            acc += man_fixed::bits::apply_sign(p, w_neg[w0 + j] ^ xn);
+        }
+        acc
+    }
+}
+
+/// The portable vector kernel: branch-free, four weights per unrolled
+/// step, monomorphized per quartet count. "SWAR" in spirit — the four
+/// product lanes live in independent `u64`s the compiler can schedule
+/// in parallel — with no `std::arch` anywhere.
+struct SwarKernel;
+
+impl MacKernel for SwarKernel {
+    fn accumulate(&self, run: MacRun<'_>) -> i64 {
+        match run.soa.q {
+            1 => swar_q::<1>(run),
+            2 => swar_q::<2>(run),
+            3 => swar_q::<3>(run),
+            4 => swar_q::<4>(run),
+            q => unreachable!("{q} quartet slots; 3..=16-bit words have 1..=4"),
+        }
+    }
+}
+
+#[inline]
+fn swar_q<const Q: usize>(run: MacRun<'_>) -> i64 {
+    let MacRun {
+        soa,
+        slab,
+        w_neg,
+        w0,
+        rows,
+        x_neg,
+        mut acc,
+    } = run;
+    debug_assert_eq!(soa.q, Q);
+    let n = rows.len();
+    let w = soa.weights;
+    let t = &soa.terms;
+    let mut j = 0;
+    while j + 4 <= n {
+        let mut p = [0u64; 4];
+        for s in 0..Q {
+            let base = s * w + w0 + j;
+            for (l, lane) in p.iter_mut().enumerate() {
+                let term = t[base + l] as usize;
+                *lane += slab[rows[j + l] as usize + (term >> 4)] << (term & 15);
+            }
+        }
+        // The accumulator chain stays strictly in fan-in order — only
+        // the product computation above is packed.
+        for (l, &lane) in p.iter().enumerate() {
+            acc += man_fixed::bits::apply_sign(lane, w_neg[w0 + j + l] ^ x_neg[j + l]);
+        }
+        j += 4;
+    }
+    while j < n {
+        let mut p = 0u64;
+        for s in 0..Q {
+            let term = t[s * w + w0 + j] as usize;
+            p += slab[rows[j] as usize + (term >> 4)] << (term & 15);
+        }
+        acc += man_fixed::bits::apply_sign(p, w_neg[w0 + j] ^ x_neg[j]);
+        j += 1;
+    }
+    acc
+}
+
+/// The AVX2 specialization: four weights per step with `vpgatherqq`
+/// bank selects and `vpsllvq` per-lane shifts. Reachable only through
+/// [`kernel_for`] after [`detect`]/[`resolve`] confirmed AVX2 (or a
+/// test forced it on a detected host), so the `target_feature` contract
+/// holds at every call site.
+#[cfg(target_arch = "x86_64")]
+struct Avx2Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl MacKernel for Avx2Kernel {
+    fn accumulate(&self, run: MacRun<'_>) -> i64 {
+        debug_assert!(avx2_available(), "AVX2 kernel dispatched without AVX2");
+        // SAFETY: this kernel is only reachable through `kernel_for`,
+        // whose AVX2 arm re-checks `avx2_available()` even for forced
+        // kinds, so the `target_feature` contract holds; and the gather
+        // indices are in bounds: every row offset addresses a full
+        // padded row inside the slab and every term index is below the
+        // row stride (both enforced by `BankArena`/`MacSoa`
+        // construction).
+        #[allow(unsafe_code)]
+        unsafe {
+            match run.soa.q {
+                1 => avx2_q::<1>(run),
+                2 => avx2_q::<2>(run),
+                3 => avx2_q::<3>(run),
+                4 => avx2_q::<4>(run),
+                q => unreachable!("{q} quartet slots; 3..=16-bit words have 1..=4"),
+            }
+        }
+    }
+}
+
+/// # Safety
+///
+/// Callers must ensure the host supports AVX2 and that `run`'s row
+/// offsets and term indices address the slab in bounds (guaranteed by
+/// [`BankArena`] / [`MacSoa`] construction).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn avx2_q<const Q: usize>(run: MacRun<'_>) -> i64 {
+    use std::arch::x86_64::*;
+
+    let MacRun {
+        soa,
+        slab,
+        w_neg,
+        w0,
+        rows,
+        x_neg,
+        mut acc,
+    } = run;
+    debug_assert_eq!(soa.q, Q);
+    let n = rows.len();
+    let w = soa.weights;
+    let t = &soa.terms;
+    let base_ptr = slab.as_ptr() as *const i64;
+    let mut j = 0;
+    while j + 4 <= n {
+        let rowv = _mm256_set_epi64x(
+            rows[j + 3] as i64,
+            rows[j + 2] as i64,
+            rows[j + 1] as i64,
+            rows[j] as i64,
+        );
+        let mut prod = _mm256_setzero_si256();
+        for s in 0..Q {
+            let base = s * w + w0 + j;
+            let (t0, t1, t2, t3) = (
+                t[base] as i64,
+                t[base + 1] as i64,
+                t[base + 2] as i64,
+                t[base + 3] as i64,
+            );
+            let idx = _mm256_set_epi64x(t3 >> 4, t2 >> 4, t1 >> 4, t0 >> 4);
+            let sh = _mm256_set_epi64x(t3 & 15, t2 & 15, t1 & 15, t0 & 15);
+            let gathered = _mm256_i64gather_epi64::<8>(base_ptr, _mm256_add_epi64(rowv, idx));
+            prod = _mm256_add_epi64(prod, _mm256_sllv_epi64(gathered, sh));
+        }
+        let mut p = [0u64; 4];
+        _mm256_storeu_si256(p.as_mut_ptr() as *mut __m256i, prod);
+        // Sign application and accumulation stay scalar, in fan-in
+        // order — the order-sensitive chain is never vectorized.
+        for (l, &lane) in p.iter().enumerate() {
+            acc += man_fixed::bits::apply_sign(lane, w_neg[w0 + j + l] ^ x_neg[j + l]);
+        }
+        j += 4;
+    }
+    while j < n {
+        let mut p = 0u64;
+        for s in 0..Q {
+            let term = t[s * w + w0 + j] as usize;
+            p += slab[rows[j] as usize + (term >> 4)] << (term & 15);
+        }
+        acc += man_fixed::bits::apply_sign(p, w_neg[w0 + j] ^ x_neg[j]);
+        j += 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::AlphabetSet;
+
+    fn supported_mags(asm: &AsmMultiplier) -> Vec<u32> {
+        (0..=asm.scheme().max_magnitude())
+            .filter(|&m| asm.decode(m).is_ok())
+            .collect()
+    }
+
+    /// Every kernel × every supported weight × a spread of inputs ×
+    /// every paper alphabet × several word lengths: the kernels must
+    /// reproduce exact multiplication (the ASM's defining property)
+    /// bit for bit, including the sign lane and the fan-in
+    /// accumulation.
+    #[test]
+    fn kernels_match_scalar_reference_exhaustively() {
+        let mut kinds = vec![KernelKind::Scalar, KernelKind::Swar];
+        if avx2_available() {
+            kinds.push(KernelKind::Avx2);
+        }
+        for bits in [3u32, 6, 8, 12, 16] {
+            for set in [
+                AlphabetSet::a1(),
+                AlphabetSet::a2(),
+                AlphabetSet::a4(),
+                AlphabetSet::a8(),
+            ] {
+                let asm = AsmMultiplier::new(bits, set);
+                let mags = supported_mags(&asm);
+                let plans: Vec<AsmPlan> = mags
+                    .iter()
+                    .map(|&m| asm.decode(m).expect("supported"))
+                    .collect();
+                let soa = MacSoa::build(&asm, &plans);
+                let w_neg: Vec<bool> = (0..mags.len()).map(|i| i % 3 == 1).collect();
+
+                // A fan-in over every supported weight against a
+                // rotating set of input magnitudes and signs.
+                let max_x = (1u32 << (bits - 1)) - 1;
+                let xs: Vec<(u32, bool)> = (0..mags.len())
+                    .map(|i| {
+                        let mag = [0, 1, max_x / 3 + 1, max_x][i % 4].min(max_x);
+                        (mag, i % 5 == 2)
+                    })
+                    .collect();
+                let mut arena = BankArena::new(1usize << (bits - 1), asm.alphabet().len());
+                let rows: Vec<u32> = xs
+                    .iter()
+                    .map(|&(mag, _)| arena.row_or_fill(&asm, mag))
+                    .collect();
+                let x_neg: Vec<bool> = xs.iter().map(|&(_, neg)| neg).collect();
+
+                // The ground truth: exact multiplication accumulated in
+                // fan-in order, exactly as the engine's scalar loop does.
+                let mut want = 7i64;
+                for (i, (&(x_mag, xn), &m)) in xs.iter().zip(&mags).enumerate() {
+                    want += man_fixed::bits::apply_sign(m as u64 * x_mag as u64, w_neg[i] ^ xn);
+                }
+
+                for &kind in &kinds {
+                    let got = kernel_for(kind).accumulate(MacRun {
+                        soa: &soa,
+                        slab: arena.slab(),
+                        w_neg: &w_neg,
+                        w0: 0,
+                        rows: &rows,
+                        x_neg: &x_neg,
+                        acc: 7,
+                    });
+                    assert_eq!(
+                        got,
+                        want,
+                        "bits={bits} alphabet={} kernel={}",
+                        asm.alphabet(),
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Partial runs (`w0 > 0`, short tails) hit the same bits — the
+    /// shape the dense per-output loop actually uses.
+    #[test]
+    fn kernels_agree_on_offset_runs_and_tails() {
+        let asm = AsmMultiplier::new(8, AlphabetSet::a2());
+        let mags = supported_mags(&asm);
+        let plans: Vec<AsmPlan> = mags
+            .iter()
+            .map(|&m| asm.decode(m).expect("supported"))
+            .collect();
+        let soa = MacSoa::build(&asm, &plans);
+        let w_neg: Vec<bool> = (0..mags.len()).map(|i| i % 2 == 0).collect();
+        let mut arena = BankArena::new(128, asm.alphabet().len());
+        let all_rows: Vec<u32> = (0..mags.len())
+            .map(|i| arena.row_or_fill(&asm, (i as u32 * 13) % 128))
+            .collect();
+        let x_neg: Vec<bool> = (0..mags.len()).map(|i| i % 7 == 3).collect();
+        let mut kinds = vec![KernelKind::Swar];
+        if avx2_available() {
+            kinds.push(KernelKind::Avx2);
+        }
+        for w0 in [0usize, 1, 5] {
+            for len in [0usize, 1, 3, 4, 7, 11] {
+                if w0 + len > mags.len() {
+                    continue;
+                }
+                let run = |kind| {
+                    kernel_for(kind).accumulate(MacRun {
+                        soa: &soa,
+                        slab: arena.slab(),
+                        w_neg: &w_neg,
+                        w0,
+                        rows: &all_rows[w0..w0 + len],
+                        x_neg: &x_neg[w0..w0 + len],
+                        acc: -3,
+                    })
+                };
+                let want = run(KernelKind::Scalar);
+                for &kind in &kinds {
+                    assert_eq!(run(kind), want, "w0={w0} len={len} {}", kind.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_table_holds() {
+        assert_eq!(resolve(Kernel::Scalar), KernelKind::Scalar);
+        assert_eq!(resolve(Kernel::Swar), KernelKind::Swar);
+        let vector = resolve(Kernel::Vector);
+        assert!(vector.is_vectorized());
+        assert_eq!(vector, detect());
+        // Auto is env-dependent but always one of the three.
+        let auto = resolve(Kernel::Auto);
+        assert!(matches!(
+            auto,
+            KernelKind::Scalar | KernelKind::Swar | KernelKind::Avx2
+        ));
+        assert!(!KernelKind::Scalar.is_vectorized());
+        assert_eq!(KernelKind::Swar.label(), "swar");
+        assert!(!cpu_features().is_empty());
+    }
+
+    #[test]
+    fn arena_rows_are_padded_and_stable() {
+        let asm = AsmMultiplier::new(8, AlphabetSet::a4());
+        let mut arena = BankArena::new(128, 4);
+        let off = arena.row_or_fill(&asm, 77);
+        assert_eq!(arena.row_or_fill(&asm, 77), off, "memoized");
+        assert_eq!(arena.row(77), Some(off));
+        assert_eq!(arena.row(78), None);
+        assert_eq!(arena.slab()[off as usize], 0, "zero sentinel");
+        assert_eq!(arena.bank(off), &[77, 3 * 77, 5 * 77, 7 * 77]);
+        let before = arena.bytes();
+        arena.shrink_to_fit();
+        assert!(arena.bytes() <= before);
+        // The classic bank equals `precompute` exactly.
+        assert_eq!(arena.bank(off), asm.precompute(77).as_slice());
+    }
+}

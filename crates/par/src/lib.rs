@@ -96,6 +96,75 @@ pub fn available_cores() -> usize {
         .unwrap_or(1)
 }
 
+/// Which MAC kernel a caller asks the fixed-point engine to run — the
+/// second tuner axis next to [`Parallelism`]. Every kernel is
+/// bit-identical by construction (the vectorized kernels evaluate the
+/// same select/shift/add datapath over a structure-of-arrays repack of
+/// the per-weight plans, and accumulate in exactly the sequential
+/// fan-in order); the request only moves wall-clock time around.
+///
+/// This crate owns the *request* vocabulary so the tuner
+/// ([`AutoTuning::kernel`]) and the serve scheduler can carry it; the
+/// engine (`man-core`'s `kernel` module) owns detection and dispatch
+/// and reports what actually ran (`scalar`/`swar`/`avx2`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Kernel {
+    /// The per-weight reference loop — the bit-exact baseline every
+    /// other kernel is proven against.
+    Scalar,
+    /// The portable structure-of-arrays SWAR kernel, with any
+    /// `std::arch` specialization explicitly disabled — the fallback
+    /// path CI pins on AVX2-less (or forced-AVX2-off) runs.
+    Swar,
+    /// The best vectorized kernel the host supports: the AVX2
+    /// specialization when `is_x86_feature_detected!("avx2")` says so,
+    /// the portable SWAR kernel otherwise.
+    Vector,
+    /// Let the engine decide (the default): the `MAN_KERNEL`
+    /// environment variable when set (`scalar`/`swar`/`vector`), else
+    /// [`Kernel::Vector`].
+    #[default]
+    Auto,
+}
+
+impl Kernel {
+    /// A short label (`"scalar"`, `"swar"`, `"vector"`, `"auto"`) for
+    /// logs and bench reports. This names the *request*; the resolved
+    /// kernel label (`scalar`/`swar`/`avx2`) comes from the engine.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Swar => "swar",
+            Kernel::Vector => "vector",
+            Kernel::Auto => "auto",
+        }
+    }
+
+    /// Parses a request label (as accepted in `MAN_KERNEL`).
+    pub fn parse(s: &str) -> Option<Kernel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Kernel::Scalar),
+            "swar" => Some(Kernel::Swar),
+            "vector" => Some(Kernel::Vector),
+            "auto" => Some(Kernel::Auto),
+            _ => None,
+        }
+    }
+
+    /// The `MAN_KERNEL` environment override, if set and well-formed.
+    /// CI's `kernel-equivalence` job uses this to pin the whole test
+    /// suite onto one kernel per run.
+    pub fn from_env() -> Option<Kernel> {
+        std::env::var("MAN_KERNEL").ok().and_then(|v| {
+            let parsed = Kernel::parse(&v);
+            if parsed.is_none() {
+                eprintln!("warning: MAN_KERNEL={v} is not scalar/swar/vector/auto; ignored");
+            }
+            parsed
+        })
+    }
+}
+
 /// Splits one worker budget across two nested parallel stages: the
 /// outer stage fans `outer_items` tasks across the budget, and each
 /// task gets `budget / outer_items` workers for its own inner
@@ -138,6 +207,10 @@ pub struct AutoTuning {
     pub row_shard_min_batch: usize,
     /// Hard cap on resolved workers (`None` = the host core count).
     pub max_workers: Option<usize>,
+    /// The MAC kernel axis: which datapath kernel the engine should run
+    /// under this tuning (see [`Kernel`]). Orthogonal to the sharding
+    /// decision — every `(plan, kernel)` pair is bit-identical.
+    pub kernel: Kernel,
 }
 
 impl Default for AutoTuning {
@@ -147,6 +220,7 @@ impl Default for AutoTuning {
             neuron_shard_min_macs: 16_384,
             row_shard_min_batch: 2,
             max_workers: None,
+            kernel: Kernel::Auto,
         }
     }
 }
@@ -209,6 +283,13 @@ impl ShardPlan {
             ShardPlan::Rows { workers } => format!("rows({workers})"),
             ShardPlan::Neurons { workers } => format!("neurons({workers})"),
         }
+    }
+
+    /// The full plan × kernel label (`"rows(4)+swar"`) — what a batch
+    /// actually resolved to on both tuner axes. `kernel` is the
+    /// *resolved* kernel label the engine reports.
+    pub fn label_with_kernel(self, kernel: &str) -> String {
+        format!("{}+{kernel}", self.label())
     }
 }
 
@@ -1042,5 +1123,24 @@ mod tests {
         assert_eq!(ShardPlan::Rows { workers: 2 }.workers(), 2);
         assert_eq!(ShardPlan::Neurons { workers: 8 }.label(), "neurons(8)");
         assert_eq!(ShardPlan::Sequential.workers(), 1);
+    }
+
+    #[test]
+    fn kernel_labels_and_parsing_roundtrip() {
+        for k in [Kernel::Scalar, Kernel::Swar, Kernel::Vector, Kernel::Auto] {
+            assert_eq!(Kernel::parse(k.label()), Some(k));
+        }
+        assert_eq!(Kernel::parse(" VECTOR "), Some(Kernel::Vector));
+        assert_eq!(Kernel::parse("mmx"), None);
+        assert_eq!(Kernel::default(), Kernel::Auto);
+        assert_eq!(AutoTuning::default().kernel, Kernel::Auto);
+        assert_eq!(
+            ShardPlan::Rows { workers: 4 }.label_with_kernel("swar"),
+            "rows(4)+swar"
+        );
+        assert_eq!(
+            ShardPlan::Sequential.label_with_kernel("avx2"),
+            "sequential+avx2"
+        );
     }
 }

@@ -17,7 +17,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use man_par::AutoTuning;
+use man_par::{AutoTuning, Kernel};
 use man_repro::{CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError};
 
 use crate::metrics::ModelMetrics;
@@ -71,6 +71,11 @@ pub struct BatchConfig {
     /// Threshold overrides for the [`Parallelism::Auto`] decision table
     /// (ignored under `Sequential`/`Threads`).
     pub auto_tuning: AutoTuning,
+    /// The MAC-kernel axis for every worker session: scalar reference,
+    /// portable SWAR, the host's best vectorized kernel, or `Auto`
+    /// (engine default, `MAN_KERNEL`-overridable). Bit-identical either
+    /// way; the resolved label lands in the model's `stats`.
+    pub kernel: Kernel,
     /// How long a submitter waits for its reply before giving up.
     pub request_timeout: Duration,
 }
@@ -85,6 +90,7 @@ impl Default for BatchConfig {
             session_mode: SessionMode::Warm,
             parallelism: Parallelism::Sequential,
             auto_tuning: AutoTuning::default(),
+            kernel: Kernel::Auto,
             request_timeout: Duration::from_secs(30),
         }
     }
@@ -253,6 +259,7 @@ fn worker_session(model: &CompiledModel, cfg: &BatchConfig) -> Option<InferenceS
     let tuned = |s: InferenceSession| {
         s.with_parallelism(cfg.parallelism)
             .with_auto_tuning(cfg.auto_tuning.clone())
+            .with_kernel(cfg.kernel)
     };
     match cfg.session_mode {
         SessionMode::Cold => None,
@@ -336,11 +343,35 @@ fn dispatch(
     // into a black hole (requests accepted, never answered). Contain the
     // panic, answer the batch with a typed error, keep serving.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match session {
-        Some(session) => session.infer_batch_with_load(&inputs, streams),
+        Some(session) => {
+            let result = session.infer_batch_with_load(&inputs, streams);
+            // What this batch actually resolved to (plan × kernel) —
+            // two Copy stores, cheap enough for every dispatch. The
+            // full cache-footprint walk locks every worker-slot cache
+            // and allocates, so it runs only periodically; the snapshot
+            // drifts by at most 64 batches.
+            if let Some(plan) = session.last_plan() {
+                metrics.observe_plan(plan, session.kernel_label());
+            }
+            let batches = metrics.batches.load(Ordering::Relaxed);
+            if batches == 1 || batches.is_multiple_of(64) {
+                metrics.observe_memory(&session.stats());
+            }
+            result
+        }
         // Cold mode: a throwaway session per dispatch call, sharing
         // nothing beyond this call (deliberately sequential, too — it is
-        // the naive-server baseline).
-        None => model.session().infer_batch_shared(&inputs),
+        // the naive-server baseline); building the session dwarfs the
+        // stats walk, so both observations run every time.
+        None => {
+            let cold = model.session().with_kernel(cfg.kernel);
+            let result = cold.infer_batch_shared(&inputs);
+            if let Some(plan) = cold.last_plan() {
+                metrics.observe_plan(plan, cold.kernel_label());
+            }
+            metrics.observe_memory(&cold.stats());
+            result
+        }
     }))
     .unwrap_or_else(|panic| {
         let what = panic

@@ -8,8 +8,11 @@
 //! one octave — plenty for capacity planning, and free of locks.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
+use man_par::ShardPlan;
+use man_repro::SessionStats;
 use serde::Serialize;
 
 /// Number of power-of-two latency buckets: bucket `i` holds requests
@@ -103,6 +106,25 @@ pub struct ModelMetrics {
     pub latency: LatencyHistogram,
     /// Requests currently queued (approximate).
     pub queue_depth: AtomicUsize,
+    /// What the most recent dispatch resolved to (plan × kernel) plus
+    /// the worker session's cache memory — plan/kernel are recorded per
+    /// batch (two `Copy` stores), the memory walk only periodically;
+    /// both read by `stats`.
+    session: Mutex<SessionObservation>,
+}
+
+/// The session snapshot the scheduler records. Plan and kernel are
+/// kept in their cheap `Copy` forms — labels are rendered at snapshot
+/// time, not on the dispatch hot path.
+#[derive(Clone, Debug, Default)]
+struct SessionObservation {
+    plan: Option<ShardPlan>,
+    /// `""` until the first dispatch.
+    kernel: &'static str,
+    layer_bank_bytes: Vec<u64>,
+    bank_bytes: u64,
+    plane_bytes: u64,
+    kernel_plan_bytes: u64,
 }
 
 impl ModelMetrics {
@@ -118,6 +140,7 @@ impl ModelMetrics {
             batch_sizes: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: LatencyHistogram::new(),
             queue_depth: AtomicUsize::new(0),
+            session: Mutex::new(SessionObservation::default()),
         }
     }
 
@@ -130,8 +153,40 @@ impl ModelMetrics {
         }
     }
 
+    /// Records what a dispatch resolved to on both tuner axes — two
+    /// `Copy` stores under a short lock, cheap enough for every batch,
+    /// so operators always see what the tuner actually chose last.
+    pub fn observe_plan(&self, plan: ShardPlan, kernel: &'static str) {
+        let mut obs = self
+            .session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        obs.plan = Some(plan);
+        obs.kernel = kernel;
+    }
+
+    /// Records a worker session's cache memory footprint. Walking the
+    /// footprint locks every worker-slot cache and allocates, so the
+    /// scheduler calls this periodically, not per batch.
+    pub fn observe_memory(&self, stats: &SessionStats) {
+        let mut obs = self
+            .session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        obs.layer_bank_bytes = stats.layer_bank_bytes.clone();
+        obs.bank_bytes = stats.bank_bytes;
+        obs.plane_bytes = stats.plane_bytes;
+        obs.kernel_plan_bytes = stats.kernel_plan_bytes;
+    }
+
     /// Aggregates the counters into a serializable snapshot.
     pub fn snapshot(&self, model: &str) -> ModelStats {
+        let obs = self
+            .session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let unresolved = || "unresolved".to_owned();
         let (buckets, count, sum_us) = self.latency.load();
         let batch_histogram: Vec<u64> = self
             .batch_sizes
@@ -167,6 +222,19 @@ impl ModelMetrics {
             p50_us: quantile_us(&buckets, count, 0.50),
             p95_us: quantile_us(&buckets, count, 0.95),
             p99_us: quantile_us(&buckets, count, 0.99),
+            plan: obs
+                .plan
+                .map(|p| p.label_with_kernel(obs.kernel))
+                .unwrap_or_else(unresolved),
+            kernel: if obs.kernel.is_empty() {
+                unresolved()
+            } else {
+                obs.kernel.to_owned()
+            },
+            cache_layer_bank_bytes: obs.layer_bank_bytes,
+            cache_bank_bytes: obs.bank_bytes,
+            cache_plane_bytes: obs.plane_bytes,
+            kernel_plan_bytes: obs.kernel_plan_bytes,
         }
     }
 }
@@ -203,6 +271,21 @@ pub struct ModelStats {
     pub p95_us: u64,
     /// 99th-percentile latency (octave-bucket estimate).
     pub p99_us: u64,
+    /// The sharding plan × kernel the most recent dispatch resolved to
+    /// (e.g. `"rows(4)+swar"`); `"unresolved"` before the first batch.
+    pub plan: String,
+    /// The resolved MAC kernel label (`"scalar"`/`"swar"`/`"avx2"`;
+    /// `"unresolved"` before the first batch).
+    pub kernel: String,
+    /// Per-layer bank-arena bytes of the observed worker session.
+    pub cache_layer_bank_bytes: Vec<u64>,
+    /// Total bank-arena bytes of the observed worker session.
+    pub cache_bank_bytes: u64,
+    /// Product-plane bytes (0 outside `SessionMode::Warm`; the plane is
+    /// shared across worker slots and counted once).
+    pub cache_plane_bytes: u64,
+    /// Bytes of the engine's shared SoA kernel plans.
+    pub kernel_plan_bytes: u64,
 }
 
 #[cfg(test)]

@@ -20,6 +20,14 @@ fn main() -> Result<(), ManError> {
         available_cores(),
         par.label()
     );
+    // ...and which MAC kernel the engine dispatched to (scalar
+    // reference / portable SWAR / AVX2) — same grep-ability, for the
+    // kernel-equivalence CI logs.
+    println!(
+        "[man-kernel] cpu: {}; resolved kernel: {}",
+        man_repro::man::kernel::cpu_features(),
+        man_repro::man::kernel::default_kernel().label()
+    );
 
     // ---- Part 1: the multiplier the paper replaces multiplication with.
 

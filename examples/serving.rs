@@ -24,6 +24,14 @@ fn main() -> Result<(), ManError> {
         available_cores(),
         parallelism.label()
     );
+    // And the MAC-kernel axis: what the workers' inner loop dispatched
+    // to on this host (see DESIGN.md §10) — grep `[man-kernel]` in CI
+    // logs to confirm which kernels a run actually exercised.
+    println!(
+        "[man-kernel] cpu: {}; resolved kernel: {}",
+        man_repro::man::kernel::cpu_features(),
+        man_repro::man::kernel::default_kernel().label()
+    );
 
     // ---- Compile the paper's Digit-8bit MLP onto the MAN lattice and
     // persist it as a single-file artifact (see `quickstart.rs` for the

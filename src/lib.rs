@@ -38,6 +38,12 @@
 //!   neuron-sharding and the worker count per batch from compile-time
 //!   MACs/row, batch size and serve queue pressure ([`AutoTuning`],
 //!   [`ShardPlan`]; DESIGN.md §8–§9).
+//! * [`Kernel`] — the MAC-kernel axis (DESIGN.md §10): the engine's
+//!   inner select/shift/add loop runs as the scalar reference, a
+//!   portable SWAR vector kernel, or an AVX2 specialization picked at
+//!   runtime — all bit-identical; `session.with_kernel(...)` overrides,
+//!   [`InferenceSession::stats`] reports the resolved plan × kernel and
+//!   the cache memory footprint.
 //! * [`ManError`] — one `Result`-first error taxonomy wrapping the
 //!   member crates' typed errors, including the serving-runtime
 //!   [`ServeError`] variants.
@@ -83,6 +89,7 @@ pub mod session;
 
 pub use artifact::{CompiledModel, CostedModel};
 pub use error::{ManError, ServeError};
-pub use man_par::{AutoContext, AutoTuning, Parallelism, ShardPlan, WorkerPool};
+pub use man::kernel::KernelKind;
+pub use man_par::{AutoContext, AutoTuning, Kernel, Parallelism, ShardPlan, WorkerPool};
 pub use pipeline::{BaselineModel, Pipeline, TrainedModel, TrainingData};
-pub use session::{InferenceSession, Prediction};
+pub use session::{InferenceSession, Prediction, SessionStats};

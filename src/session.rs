@@ -45,7 +45,9 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use man::fixed::{argmax_raw, FixedNet, LayerTrace, SessionCache};
-use man_par::{plan_shards, AutoContext, AutoTuning, Parallelism, ShardPlan};
+use man::kernel::KernelKind;
+use man_par::{plan_shards, AutoContext, AutoTuning, Kernel, Parallelism, ShardPlan};
+use serde::Serialize;
 
 use crate::artifact::CompiledModel;
 use crate::error::ManError;
@@ -88,8 +90,50 @@ pub struct InferenceSession {
     macs_per_row: u64,
     /// Thresholds for the [`Parallelism::Auto`] decision table.
     auto_tuning: AutoTuning,
+    /// The session-level MAC-kernel request. [`Kernel::Auto`] defers to
+    /// [`AutoTuning::kernel`], which itself defaults to the engine's
+    /// env-aware auto resolution.
+    kernel: Kernel,
+    /// The sharding plan the most recent batch resolved to — what
+    /// [`InferenceSession::stats`] reports so operators can see what
+    /// the tuner actually chose.
+    resolved_plan: Mutex<Option<ShardPlan>>,
     warm: bool,
     trace_limit: Option<usize>,
+}
+
+/// A point-in-time observability snapshot of one session: the resolved
+/// execution configuration (plan × kernel) plus the cache memory story
+/// (per-layer bank arenas, the shared product plane, the engine's
+/// shared SoA kernel plans).
+#[derive(Clone, Debug, Serialize)]
+pub struct SessionStats {
+    /// The configured parallelism (`"sequential"`, `"threads(4)"`,
+    /// `"auto(8)"`).
+    pub parallelism: String,
+    /// Worker-slot budget (persistent caches held).
+    pub workers: u64,
+    /// The resolved MAC kernel label (`"scalar"`, `"swar"`, `"avx2"`).
+    pub kernel: String,
+    /// The sharding plan the most recent batch resolved to, combined
+    /// with the kernel (e.g. `"rows(4)+swar"`); `"unresolved"` before
+    /// the first inference.
+    pub plan: String,
+    /// Compile-time MACs per inference (the tuner's work measure).
+    pub macs_per_row: u64,
+    /// Heap bytes of each layer's bank arenas, summed across worker
+    /// slots.
+    pub layer_bank_bytes: Vec<u64>,
+    /// Total bank-arena bytes across layers and slots.
+    pub bank_bytes: u64,
+    /// Bytes of the warm product plane (counted once — slots share it
+    /// by clone), 0 on plain sessions.
+    pub plane_bytes: u64,
+    /// Bytes of the engine's repacked SoA kernel plans (shared by every
+    /// session over the same compiled model).
+    pub kernel_plan_bytes: u64,
+    /// `bank_bytes + plane_bytes` — the session-owned cache total.
+    pub cache_bytes: u64,
 }
 
 impl InferenceSession {
@@ -105,6 +149,8 @@ impl InferenceSession {
             parallelism: Parallelism::Sequential,
             macs_per_row,
             auto_tuning: AutoTuning::default(),
+            kernel: Kernel::Auto,
+            resolved_plan: Mutex::new(None),
             warm: false,
             trace_limit: None,
         }
@@ -163,6 +209,88 @@ impl InferenceSession {
     pub fn with_auto_tuning(mut self, tuning: AutoTuning) -> Self {
         self.auto_tuning = tuning;
         self
+    }
+
+    /// Sets the session's MAC-kernel request (see [`Kernel`]):
+    /// `Scalar` pins the per-weight reference loop, `Swar` the portable
+    /// vector kernel, `Vector` the best vectorized kernel the host
+    /// supports (AVX2 when detected), and `Auto` — the default — defers
+    /// to [`AutoTuning::kernel`] and the `MAN_KERNEL` environment
+    /// override. Every kernel returns bit-identical predictions; see
+    /// [`InferenceSession::resolved_kernel`] for what actually runs.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The MAC kernel this session's inferences run after dispatch
+    /// (`scalar`/`swar`/`avx2`): the session-level request when
+    /// explicit, else the tuning's kernel axis, else the engine's
+    /// env-aware auto resolution.
+    pub fn resolved_kernel(&self) -> KernelKind {
+        match self.kernel {
+            Kernel::Auto => man::kernel::resolve(self.auto_tuning.kernel),
+            explicit => man::kernel::resolve(explicit),
+        }
+    }
+
+    /// The resolved kernel's label (`"scalar"`, `"swar"`, `"avx2"`) for
+    /// logs and bench rows.
+    pub fn kernel_label(&self) -> &'static str {
+        self.resolved_kernel().label()
+    }
+
+    /// The sharding plan the most recent batch resolved to, or `None`
+    /// before the first inference — the cheap (`Copy`) form of what
+    /// [`InferenceSession::stats`] renders as the `plan` label, for
+    /// callers on a hot path (the serve scheduler records it per
+    /// dispatch).
+    pub fn last_plan(&self) -> Option<ShardPlan> {
+        *self
+            .resolved_plan
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// An observability snapshot: resolved plan × kernel plus the cache
+    /// memory footprint (per-layer bank arenas summed across worker
+    /// slots; the shared product plane counted once; the engine's
+    /// shared SoA plan bytes alongside).
+    pub fn stats(&self) -> SessionStats {
+        let kernel = self.resolved_kernel();
+        let plan = self
+            .resolved_plan
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map(|p| p.label_with_kernel(kernel.label()))
+            .unwrap_or_else(|| "unresolved".to_owned());
+        let mut layer_bank_bytes: Vec<u64> = Vec::new();
+        let mut plane_bytes = 0u64;
+        for slot in 0..self.caches.len() {
+            let fp = self.lock_cache(slot).footprint();
+            if layer_bank_bytes.is_empty() {
+                layer_bank_bytes = vec![0; fp.layer_bank_bytes.len()];
+            }
+            for (sum, bytes) in layer_bank_bytes.iter_mut().zip(&fp.layer_bank_bytes) {
+                *sum += *bytes as u64;
+            }
+            // The plane is shared by clone across slots: count it once.
+            plane_bytes = plane_bytes.max(fp.plane_bytes as u64);
+        }
+        let bank_bytes: u64 = layer_bank_bytes.iter().sum();
+        SessionStats {
+            parallelism: self.parallelism.label(),
+            workers: self.caches.len() as u64,
+            kernel: kernel.label().to_owned(),
+            plan,
+            macs_per_row: self.macs_per_row,
+            layer_bank_bytes,
+            bank_bytes,
+            plane_bytes,
+            kernel_plan_bytes: self.fixed.kernel_plan_bytes() as u64,
+            cache_bytes: bank_bytes + plane_bytes,
+        }
     }
 
     /// The parallelism the session was configured with.
@@ -255,13 +383,27 @@ impl InferenceSession {
         Ok(())
     }
 
+    /// Remembers what the most recent batch resolved to (for
+    /// [`InferenceSession::stats`]), then returns the plan unchanged.
+    fn record_plan(&self, plan: ShardPlan) -> ShardPlan {
+        *self
+            .resolved_plan
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan);
+        plan
+    }
+
     fn infer_locked(&self, input: &[f32], cache: &mut SessionCache) -> Prediction {
         let (scores, traces) = match self.trace_limit {
             Some(limit) => {
                 let (scores, traces) = self.fixed.infer_raw_traced(input, limit, cache);
                 (scores, Some(traces))
             }
-            None => (self.fixed.infer_raw_with_cache(input, cache), None),
+            None => (
+                self.fixed
+                    .infer_raw_with_cache_kernel(input, cache, self.resolved_kernel()),
+                None,
+            ),
         };
         Prediction {
             class: argmax_raw(&scores),
@@ -278,9 +420,12 @@ impl InferenceSession {
         cache: &mut SessionCache,
         workers: usize,
     ) -> Prediction {
-        let scores =
-            self.fixed
-                .infer_raw_with_cache_par(input, cache, Parallelism::Threads(workers));
+        let scores = self.fixed.infer_raw_with_cache_par_kernel(
+            input,
+            cache,
+            Parallelism::Threads(workers),
+            self.resolved_kernel(),
+        );
         Prediction {
             class: argmax_raw(&scores),
             scores,
@@ -301,7 +446,7 @@ impl InferenceSession {
     pub fn infer_shared(&self, input: &[f32]) -> Result<Prediction, ManError> {
         self.check_shape(input)?;
         let mut cache = self.lock_cache(0);
-        match self.plan_with_load(1, 1) {
+        match self.record_plan(self.plan_with_load(1, 1)) {
             ShardPlan::Neurons { workers } | ShardPlan::Rows { workers } => {
                 Ok(self.infer_locked_sharded(input, &mut cache, workers))
             }
@@ -359,7 +504,7 @@ impl InferenceSession {
         for input in inputs {
             self.check_shape(input)?;
         }
-        match self.plan_with_load(inputs.len(), streams) {
+        match self.record_plan(self.plan_with_load(inputs.len(), streams)) {
             ShardPlan::Sequential => {
                 let mut cache = self.lock_cache(0);
                 Ok(inputs
@@ -389,7 +534,7 @@ impl InferenceSession {
                     guards.iter_mut().map(|g| &mut **g).collect();
                 Ok(self
                     .fixed
-                    .infer_batch_raw_par(inputs, &mut caches)
+                    .infer_batch_raw_par_kernel(inputs, &mut caches, self.resolved_kernel())
                     .into_iter()
                     .map(|scores| Prediction {
                         class: argmax_raw(&scores),

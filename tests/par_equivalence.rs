@@ -9,7 +9,7 @@
 use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use man_repro::man_nn::network::Network;
-use man_repro::man_par::{run_chunked, Parallelism};
+use man_repro::man_par::{run_chunked, Kernel, Parallelism};
 use man_repro::{CompiledModel, Pipeline};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -185,6 +185,48 @@ proptest! {
         }
     }
 
+    /// The §10 kernel matrix: the vectorized MAC kernels (portable
+    /// SWAR and, where detected, AVX2 via `Vector`) are bit-identical
+    /// to the scalar reference across random models × word lengths ×
+    /// alphabets × batch 0..64 × warm/plain caches × `Threads(1..8)` —
+    /// equivalence is asserted on the scores of every row, twice per
+    /// session (the second pass runs over prefilled arenas and, when
+    /// warm, a part-filled product plane).
+    #[test]
+    fn scalar_and_vector_kernels_are_bit_identical(
+        seed in any::<u64>(),
+        bits in prop_oneof![Just(6u32), Just(8u32), Just(12u32)],
+        set in any_alphabet(),
+        in_dim in 4usize..20,
+        hidden in 4usize..48,
+        classes in 2usize..6,
+        rows in 0usize..64,
+        threads in 1usize..8,
+        warm in any::<bool>(),
+    ) {
+        let model = random_model(seed, bits, in_dim, hidden, classes, set);
+        let batch = random_batch(seed, rows, in_dim);
+        let scalar_session = model.session().with_kernel(Kernel::Scalar);
+        prop_assert_eq!(scalar_session.kernel_label(), "scalar");
+        let scalar = scores_of(
+            scalar_session.infer_batch_shared(&batch).expect("shapes match"),
+        );
+        for kernel in [Kernel::Swar, Kernel::Vector] {
+            let session = if warm { model.session().warm() } else { model.session() }
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_kernel(kernel);
+            prop_assert!(session.kernel_label() != "scalar");
+            let vectored = scores_of(
+                session.infer_batch_shared(&batch).expect("shapes match"),
+            );
+            prop_assert_eq!(&vectored, &scalar, "kernel={} first pass", kernel.label());
+            let again = scores_of(
+                session.infer_batch_shared(&batch).expect("shapes match"),
+            );
+            prop_assert_eq!(&again, &scalar, "kernel={} warm pass", kernel.label());
+        }
+    }
+
     /// `Parallelism::Auto` — whatever plan the tuner resolves (rows,
     /// neurons or sequential) — is bit-identical to the sequential
     /// path, warm or plain.
@@ -280,4 +322,68 @@ fn panic_in_worker_is_contained_and_pool_survives_reuse() {
     for p in [Parallelism::Threads(4), Parallelism::Auto] {
         assert_eq!(model.fixed().accuracy_par(&batch, &labels, p), seq_acc);
     }
+}
+
+/// The forced-AVX2-off path: `Kernel::Swar` must resolve to the
+/// portable SWAR kernel on *every* host (explicit requests beat the
+/// `MAN_KERNEL` environment too), and its results must match both the
+/// scalar reference and whatever `Vector` resolves to — so the fallback
+/// CI exercises on AVX2-less runners is pinned even on hosts that have
+/// AVX2.
+#[test]
+fn forced_swar_fallback_matches_scalar_and_vector() {
+    let model = random_model(21, 8, 14, 40, 4, AlphabetSet::a4());
+    let batch = random_batch(21, 12, 14);
+    let swar = model.session().with_kernel(Kernel::Swar);
+    assert_eq!(
+        swar.kernel_label(),
+        "swar",
+        "explicit Swar must never dispatch to AVX2 (or scalar)"
+    );
+    let scalar = scores_of(
+        model
+            .session()
+            .with_kernel(Kernel::Scalar)
+            .infer_batch_shared(&batch)
+            .expect("shapes match"),
+    );
+    let got = scores_of(swar.infer_batch_shared(&batch).expect("shapes match"));
+    assert_eq!(got, scalar);
+    let vector = model.session().with_kernel(Kernel::Vector);
+    assert!(vector.resolved_kernel().is_vectorized());
+    let got = scores_of(vector.infer_batch_shared(&batch).expect("shapes match"));
+    assert_eq!(got, scalar);
+}
+
+/// Session `stats` surface the resolved plan × kernel and the cache
+/// memory story (per-layer bank bytes, plane bytes counted once across
+/// worker slots) — the observability satellite.
+#[test]
+fn session_stats_report_plan_kernel_and_memory() {
+    let model = random_model(22, 8, 12, 32, 3, AlphabetSet::a2());
+    let batch = random_batch(22, 16, 12);
+    let session = model
+        .session()
+        .warm()
+        .with_parallelism(Parallelism::Threads(2));
+    let fresh = session.stats();
+    assert_eq!(fresh.plan, "unresolved", "no batch has resolved yet");
+    assert_eq!(fresh.workers, 2);
+    assert_eq!(
+        fresh.plane_bytes,
+        128 * 128 * 4,
+        "8-bit plane, counted once"
+    );
+    session.infer_batch_shared(&batch).expect("shapes match");
+    let stats = session.stats();
+    assert!(
+        stats.plan.contains(&stats.kernel) && stats.plan.contains('+'),
+        "plan must carry the plan×kernel label, got {:?}",
+        stats.plan
+    );
+    assert_eq!(stats.layer_bank_bytes.len(), 2, "one entry per layer");
+    assert!(stats.bank_bytes > 0, "inference filled bank rows");
+    assert_eq!(stats.cache_bytes, stats.bank_bytes + stats.plane_bytes);
+    assert!(stats.kernel_plan_bytes > 0);
+    assert_eq!(stats.macs_per_row, model.macs_per_inference());
 }
