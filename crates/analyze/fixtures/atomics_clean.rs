@@ -1,0 +1,19 @@
+//! Clean twin for the atomic-ordering audit: self-documenting orderings
+//! and a justified Relaxed.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+pub fn consume(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+/// Statistics counter.
+///
+/// ORDERING: relaxed is enough — the counter is monotonic and read
+/// only for reporting, never to synchronize memory.
+pub fn count(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,18 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed) //~ atomics
+}
+
+pub fn probe(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) //~ atomics
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ORDERING: monotonic counter; no memory is published through it.
+    c.load(Ordering::Relaxed)
+}
+
+pub fn cmp_ordering_is_not_an_atomic(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

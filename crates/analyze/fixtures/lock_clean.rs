@@ -1,0 +1,31 @@
+//! Clean twin for the lock-order analysis: every path acquires alpha
+//! before beta, and the one textually-reversed path releases its guard
+//! with `drop` before taking the next lock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn also_forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a * *b
+    }
+
+    pub fn reversed_but_released(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let vb = *b;
+        drop(b);
+        let a = self.alpha.lock().unwrap();
+        vb + *a
+    }
+}

@@ -1,0 +1,23 @@
+//! Violating twin for the lock-order analysis: two functions acquire
+//! the same pair of mutexes in opposite orders (A->B and B->A), the
+//! textbook lock-order-inversion deadlock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a + *b
+    }
+}

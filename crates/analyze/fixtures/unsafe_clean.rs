@@ -1,0 +1,18 @@
+//! Clean twin for the unsafe audit: crate-level deny, a scoped allow in
+//! an allowlisted file, and every unsafe justified.
+#![deny(unsafe_code)]
+
+/// Reads the first element through a raw pointer.
+///
+/// # Safety
+///
+/// The caller guarantees `v` is non-empty.
+#[allow(unsafe_code)]
+pub fn head(v: &[u32]) -> u32 {
+    // SAFETY: non-empty per the documented contract above.
+    unsafe { *v.as_ptr() }
+}
+
+pub fn safe_path(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}

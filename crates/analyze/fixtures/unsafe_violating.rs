@@ -1,0 +1,12 @@
+// Violating twin for the unsafe audit: no crate-level gate at all. //~ unsafe
+pub fn raw_view(v: &[u32]) -> u64 {
+    unsafe { v.as_ptr().cast::<u64>().read_unaligned() } //~ unsafe
+}
+
+#[allow(unsafe_code)] //~ unsafe
+pub fn scoped_allow_off_the_allowlist() {}
+
+pub fn justified(v: &[u32]) -> u32 {
+    // SAFETY: the pointer is derived from a live slice and read in bounds.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,180 @@
+#![forbid(unsafe_code)]
+//! The `analyze` bin: runs the workspace invariant auditor and gates
+//! against `ANALYZE_BASELINE.json`.
+//!
+//! ```text
+//! analyze [--root DIR] [--baseline FILE] [--json] [--write-baseline] [--self-check]
+//! ```
+//!
+//! Exit codes: `0` clean (no baseline drift), `1` drift (new or stale
+//! findings), `2` usage or I/O error. `--write-baseline` rewrites the
+//! baseline to the current findings — the refresh step after fixing a
+//! baselined finding (see DESIGN.md §11). `--self-check` runs the
+//! fixture suite instead of the workspace: every lint class must flag
+//! exactly its marked fixture lines and nothing in the clean twins.
+
+use man_analyze::findings::{diff, Finding, Report};
+use man_analyze::{run_all, self_check, Config, Workspace};
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Serialize)]
+struct GateReport {
+    findings: Vec<Finding>,
+    new: Vec<Finding>,
+    stale: Vec<Finding>,
+    accepted: u64,
+    clean: bool,
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut selfcheck = false;
+    let mut lock_graph = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a value"),
+            },
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--self-check" => selfcheck = true,
+            "--lock-graph" => lock_graph = true,
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("ANALYZE_BASELINE.json"));
+
+    if selfcheck {
+        let fixtures = root.join("crates/analyze/fixtures");
+        return match self_check(&fixtures) {
+            Ok(summary) => {
+                println!("self-check OK: {summary}");
+                0
+            }
+            Err(e) => {
+                eprintln!("self-check FAILED: {e}");
+                1
+            }
+        };
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("analyze: cannot load workspace at {}: {e}", root.display());
+            return 2;
+        }
+    };
+    if lock_graph {
+        print!(
+            "{}",
+            man_analyze::lints::lock_order::dump_graph(&ws, &Config::default())
+        );
+        return 0;
+    }
+    let findings = run_all(&ws, &Config::default());
+
+    if write_baseline {
+        let report = Report {
+            findings: findings.clone(),
+        };
+        if let Err(e) = std::fs::write(&baseline_path, report.to_json() + "\n") {
+            eprintln!("analyze: cannot write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        println!(
+            "baseline refreshed: {} finding(s) -> {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return 0;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "analyze: cannot read baseline {}: {e} (run with --write-baseline to create it)",
+                baseline_path.display()
+            );
+            return 2;
+        }
+    };
+    let baseline = match Report::from_json(&baseline_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 2;
+        }
+    };
+
+    let d = diff(&findings, &baseline.findings);
+    if json {
+        let gate = GateReport {
+            findings: findings.clone(),
+            new: d.new.clone(),
+            stale: d.stale.clone(),
+            accepted: d.accepted as u64,
+            clean: d.is_clean(),
+        };
+        match serde_json::to_string_pretty(&gate) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("analyze: JSON encoding failed: {e}");
+                return 2;
+            }
+        }
+    } else {
+        println!(
+            "analyze: {} file(s), {} finding(s) ({} baselined)",
+            ws.files.len(),
+            findings.len(),
+            d.accepted
+        );
+        for f in &d.new {
+            println!("  NEW   [{}] {}:{} {}", f.lint, f.file, f.line, f.message);
+        }
+        for f in &d.stale {
+            println!(
+                "  STALE [{}] {}:{} {} (fixed? refresh with --write-baseline)",
+                f.lint, f.file, f.line, f.message
+            );
+        }
+    }
+    if d.is_clean() {
+        if !json {
+            println!("analyze: clean (no baseline drift)");
+        }
+        0
+    } else {
+        eprintln!(
+            "analyze: baseline drift: {} new, {} stale",
+            d.new.len(),
+            d.stale.len()
+        );
+        1
+    }
+}
+
+fn usage(err: &str) -> i32 {
+    eprintln!("analyze: {err}");
+    eprintln!(
+        "usage: analyze [--root DIR] [--baseline FILE] [--json] [--write-baseline] [--self-check]"
+    );
+    2
+}

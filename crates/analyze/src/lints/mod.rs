@@ -1,0 +1,8 @@
+//! The four lint classes. Each module exposes
+//! `run(&Workspace, &Config) -> Vec<Finding>`; [`crate::run_all`]
+//! concatenates and sorts them.
+
+pub mod atomics;
+pub mod determinism;
+pub mod lock_order;
+pub mod unsafe_audit;

@@ -4,6 +4,7 @@
 //! 2. the paper's greedy Algorithm 1 vs the exact nearest projection,
 //! 3. CSHM sharing degree (pre-computer bank amortized over 1/2/4/8 lanes),
 //! 4. trace-driven switching activity vs a constant-α analytic estimate.
+#![forbid(unsafe_code)]
 
 use man::alphabet::AlphabetSet;
 use man::constrain::{project_greedy, WeightLattice};

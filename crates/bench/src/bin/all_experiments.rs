@@ -1,5 +1,6 @@
 //! Runs every table and figure in sequence — the one-shot regeneration of
 //! EXPERIMENTS.md's measured columns.
+#![forbid(unsafe_code)]
 
 use std::process::Command;
 

@@ -1,5 +1,6 @@
 //! Fig. 10: neuron area, conventional vs ASM, 8- and 12-bit, under
 //! iso-speed synthesis, normalized to conventional.
+#![forbid(unsafe_code)]
 
 use man_bench::save_json;
 use man_hw::cell::CellLibrary;

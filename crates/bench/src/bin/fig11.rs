@@ -3,6 +3,7 @@
 //! little energy for recovered accuracy (Section VI-E). Runs on the
 //! pipeline's baseline/retrain split: one unconstrained training per
 //! benchmark, then each assignment retrains from the same restore point.
+#![forbid(unsafe_code)]
 
 use man::alphabet::AlphabetSet;
 use man::engine::CostModel;

@@ -1,5 +1,6 @@
 //! Fig. 7: classification accuracy of conventional vs ASM-based NNs across
 //! all five applications, normalized to the conventional implementation.
+#![forbid(unsafe_code)]
 
 use man::zoo::Benchmark;
 use man_bench::{accuracy_experiment, parallelism_from_args, save_json, RunMode};

@@ -1,5 +1,6 @@
 //! Fig. 8: neuron power consumption, conventional vs ASM, 8- and 12-bit,
 //! at iso-speed clocks (3 / 2.5 GHz), normalized to conventional.
+#![forbid(unsafe_code)]
 
 use man::engine::CostModel;
 use man::zoo::Benchmark;

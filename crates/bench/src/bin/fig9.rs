@@ -1,5 +1,6 @@
 //! Fig. 9: energy per inference across applications, grouped as in the
 //! paper: (a) 2-layer MLPs, (b) 5-6 layer MLPs, (c) the 6-layer CNN.
+#![forbid(unsafe_code)]
 
 use man::engine::CostModel;
 use man::zoo::Benchmark;

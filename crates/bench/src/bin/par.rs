@@ -10,6 +10,7 @@
 //! the per-thread-count `ips` metrics.
 //!
 //! Run with: `cargo run --release -p man-bench --bin par [-- --full]`
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 

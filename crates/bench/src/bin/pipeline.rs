@@ -8,6 +8,7 @@
 //! the perf trajectory for the ROADMAP's batching/throughput work.
 //!
 //! Run with: `cargo run --release -p man-bench --bin pipeline [--full]`
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 

@@ -13,6 +13,7 @@
 //! ships.
 //!
 //! Run with: `cargo run --release -p man-bench --bin pool_hygiene`
+#![forbid(unsafe_code)]
 
 use man_par::{global_pool, Parallelism, WorkerPool};
 

@@ -24,6 +24,7 @@
 //! absolute ips, which are meaningless across core classes. Pairs on
 //! the same core class (or without `host_cores`) keep the absolute
 //! comparison.
+#![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

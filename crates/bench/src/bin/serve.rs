@@ -20,6 +20,7 @@
 //! Emits `BENCH_serve.json` in the working directory.
 //!
 //! Run with: `cargo run --release -p man-bench --bin serve [-- --full]`
+#![forbid(unsafe_code)]
 
 use std::sync::Arc;
 use std::time::Duration;

@@ -1,5 +1,6 @@
 //! Table I: decomposition of multiplication operations into shift-add
 //! combinations of alphabets.
+#![forbid(unsafe_code)]
 
 use man::alphabet::AlphabetSet;
 use man::asm::AsmMultiplier;

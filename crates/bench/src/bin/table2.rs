@@ -1,5 +1,6 @@
 //! Table II: NN accuracy results for face detection (8- and 12-bit
 //! synapses, conventional vs ASM with 4/2/1 alphabets).
+#![forbid(unsafe_code)]
 
 use man::zoo::Benchmark;
 use man_bench::{

@@ -1,5 +1,6 @@
 //! Table III: NN accuracy results for digit recognition — 8-bit MLP and
 //! 12-bit LeNet-style CNN on the MNIST-like set.
+#![forbid(unsafe_code)]
 
 use man::zoo::Benchmark;
 use man_bench::{

@@ -1,5 +1,6 @@
 //! Table IV: the benchmark inventory — checked against the actual
 //! constructed networks.
+#![forbid(unsafe_code)]
 
 use man::zoo::Benchmark;
 

@@ -1,5 +1,6 @@
 //! Table V: experimental parameters, with the synthesized datapaths'
 //! timing closure verified at the paper's clocks.
+#![forbid(unsafe_code)]
 
 use man_hw::cell::CellLibrary;
 use man_hw::neuron::{NeuronDatapath, NeuronKind, NeuronSpec};

@@ -5,6 +5,7 @@
 //! defaults to a `--quick` configuration that reproduces the trends in
 //! seconds to minutes. Results are printed as the paper's rows and also
 //! serialized to `target/experiments/<name>.json`.
+#![forbid(unsafe_code)]
 
 use std::fs;
 use std::path::PathBuf;

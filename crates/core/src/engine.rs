@@ -9,6 +9,8 @@
 //! `Σ_layers macs·E_mac + neurons·E_neuron`; cycles assume 4 MACs per cycle
 //! per unit, as in the paper's engine.
 
+// DETERMINISM: keyed lookup cache only (see `CostModel::cache`);
+// nothing ever iterates it, so hash-order randomization is inert.
 use std::collections::HashMap;
 
 use man_hw::cell::CellLibrary;
@@ -69,6 +71,8 @@ pub struct CostModel {
     power: PowerModel,
     /// Max MAC vectors streamed per layer when measuring energy.
     pub stream_limit: usize,
+    // DETERMINISM: populated and read strictly by key; never iterated,
+    // so results cannot depend on hash order.
     cache: HashMap<(u32, NeuronKind), NeuronDatapath>,
 }
 
@@ -85,6 +89,7 @@ impl CostModel {
             lib,
             power: PowerModel::default(),
             stream_limit: 1500,
+            // DETERMINISM: keyed-only cache, never iterated.
             cache: HashMap::new(),
         }
     }
@@ -284,11 +289,14 @@ impl CostModel {
         let mut clock_ps = 0.0;
         for i in 0..kinds.len() {
             let le = self.layer_energy(bits, &kinds[i], &traces[i])?;
+            // DETERMINISM: reporting-only energy estimate, summed in a
+            // fixed layer order; never feeds the bit-exact datapath.
             energy_fj += macs[i] as f64 * le.per_mac_fj + neurons[i] as f64 * le.per_neuron_fj;
             let lib = self.lib.clone();
             let dp = self.datapath(bits, &kinds[i])?;
             clock_ps = dp.spec().clock_ps;
             cycles += macs[i].div_ceil(dp.spec().lanes as u64);
+            // DETERMINISM: reporting-only area estimate in fixed layer order.
             area_weighted += dp.neuron_area_um2(&lib) * neurons[i] as f64;
             neuron_total += neurons[i];
             layers.push(le);

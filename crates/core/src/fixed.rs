@@ -341,15 +341,22 @@ impl ProductPlane {
 
     #[inline]
     fn get(&self, w_mag: u32, x_mag: u32) -> Option<u64> {
-        let cached = self.table[w_mag as usize * self.side + x_mag as usize]
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let slot = &self.table[w_mag as usize * self.side + x_mag as usize];
+        // ORDERING: value-based benign race. Every writer stores the same
+        // pure function of the slot's index (see `store`), so a stale or
+        // torn-free Relaxed read returns either EMPTY (recompute) or the
+        // one correct product — no memory is published through this cell.
+        let cached = slot.load(std::sync::atomic::Ordering::Relaxed);
         (cached != Self::EMPTY).then_some(cached as u64)
     }
 
     #[inline]
     fn store(&self, w_mag: u32, x_mag: u32, product: u64) {
-        self.table[w_mag as usize * self.side + x_mag as usize]
-            .store(product as u32, std::sync::atomic::Ordering::Relaxed);
+        let slot = &self.table[w_mag as usize * self.side + x_mag as usize];
+        // ORDERING: monotonic publish of a pure function value; racing
+        // writers store identical bits, and readers tolerate staleness
+        // (they just recompute). Relaxed is sufficient — see `get`.
+        slot.store(product as u32, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Bytes of the (fully allocated, shared-by-clone) product table.

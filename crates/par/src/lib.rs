@@ -560,6 +560,8 @@ impl WorkerPool {
         let abort = AtomicBool::new(false);
         let slots = contexts.len();
         let mut outcomes: Vec<WorkerOutcome<R>> = (0..slots).map(|_| (Vec::new(), None)).collect();
+        // ORDERING: job ids only need uniqueness, which fetch_add gives
+        // at any ordering; nothing synchronizes through the counter.
         let job = NEXT_JOB.fetch_add(1, Ordering::Relaxed);
         let latch = Arc::new(JobLatch::new(slots));
 
@@ -588,6 +590,9 @@ impl WorkerPool {
                         *out = match outcome {
                             Ok(o) => o,
                             Err(payload) => {
+                                // ORDERING: best-effort abort hint; the
+                                // latch's mutex provides the real
+                                // happens-before for the outcome itself.
                                 abort.store(true, Ordering::Relaxed);
                                 (Vec::new(), Some((usize::MAX, payload)))
                             }
@@ -743,9 +748,14 @@ where
 {
     let mut done: ChunkResults<R> = Vec::new();
     loop {
+        // ORDERING: the abort flag is a shutdown hint — observing it late
+        // only costs extra (correct, discarded) work; the handout cursor
+        // needs uniqueness only. All result visibility is ordered by the
+        // job latch's mutex, not by these atomics.
         if abort.load(Ordering::Relaxed) {
             return (done, None);
         }
+        // ORDERING: handout cursor — uniqueness only (see above).
         let c = next.fetch_add(1, Ordering::Relaxed);
         if c >= chunks {
             return (done, None);
@@ -763,6 +773,8 @@ where
         match attempt {
             Ok(produced) => done.push((c, produced)),
             Err(payload) => {
+                // ORDERING: abort hint only; panic payload delivery is
+                // ordered by the latch mutex (see above).
                 abort.store(true, Ordering::Relaxed);
                 return (done, Some((c, payload)));
             }

@@ -182,6 +182,16 @@ impl ModelHost {
     /// [`ServeError::Unavailable`] when the host is stopping, and
     /// [`ServeError::Timeout`] when no reply arrives in
     /// [`BatchConfig::request_timeout`].
+    ///
+    /// ORDERING: all `Relaxed` atomics here are monotonic statistics
+    /// counters (`accepted`/`rejected`/`timed_out`/`errors`) or the
+    /// advisory `queue_depth` gauge. The real request handoff is the
+    /// bounded `sync_channel`, whose send/recv pair provides the
+    /// happens-before edge; the counters only feed `/metrics` snapshots
+    /// and the batch-size heuristic, neither of which needs cross-counter
+    /// consistency. `queue_depth` is pre-incremented before `try_send`
+    /// (and decremented on rejection) so the gauge never under-reports
+    /// the backlog the workers are about to see.
     pub fn submit(&self, input: Vec<f32>) -> Result<Prediction, ManError> {
         if input.len() != self.input_len {
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -277,6 +287,11 @@ fn concurrent_streams(cfg: &BatchConfig, queued: usize) -> usize {
     1 + feedable.min(cfg.workers.max(1) - 1)
 }
 
+/// ORDERING: `queue_depth` is an advisory backlog gauge — the
+/// `fetch_sub` after draining and the `load` feeding the parallelism
+/// tuner are `Relaxed` because the channel recv that delivered the jobs
+/// already ordered them; a stale backlog sample only skews the
+/// batch-size heuristic, never correctness.
 fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
     model: &CompiledModel,
@@ -325,6 +340,10 @@ fn worker_loop(
 }
 
 /// Runs one coalesced batch and distributes the replies.
+///
+/// ORDERING: `batches`/`completed`/`errors` are monotonic statistics
+/// counters read only by `/metrics` snapshots, so `Relaxed` suffices;
+/// reply delivery itself synchronizes through each job's reply channel.
 fn dispatch(
     batch: Vec<Job>,
     session: Option<&InferenceSession>,

@@ -39,6 +39,9 @@ impl LatencyHistogram {
     }
 
     /// Records one request latency.
+    ///
+    /// ORDERING: monotonic statistics counters; readers tolerate torn
+    /// cross-counter views (see `load`), so Relaxed is sufficient.
     pub fn observe(&self, latency: Duration) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let bucket = (us.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
@@ -48,6 +51,10 @@ impl LatencyHistogram {
     }
 
     /// A consistent-enough copy of the bucket counts.
+    ///
+    /// ORDERING: reporting-only reads of monotonic counters; a slightly
+    /// stale or mutually-inconsistent view is acceptable by contract, so
+    /// no acquire ordering is needed.
     fn load(&self) -> ([u64; LATENCY_BUCKETS], u64, u64) {
         let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         (
@@ -145,6 +152,9 @@ impl ModelMetrics {
     }
 
     /// Records one dispatched batch of `size` requests.
+    ///
+    /// ORDERING: monotonic statistics counters read only for reporting;
+    /// Relaxed suffices (no memory is published through them).
     pub fn observe_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         if size >= 1 {
@@ -180,6 +190,10 @@ impl ModelMetrics {
     }
 
     /// Aggregates the counters into a serializable snapshot.
+    ///
+    /// ORDERING: every Relaxed load here reads an independent monotonic
+    /// statistics counter; the snapshot is advisory reporting, and no
+    /// cross-counter consistency is promised to callers.
     pub fn snapshot(&self, model: &str) -> ModelStats {
         let obs = self
             .session

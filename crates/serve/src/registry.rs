@@ -7,7 +7,7 @@
 //! `Arc` atomically while in-flight requests drain on the old host
 //! (which shuts down gracefully once the last reference drops).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
@@ -44,7 +44,11 @@ fn info_of(name: &str, model: &CompiledModel) -> ModelInfo {
 
 /// A concurrent registry of named, scheduler-backed models.
 pub struct ModelRegistry {
-    hosts: RwLock<HashMap<String, Arc<ModelHost>>>,
+    // BTreeMap, not HashMap: iteration order is the name order, so
+    // `names()` and `stats(None)` are byte-deterministic without a
+    // post-hoc sort — the NDJSON stats stream never reshuffles between
+    // identical snapshots.
+    hosts: RwLock<BTreeMap<String, Arc<ModelHost>>>,
     config: BatchConfig,
 }
 
@@ -52,7 +56,7 @@ impl ModelRegistry {
     /// An empty registry whose models are scheduled with `config`.
     pub fn new(config: BatchConfig) -> Arc<Self> {
         Arc::new(Self {
-            hosts: RwLock::new(HashMap::new()),
+            hosts: RwLock::new(BTreeMap::new()),
             config,
         })
     }
@@ -140,17 +144,14 @@ impl ModelRegistry {
         self.host(model)?.submit(input)
     }
 
-    /// The loaded model names, sorted.
+    /// The loaded model names, sorted (the map's native key order).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .hosts
+        self.hosts
             .read()
             .expect("registry lock poisoned")
             .keys()
             .cloned()
-            .collect();
-        names.sort();
-        names
+            .collect()
     }
 
     /// Metadata for one loaded model.
@@ -186,27 +187,17 @@ impl ModelRegistry {
                     .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))?;
                 Ok(vec![host.metrics().snapshot(host.name())])
             }
-            None => {
-                let mut stats: Vec<ModelStats> = hosts
-                    .values()
-                    .map(|h| h.metrics().snapshot(h.name()))
-                    .collect();
-                stats.sort_by(|a, b| a.model.cmp(&b.model));
-                Ok(stats)
-            }
+            None => Ok(hosts
+                .values()
+                .map(|h| h.metrics().snapshot(h.name()))
+                .collect()),
         }
     }
 
     /// Unloads every model (graceful drain), leaving the registry empty.
     pub fn shutdown(&self) {
-        let hosts: Vec<Arc<ModelHost>> = self
-            .hosts
-            .write()
-            .expect("registry lock poisoned")
-            .drain()
-            .map(|(_, h)| h)
-            .collect();
-        for host in hosts {
+        let drained = std::mem::take(&mut *self.hosts.write().expect("registry lock poisoned"));
+        for host in drained.into_values() {
             host.stop();
         }
     }
