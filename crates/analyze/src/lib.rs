@@ -56,6 +56,11 @@ impl Default for Config {
                 "crates/core/src/quartet.rs",
                 "crates/core/src/fixed.rs",
                 "crates/par/src/lib.rs",
+                // The observability plane sits on the serving hot path
+                // (DESIGN.md §12): its clock reads and env peeks must
+                // carry the same justification markers.
+                "crates/obs/src/lib.rs",
+                "crates/obs/src/flight.rs",
             ],
             allow_unsafe_files: vec![
                 // The §9 latch transmute.
@@ -68,6 +73,8 @@ impl Default for Config {
                 // Kernel::from_env — the documented MAN_KERNEL dispatch.
                 ("crates/par/src/lib.rs", "from_env"),
                 ("crates/core/src/kernel.rs", "from_env"),
+                // ObsLevel seeding — the documented MAN_OBS dispatch.
+                ("crates/obs/src/lib.rs", "level_from_env"),
             ],
         }
     }

@@ -12,10 +12,16 @@
 //!     [--tolerance 0.25] [--scaling-shape] [FILE ...]
 //! ```
 //!
-//! `FILE`s default to the three bench reports
-//! (`BENCH_pipeline.json`, `BENCH_serve.json`, `BENCH_par.json`). A file
+//! `FILE`s default to the four bench reports (`BENCH_pipeline.json`,
+//! `BENCH_serve.json`, `BENCH_par.json`, `BENCH_obs.json`). A file
 //! with no baseline yet is reported and skipped (first run); a baseline
 //! whose current counterpart is missing or unparsable fails the gate.
+//!
+//! Independently of the baseline comparison, any *overhead contract*
+//! a current report carries (an object with `off_ips` / `spans_ips` /
+//! `max_overhead`, as `BENCH_obs.json` emits) is checked intrinsically:
+//! both sides were measured interleaved in the same run, so the
+//! contract binds even on the first run, before a baseline exists.
 //!
 //! With `--scaling-shape`, a report pair whose `host_cores` fields
 //! *differ* (a baseline recorded on a different core class than the CI
@@ -29,10 +35,15 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use man_bench::regression::{compare_report, CompareMode, Comparison};
+use man_bench::regression::{check_overhead_contracts, compare_report, CompareMode, Comparison};
 use serde::Value;
 
-const DEFAULT_FILES: &[&str] = &["BENCH_pipeline.json", "BENCH_serve.json", "BENCH_par.json"];
+const DEFAULT_FILES: &[&str] = &[
+    "BENCH_pipeline.json",
+    "BENCH_serve.json",
+    "BENCH_par.json",
+    "BENCH_obs.json",
+];
 const DEFAULT_TOLERANCE: f64 = 0.25;
 
 struct Args {
@@ -148,6 +159,25 @@ fn main() -> ExitCode {
     for file in &args.files {
         let base_path = args.baseline_dir.join(file);
         let cur_path = args.current_dir.join(file);
+        // Overhead contracts bind on the current run alone — check them
+        // whenever the current report parses, baseline or not. (An
+        // unreadable current report is handled by the comparison path
+        // below when a baseline makes it binding.)
+        if let Ok(cur) = load(&cur_path) {
+            for c in check_overhead_contracts(&cur) {
+                let ok = c.holds();
+                println!(
+                    "  {file}: overhead contract {}: off {:.1} ips vs spans {:.1} ips -> {:+.2}% overhead (budget {:.1}%) {}",
+                    c.path,
+                    c.off_ips,
+                    c.spans_ips,
+                    c.overhead * 100.0,
+                    c.max_overhead * 100.0,
+                    if ok { "OK" } else { "VIOLATED" }
+                );
+                failed |= !ok;
+            }
+        }
         if !base_path.exists() {
             println!("  {file}: no baseline yet — skipping (check the current run in to seed it)");
             continue;
@@ -169,7 +199,8 @@ fn main() -> ExitCode {
     }
     if failed {
         println!(
-            "\nVERDICT: FAIL — throughput regressed beyond tolerance (or a bench surface vanished)"
+            "\nVERDICT: FAIL — throughput regressed beyond tolerance, a bench surface \
+             vanished, or an overhead contract was violated"
         );
         ExitCode::FAILURE
     } else {

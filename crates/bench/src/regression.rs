@@ -475,6 +475,105 @@ pub fn compare_report(
     (compare(baseline, current, tolerance), CompareMode::Absolute)
 }
 
+// ---------------------------------------------------------------------------
+// Observability overhead contracts (BENCH_obs.json)
+// ---------------------------------------------------------------------------
+
+/// One tracing-overhead contract found in a bench report, with its
+/// measurements.
+///
+/// A contract is any JSON object carrying numeric `off_ips`,
+/// `spans_ips` and `max_overhead` fields: the report promises that full
+/// span tracing (`ObsLevel::Spans`) costs at most `max_overhead` (a
+/// fraction) of the tracing-off throughput. Unlike [`compare`], the
+/// check is *intrinsic to one run* — both sides were measured
+/// interleaved in the same process on the same host, so no baseline
+/// pairing or cross-run noise tolerance applies; the contract's own
+/// bound is the whole verdict.
+#[derive(Clone, Debug)]
+pub struct OverheadContract {
+    /// Path of the contract object within the document.
+    pub path: String,
+    /// Throughput with the observability plane off.
+    pub off_ips: f64,
+    /// Throughput with full span tracing.
+    pub spans_ips: f64,
+    /// Measured overhead fraction `1 - spans_ips / off_ips` (negative
+    /// when the spans window happened to measure faster — noise).
+    pub overhead: f64,
+    /// The promised overhead ceiling (e.g. `0.02` for the 2% budget).
+    pub max_overhead: f64,
+}
+
+impl OverheadContract {
+    /// `true` when the measured overhead is within the promised ceiling.
+    pub fn holds(&self) -> bool {
+        self.overhead <= self.max_overhead
+    }
+}
+
+fn field_f64(entries: &[(String, Value)], key: &str) -> Option<f64> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| numeric(v))
+}
+
+fn walk_contracts(v: &Value, path: &str, out: &mut Vec<OverheadContract>) {
+    match v {
+        Value::Object(entries) => {
+            if let (Some(off_ips), Some(spans_ips), Some(max_overhead)) = (
+                field_f64(entries, "off_ips"),
+                field_f64(entries, "spans_ips"),
+                field_f64(entries, "max_overhead"),
+            ) {
+                // A zero/negative off throughput can't anchor a
+                // fraction; such a contract records zero overhead (a
+                // quick-mode report from an unexercised path must not
+                // fail the gate on a division artifact).
+                let overhead = if off_ips > 0.0 {
+                    1.0 - spans_ips / off_ips
+                } else {
+                    0.0
+                };
+                out.push(OverheadContract {
+                    path: path.to_owned(),
+                    off_ips,
+                    spans_ips,
+                    overhead,
+                    max_overhead,
+                });
+            }
+            for (key, child) in entries {
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}/{key}")
+                };
+                walk_contracts(child, &child_path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (index, item) in items.iter().enumerate() {
+                let child_path = format!("{path}[{}]", element_label(item, index));
+                walk_contracts(item, &child_path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extracts every overhead contract from a bench report (usually the
+/// single `overhead_contract` object of `BENCH_obs.json`, but the scan
+/// is structural like [`extract_metrics`], so reports may carry any
+/// number anywhere). The gate fails when any extracted contract does
+/// not [`hold`](OverheadContract::holds).
+pub fn check_overhead_contracts(doc: &Value) -> Vec<OverheadContract> {
+    let mut out = Vec::new();
+    walk_contracts(doc, "", &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -744,5 +843,60 @@ mod tests {
         // The flag off keeps the absolute comparison everywhere.
         let (_, mode) = compare_report(&base, &cross_cores, 0.25, false);
         assert_eq!(mode, CompareMode::Absolute);
+    }
+
+    #[test]
+    fn overhead_contract_within_budget_holds() {
+        let doc = parse(
+            r#"{"overhead_contract":
+                {"off_ips": 1000.0, "spans_ips": 985.0, "max_overhead": 0.02}}"#,
+        );
+        let contracts = check_overhead_contracts(&doc);
+        assert_eq!(contracts.len(), 1);
+        let c = &contracts[0];
+        assert_eq!(c.path, "overhead_contract");
+        assert!((c.overhead - 0.015).abs() < 1e-9, "{c:?}");
+        assert!(c.holds());
+        // Spans measuring *faster* than off (one-sided noise) is a
+        // negative overhead and trivially holds.
+        let noisy = parse(
+            r#"{"overhead_contract":
+                {"off_ips": 1000.0, "spans_ips": 1004.0, "max_overhead": 0.02}}"#,
+        );
+        assert!(check_overhead_contracts(&noisy)[0].holds());
+    }
+
+    #[test]
+    fn overhead_contract_beyond_budget_is_violated() {
+        let doc = parse(
+            r#"{"overhead_contract":
+                {"off_ips": 1000.0, "spans_ips": 900.0, "max_overhead": 0.02}}"#,
+        );
+        let contracts = check_overhead_contracts(&doc);
+        assert_eq!(contracts.len(), 1);
+        assert!(!contracts[0].holds());
+        assert!((contracts[0].overhead - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_contracts_are_found_structurally() {
+        // Contracts nest anywhere — inside arrays with labelled rows —
+        // and objects missing one of the three keys are not contracts.
+        let doc = parse(
+            r#"{"suites": [
+                {"benchmark": "A",
+                 "contract": {"off_ips": 10.0, "spans_ips": 9.0, "max_overhead": 0.2}},
+                {"benchmark": "B", "off_ips": 10.0, "spans_ips": 1.0}
+            ]}"#,
+        );
+        let contracts = check_overhead_contracts(&doc);
+        assert_eq!(contracts.len(), 1);
+        assert_eq!(contracts[0].path, "suites[benchmark=A]/contract");
+        assert!(contracts[0].holds());
+        // A zero off-side anchors no fraction: zero overhead, holds.
+        let zero = parse(r#"{"c": {"off_ips": 0.0, "spans_ips": 0.0, "max_overhead": 0.02}}"#);
+        let contracts = check_overhead_contracts(&zero);
+        assert_eq!(contracts[0].overhead, 0.0);
+        assert!(contracts[0].holds());
     }
 }

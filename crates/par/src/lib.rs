@@ -291,6 +291,18 @@ impl ShardPlan {
     pub fn label_with_kernel(self, kernel: &str) -> String {
         format!("{}+{kernel}", self.label())
     }
+
+    /// The allocation-free variant label (`"sequential"` / `"rows"` /
+    /// `"neurons"`) — what tracing spans carry (worker count travels as
+    /// the span's numeric argument), and what the telemetry exporter
+    /// uses as the `plan` label.
+    pub fn stage_label(self) -> &'static str {
+        match self {
+            ShardPlan::Sequential => "sequential",
+            ShardPlan::Rows { .. } => "rows",
+            ShardPlan::Neurons { .. } => "neurons",
+        }
+    }
 }
 
 /// The [`Parallelism::Auto`] decision table. Deterministic in its
@@ -348,6 +360,76 @@ pub fn plan_shards(ctx: &AutoContext, tuning: &AutoTuning) -> ShardPlan {
 /// [`WorkerPool::run_chunked`]). Tagged with the job id so a submitter
 /// can steal its own unstarted slots back.
 type ErasedSlot = Box<dyn FnOnce() + Send + 'static>;
+
+/// Cumulative activity counters for every pool in the process — the
+/// `man-obs` export plane's view of worker utilization. All counters
+/// are monotone; utilization is `busy_ns / (busy_ns + park_ns)`.
+///
+/// Time accounting (`busy_ns`/`park_ns`, plus the `park`/`chunk`/
+/// `steal` span stages) is gated on the runtime
+/// [`man_obs::ObsLevel`] — at `Off` the pool only pays untimed relaxed
+/// increments.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Times a worker parked on the condvar with nothing to do.
+    pub parks: AtomicU64,
+    /// Worker slots executed by pool worker threads.
+    pub worker_slots: AtomicU64,
+    /// Worker slots the submitter ran inline (its reserved slot).
+    pub inline_slots: AtomicU64,
+    /// Still-queued slots a submitter stole back from the pool.
+    pub steals: AtomicU64,
+    /// Chunks handed out and completed across all jobs.
+    pub chunks: AtomicU64,
+    /// Nanoseconds pool workers spent executing slots.
+    pub busy_ns: AtomicU64,
+    /// Nanoseconds pool workers spent parked waiting for work.
+    pub park_ns: AtomicU64,
+}
+
+/// A plain copy of [`PoolStats`] at one instant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolSnapshot {
+    /// See [`PoolStats::parks`].
+    pub parks: u64,
+    /// See [`PoolStats::worker_slots`].
+    pub worker_slots: u64,
+    /// See [`PoolStats::inline_slots`].
+    pub inline_slots: u64,
+    /// See [`PoolStats::steals`].
+    pub steals: u64,
+    /// See [`PoolStats::chunks`].
+    pub chunks: u64,
+    /// See [`PoolStats::busy_ns`].
+    pub busy_ns: u64,
+    /// See [`PoolStats::park_ns`].
+    pub park_ns: u64,
+}
+
+impl PoolStats {
+    /// Reads every counter.
+    ///
+    /// ORDERING: independent monotone statistics counters, read only
+    /// for reporting; no cross-counter consistency is promised.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            parks: self.parks.load(Ordering::Relaxed),
+            worker_slots: self.worker_slots.load(Ordering::Relaxed),
+            inline_slots: self.inline_slots.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            park_ns: self.park_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide [`PoolStats`] instance (covers the global pool and
+/// any private pools alike).
+pub fn pool_stats() -> &'static PoolStats {
+    static STATS: OnceLock<PoolStats> = OnceLock::new();
+    STATS.get_or_init(PoolStats::default)
+}
 
 struct PoolQueue {
     tasks: VecDeque<(u64, ErasedSlot)>,
@@ -579,6 +661,15 @@ impl WorkerPool {
                 .map(|(ctx, out)| {
                     let latch = Arc::clone(&latch);
                     let slot: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        // One span per slot drain (not per chunk — the
+                        // handout loop is the hot path); the span's arg
+                        // is the number of chunks this slot completed.
+                        // DETERMINISM: observability timing only.
+                        let drain_from = if man_obs::counters_enabled() {
+                            man_obs::now_ns().max(1)
+                        } else {
+                            0
+                        };
                         // Nothing may unwind out of a slot: an escaped
                         // panic would kill a pool thread and strand the
                         // submitter on the latch. `drain_chunks` contains
@@ -587,6 +678,21 @@ impl WorkerPool {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             drain_chunks(ctx, items, chunks, chunk_size, work, next, abort)
                         }));
+                        if let Ok((done, _)) = &outcome {
+                            let stats = pool_stats();
+                            // ORDERING: monotone statistics counter.
+                            stats.chunks.fetch_add(done.len() as u64, Ordering::Relaxed);
+                            if drain_from > 0 {
+                                man_obs::record(
+                                    man_obs::Stage::Chunk,
+                                    0,
+                                    drain_from,
+                                    man_obs::now_ns().saturating_sub(drain_from),
+                                    "",
+                                    done.len() as u64,
+                                );
+                            }
+                        }
                         *out = match outcome {
                             Ok(o) => o,
                             Err(payload) => {
@@ -612,6 +718,8 @@ impl WorkerPool {
             let inline = pending.pop();
             self.submit(pending);
             if let Some((_, slot)) = inline {
+                // ORDERING: monotone statistics counter.
+                pool_stats().inline_slots.fetch_add(1, Ordering::Relaxed);
                 slot();
             }
             // Steal back any of this job's slots the pool has not
@@ -619,6 +727,9 @@ impl WorkerPool {
             // is thereby either run here or run by a pool worker — the
             // latch cannot be left hanging.
             while let Some(slot) = self.steal(job) {
+                // ORDERING: monotone statistics counter.
+                pool_stats().steals.fetch_add(1, Ordering::Relaxed);
+                man_obs::record_event(man_obs::Stage::Steal, 0, man_obs::now_ns(), 0, "", job);
                 slot();
             }
             latch.wait();
@@ -672,8 +783,16 @@ fn erase_slot(slot: Box<dyn FnOnce() + Send + '_>) -> ErasedSlot {
     }
 }
 
+/// ORDERING: every `PoolStats` update below is a monotone statistics
+/// counter read only by the export plane; `Relaxed` suffices (the
+/// queue mutex orders the work itself).
 fn worker_main(shared: &PoolShared) {
+    let stats = pool_stats();
     loop {
+        // Accumulated park time for this wait (0 when the obs plane is
+        // off, or when work was already queued).
+        let mut park_from = 0u64;
+        let mut parked_ns = 0u64;
         let slot = {
             let mut queue = shared.lock();
             loop {
@@ -683,14 +802,46 @@ fn worker_main(shared: &PoolShared) {
                 if queue.shutdown {
                     return;
                 }
+                stats.parks.fetch_add(1, Ordering::Relaxed);
+                // DETERMINISM: the monotonic clock feeds only the
+                // observability plane (park-time accounting); it never
+                // influences which work runs or what it computes.
+                let start = if man_obs::counters_enabled() {
+                    man_obs::now_ns().max(1)
+                } else {
+                    0
+                };
+                if park_from == 0 {
+                    park_from = start;
+                }
                 queue = shared
                     .work_ready
                     .wait(queue)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if start > 0 {
+                    parked_ns += man_obs::now_ns().saturating_sub(start);
+                }
             }
+        };
+        // Record outside the queue lock: the span collector may flush
+        // into the flight-recorder ring (its own lock) when full.
+        if parked_ns > 0 {
+            stats.park_ns.fetch_add(parked_ns, Ordering::Relaxed);
+            man_obs::record(man_obs::Stage::Park, 0, park_from, parked_ns, "", 0);
+        }
+        // DETERMINISM: busy-time accounting only (see above).
+        let busy_from = if man_obs::counters_enabled() {
+            man_obs::now_ns()
+        } else {
+            0
         };
         // Slots never unwind (outer catch_unwind inside the slot).
         slot();
+        stats.worker_slots.fetch_add(1, Ordering::Relaxed);
+        if busy_from > 0 {
+            let busy = man_obs::now_ns().saturating_sub(busy_from);
+            stats.busy_ns.fetch_add(busy, Ordering::Relaxed);
+        }
     }
 }
 

@@ -10,6 +10,14 @@
 //! channels. When the queue is full, submission fails *immediately* with
 //! [`man_repro::ServeError::Overloaded`] — explicit backpressure beats
 //! unbounded latency.
+//!
+//! The whole lifecycle is traced through `man-obs` (DESIGN.md §12):
+//! submit records an `accept` span and tags the job with a request id,
+//! the drain loop records `queue_wait` (per request) and `coalesce`
+//! (per batch), dispatch records `dispatch` (with the resolved plan
+//! label) and `kernel` (with the resolved kernel label) — and the
+//! incident paths (`Overloaded`, request timeout, contained panic)
+//! anchor a flight-recorder dump to the failing request.
 
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -17,7 +25,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use man_par::{AutoTuning, Kernel};
+use man_obs::{flight, Span, Stage};
+use man_par::{AutoTuning, Kernel, ShardPlan};
 use man_repro::{CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError};
 
 use crate::metrics::ModelMetrics;
@@ -101,6 +110,11 @@ struct Job {
     input: Vec<f32>,
     reply: SyncSender<Result<Prediction, ManError>>,
     enqueued: Instant,
+    /// Tracing request id (`man_obs::next_request_id`; 0 when the
+    /// observability plane is off).
+    req: u64,
+    /// Enqueue timestamp on the obs monotonic clock (0 when off).
+    enqueued_ns: u64,
 }
 
 /// A model plus its scheduler: queue, worker pool, metrics.
@@ -183,42 +197,61 @@ impl ModelHost {
     /// [`ServeError::Timeout`] when no reply arrives in
     /// [`BatchConfig::request_timeout`].
     ///
-    /// ORDERING: all `Relaxed` atomics here are monotonic statistics
-    /// counters (`accepted`/`rejected`/`timed_out`/`errors`) or the
-    /// advisory `queue_depth` gauge. The real request handoff is the
-    /// bounded `sync_channel`, whose send/recv pair provides the
-    /// happens-before edge; the counters only feed `/metrics` snapshots
-    /// and the batch-size heuristic, neither of which needs cross-counter
-    /// consistency. `queue_depth` is pre-incremented before `try_send`
-    /// (and decremented on rejection) so the gauge never under-reports
-    /// the backlog the workers are about to see.
+    /// `accepted` is counted (SeqCst) *before* the queue handoff and
+    /// never rolled back, so it means "admitted past shape validation"
+    /// and dominates the disjoint outcome counters at every instant —
+    /// see [`ModelMetrics`]. `queue_depth` stays a Relaxed advisory
+    /// gauge: it is pre-incremented before `try_send` (and decremented
+    /// on rejection) so it never under-reports the backlog the workers
+    /// are about to see.
     pub fn submit(&self, input: Vec<f32>) -> Result<Prediction, ManError> {
         if input.len() != self.input_len {
+            // ORDERING: monotonic statistics counter; reporting only.
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
             return Err(ManError::Shape {
                 expected: self.input_len,
                 got: input.len(),
             });
         }
+        let obs_on = man_obs::counters_enabled();
+        let req = if obs_on {
+            man_obs::next_request_id()
+        } else {
+            0
+        };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let enqueued = Instant::now();
         let job = Job {
             input,
             reply: reply_tx,
-            enqueued: Instant::now(),
+            enqueued,
+            req,
+            enqueued_ns: if obs_on { man_obs::now_ns() } else { 0 },
         };
         {
+            let accept_span = Span::enter_for(Stage::Accept, req);
             let queue = self.queue.lock().expect("queue lock poisoned");
             let Some(tx) = queue.as_ref() else {
                 return Err(ServeError::Unavailable(self.name.clone()).into());
             };
-            // Count the job as queued *before* handing it over: a worker
-            // may dequeue (and decrement) the instant try_send returns.
+            // Count the admission before handing the job over: a worker
+            // may dequeue the instant try_send returns.
+            // ORDERING: advisory depth gauge; never synchronizes data.
             self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+            self.metrics.accepted.fetch_add(1, Ordering::SeqCst);
             match tx.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
+                    // ORDERING: advisory depth gauge; never synchronizes data.
                     self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.rejected.fetch_add(1, Ordering::SeqCst);
+                    drop(accept_span);
+                    // Anchor a flight-recorder dump to the rejected
+                    // request: flush this thread's span buffer first so
+                    // the dump sees the freshest events.
+                    man_obs::incident(Stage::Overloaded, req);
+                    man_obs::flush();
+                    flight::trigger_dump("overloaded", req);
                     return Err(ServeError::Overloaded {
                         model: self.name.clone(),
                         capacity: self.config.queue_capacity,
@@ -226,18 +259,36 @@ impl ModelHost {
                     .into());
                 }
                 Err(TrySendError::Disconnected(_)) => {
+                    // ORDERING: advisory depth gauge; never synchronizes data.
                     self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                     return Err(ServeError::Unavailable(self.name.clone()).into());
                 }
             }
         }
-        self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        // Outcome accounting happens here, on the submitter, *before*
+        // the call returns: exactly one of `completed`/`errors`/
+        // `timed_out` per accepted request, so a client that got its
+        // reply is guaranteed to see it in the very next `stats` call,
+        // and the disjoint-outcome invariant holds at every instant.
         match reply_rx.recv_timeout(self.config.request_timeout) {
-            Ok(result) => result,
+            Ok(result) => {
+                self.metrics.latency.observe(enqueued.elapsed());
+                match &result {
+                    Ok(_) => self.metrics.completed.fetch_add(1, Ordering::SeqCst),
+                    Err(_) => self.metrics.errors.fetch_add(1, Ordering::SeqCst),
+                };
+                result
+            }
             Err(RecvTimeoutError::Timeout) => {
-                self.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                self.metrics.timed_out.fetch_add(1, Ordering::SeqCst);
+                man_obs::incident(Stage::Timeout, req);
+                man_obs::flush();
+                flight::trigger_dump("timeout", req);
                 Err(ServeError::Timeout(self.name.clone()).into())
             }
+            // The host is stopping and this job's reply slot was dropped
+            // unanswered; `accepted` dominates the outcome counters, so
+            // leaving it outcome-less keeps the invariant sound.
             Err(RecvTimeoutError::Disconnected) => {
                 Err(ServeError::Unavailable(self.name.clone()).into())
             }
@@ -304,10 +355,19 @@ fn worker_loop(
         // drain: idle co-workers queue behind it and take over the moment
         // this worker moves on to inference.
         let mut batch = Vec::new();
+        let mut coalesce_start = 0u64;
         {
             let rx = rx.lock().expect("receiver lock poisoned");
             match rx.recv() {
-                Ok(job) => batch.push(job),
+                Ok(job) => {
+                    // Coalescing starts when the batch's first request
+                    // is in hand — the blocking wait above was idle
+                    // time, not batching time.
+                    if man_obs::counters_enabled() {
+                        coalesce_start = man_obs::now_ns().max(1);
+                    }
+                    batch.push(job);
+                }
                 Err(_) => return, // queue closed and fully drained
             }
             let deadline = (!cfg.max_wait.is_zero()).then(|| Instant::now() + cfg.max_wait);
@@ -332,17 +392,71 @@ fn worker_loop(
             .queue_depth
             .fetch_sub(batch.len(), Ordering::Relaxed);
         metrics.observe_batch(batch.len());
+        observe_drain(&batch, coalesce_start, metrics);
         // Sample the backlog *after* draining this batch: what is left
         // is what sibling workers will be batching while we infer.
         let backlog = metrics.queue_depth.load(Ordering::Relaxed);
         dispatch(batch, session.as_ref(), model, cfg, backlog, metrics);
+        // Lifecycle flush point: the batch's span events reach the
+        // flight-recorder ring before the next blocking wait, so a dump
+        // triggered by anyone sees complete request lifecycles.
+        man_obs::flush();
     }
 }
 
-/// Runs one coalesced batch and distributes the replies.
-///
-/// ORDERING: `batches`/`completed`/`errors` are monotonic statistics
-/// counters read only by `/metrics` snapshots, so `Relaxed` suffices;
+/// Records queue-wait (per request) and coalesce (per batch) for one
+/// drained batch. Queue wait always feeds the model's `stats`
+/// histogram; the obs plane additionally gets per-request span events
+/// when enabled.
+fn observe_drain(batch: &[Job], coalesce_start: u64, metrics: &ModelMetrics) {
+    let drained = Instant::now();
+    for job in batch {
+        metrics
+            .queue_wait
+            .observe(drained.saturating_duration_since(job.enqueued));
+    }
+    if coalesce_start == 0 {
+        return; // obs plane off at drain start
+    }
+    let now = man_obs::now_ns();
+    let coalesce_ns = now.saturating_sub(coalesce_start);
+    for (i, job) in batch.iter().enumerate() {
+        if job.enqueued_ns > 0 {
+            man_obs::record(
+                Stage::QueueWait,
+                job.req,
+                job.enqueued_ns,
+                now.saturating_sub(job.enqueued_ns),
+                "",
+                0,
+            );
+        }
+        if i == 0 {
+            // Histogram truth once per batch; arg = batch size.
+            man_obs::record(
+                Stage::Coalesce,
+                job.req,
+                coalesce_start,
+                coalesce_ns,
+                "",
+                batch.len() as u64,
+            );
+        } else {
+            // Sibling requests share the batch's coalesce window.
+            man_obs::record_event(
+                Stage::Coalesce,
+                job.req,
+                coalesce_start,
+                coalesce_ns,
+                "",
+                batch.len() as u64,
+            );
+        }
+    }
+}
+
+/// Runs one coalesced batch and distributes the replies. Per-request
+/// outcome counters live with the submitter (see [`ModelHost::submit`]);
 /// reply delivery itself synchronizes through each job's reply channel.
 fn dispatch(
     batch: Vec<Job>,
@@ -354,59 +468,150 @@ fn dispatch(
 ) {
     let (inputs, replies): (Vec<Vec<f32>>, Vec<_>) = batch
         .into_iter()
-        .map(|j| (j.input, (j.reply, j.enqueued)))
+        .map(|j| (j.input, (j.reply, j.req)))
         .unzip();
     let streams = concurrent_streams(cfg, backlog);
+    let dispatch_start = if man_obs::counters_enabled() {
+        man_obs::now_ns().max(1)
+    } else {
+        0
+    };
+    // What the dispatch resolved to, captured for span labels (the
+    // closure also records it into the model metrics).
+    let mut resolved: Option<(ShardPlan, &'static str)> = None;
+    // The kernel-execution window inside the dispatch, on the obs
+    // clock (start, duration); left (0, 0) when the plane is off.
+    let mut kernel_window = (0u64, 0u64);
     // A panicking inference must not kill the worker thread: with the
     // default single worker, a dead worker would silently turn the host
     // into a black hole (requests accepted, never answered). Contain the
     // panic, answer the batch with a typed error, keep serving.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match session {
-        Some(session) => {
-            let result = session.infer_batch_with_load(&inputs, streams);
-            // What this batch actually resolved to (plan × kernel) —
-            // two Copy stores, cheap enough for every dispatch. The
-            // full cache-footprint walk locks every worker-slot cache
-            // and allocates, so it runs only periodically; the snapshot
-            // drifts by at most 64 batches.
-            if let Some(plan) = session.last_plan() {
-                metrics.observe_plan(plan, session.kernel_label());
+    let outcome = {
+        let resolved = &mut resolved;
+        let kernel_window = &mut kernel_window;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match session {
+            Some(session) => {
+                let kernel_start = if dispatch_start > 0 {
+                    man_obs::now_ns().max(1)
+                } else {
+                    0
+                };
+                let result = session.infer_batch_with_load(&inputs, streams);
+                if kernel_start > 0 {
+                    *kernel_window = (kernel_start, man_obs::now_ns().saturating_sub(kernel_start));
+                }
+                // What this batch actually resolved to (plan × kernel) —
+                // two Copy stores, cheap enough for every dispatch. The
+                // full cache-footprint walk locks every worker-slot cache
+                // and allocates, so it runs on the first batch (latch
+                // below) and then only periodically; the snapshot drifts
+                // by at most 64 batches.
+                if let Some(plan) = session.last_plan() {
+                    metrics.observe_plan(plan, session.kernel_label());
+                    *resolved = Some((plan, session.kernel_label()));
+                }
+                // ORDERING: the swap is a first-observation latch — any
+                // one racing worker wins it and walks the footprint, so
+                // batch 1 is never missed (the old `batches == 1` read
+                // raced sibling workers); later walks are periodic.
+                let first = !metrics.memory_observed.swap(true, Ordering::Relaxed);
+                // ORDERING: monotonic statistics counter, reporting only.
+                let batches = metrics.batches.load(Ordering::Relaxed);
+                if first || batches.is_multiple_of(64) {
+                    metrics.observe_memory(&session.stats());
+                }
+                result
             }
-            let batches = metrics.batches.load(Ordering::Relaxed);
-            if batches == 1 || batches.is_multiple_of(64) {
-                metrics.observe_memory(&session.stats());
+            // Cold mode: a throwaway session per dispatch call, sharing
+            // nothing beyond this call (deliberately sequential, too — it is
+            // the naive-server baseline); building the session dwarfs the
+            // stats walk, so both observations run every time.
+            None => {
+                let cold = model.session().with_kernel(cfg.kernel);
+                let kernel_start = if dispatch_start > 0 {
+                    man_obs::now_ns().max(1)
+                } else {
+                    0
+                };
+                let result = cold.infer_batch_shared(&inputs);
+                if kernel_start > 0 {
+                    *kernel_window = (kernel_start, man_obs::now_ns().saturating_sub(kernel_start));
+                }
+                if let Some(plan) = cold.last_plan() {
+                    metrics.observe_plan(plan, cold.kernel_label());
+                    *resolved = Some((plan, cold.kernel_label()));
+                }
+                metrics.observe_memory(&cold.stats());
+                result
             }
-            result
-        }
-        // Cold mode: a throwaway session per dispatch call, sharing
-        // nothing beyond this call (deliberately sequential, too — it is
-        // the naive-server baseline); building the session dwarfs the
-        // stats walk, so both observations run every time.
-        None => {
-            let cold = model.session().with_kernel(cfg.kernel);
-            let result = cold.infer_batch_shared(&inputs);
-            if let Some(plan) = cold.last_plan() {
-                metrics.observe_plan(plan, cold.kernel_label());
-            }
-            metrics.observe_memory(&cold.stats());
-            result
-        }
-    }))
+        }))
+    }
     .unwrap_or_else(|panic| {
         let what = panic
             .downcast_ref::<String>()
             .map(String::as_str)
             .or_else(|| panic.downcast_ref::<&str>().copied())
             .unwrap_or("opaque panic payload");
+        // Anchor a post-mortem to the batch's first request.
+        let first_req = replies.first().map(|(_, req)| *req).unwrap_or(0);
+        man_obs::incident(Stage::Panic, first_req);
+        man_obs::flush();
+        flight::trigger_dump("panic", first_req);
         Err(ServeError::Internal(format!("inference panicked: {what}")).into())
     });
+    if dispatch_start > 0 {
+        let dispatch_ns = man_obs::now_ns().saturating_sub(dispatch_start);
+        let (plan_label, plan_workers, kernel_label) = match resolved {
+            Some((plan, kernel)) => (plan.stage_label(), plan.workers() as u64, kernel),
+            None => ("", 0, ""),
+        };
+        let (kernel_start, kernel_ns) = kernel_window;
+        for (i, (_, req)) in replies.iter().enumerate() {
+            if i == 0 {
+                // Histogram truth once per batch (the per-request rows
+                // are annotations of the same shared window).
+                man_obs::record(
+                    Stage::Dispatch,
+                    *req,
+                    dispatch_start,
+                    dispatch_ns,
+                    plan_label,
+                    plan_workers,
+                );
+            } else {
+                man_obs::record_event(
+                    Stage::Dispatch,
+                    *req,
+                    dispatch_start,
+                    dispatch_ns,
+                    plan_label,
+                    plan_workers,
+                );
+            }
+            if kernel_start > 0 {
+                // The per-batch kernel histogram is recorded by the
+                // session itself (core stage hook); these per-request
+                // events only annotate the shared window.
+                man_obs::record_event(
+                    Stage::Kernel,
+                    *req,
+                    kernel_start,
+                    kernel_ns,
+                    kernel_label,
+                    replies.len() as u64,
+                );
+            }
+        }
+    }
+    // Delivery only: the submitter does all per-request outcome
+    // accounting (completed/errors/timed_out and the latency
+    // histogram) when it picks the reply up, so a client never races
+    // its own request's counters. A submitter that timed out dropped
+    // its receiver; the failed send needs no bookkeeping here — the
+    // submitter already counted `timed_out`.
     match outcome {
         Ok(predictions) => {
-            for ((reply, enqueued), prediction) in replies.into_iter().zip(predictions) {
-                metrics.latency.observe(enqueued.elapsed());
-                metrics.completed.fetch_add(1, Ordering::Relaxed);
-                // A submitter that timed out dropped its receiver; that
-                // is its problem, not ours.
+            for ((reply, _req), prediction) in replies.into_iter().zip(predictions) {
                 let _ = reply.send(Ok(prediction));
             }
         }
@@ -414,9 +619,7 @@ fn dispatch(
             // Shapes are validated at submit time, so this is a genuine
             // worker-side failure; stringify it once per job.
             let msg = e.to_string();
-            for (reply, enqueued) in replies {
-                metrics.latency.observe(enqueued.elapsed());
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
+            for (reply, _req) in replies {
                 let _ = reply.send(Err(ServeError::Internal(msg.clone()).into()));
             }
         }

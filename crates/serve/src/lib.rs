@@ -27,9 +27,15 @@
 //! * [`Server`] / [`TcpClient`] — a newline-delimited-JSON TCP front-end
 //!   over `std::net` (`predict` / `load` / `unload` / `stats`); see
 //!   [`protocol`] for the grammar and stable error codes.
-//! * [`metrics`] — per-model counters, octave-bucket latency
-//!   percentiles and the micro-batch size distribution, exported through
-//!   `stats` and `BENCH_serve.json`.
+//! * [`metrics`] — per-model counters, octave-bucket latency and
+//!   queue-wait percentiles and the micro-batch size distribution,
+//!   exported through `stats` and `BENCH_serve.json`.
+//! * [`exporter`] — the unified telemetry export plane: a Prometheus
+//!   text page (`metrics` verb, [`prometheus_page`]) and an optional
+//!   periodic [`MetricsExporter`] thread, unifying model stats,
+//!   `man-par` pool utilization and the `man-obs` per-stage span
+//!   histograms; the `dump_trace` verb retrieves flight-recorder
+//!   dumps.
 //!
 //! Everything is `std`-only and deterministic-by-construction: a batch
 //! of predictions is bit-identical to the same inputs served
@@ -61,16 +67,23 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod exporter;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchConfig, ModelHost, SessionMode};
+pub use exporter::{prometheus_page, MetricsExporter};
 pub use metrics::{LatencyHistogram, ModelMetrics, ModelStats};
 pub use protocol::Request;
 pub use registry::{Client, ModelInfo, ModelRegistry};
 pub use server::{Server, TcpClient, WireError};
+
+// The observability plane itself (levels, span stages, flight
+// recorder): re-exported so servers and tests can set the level and
+// pull dumps without a separate dependency edge.
+pub use man_obs as obs;
 
 // Re-export the facade's serving-relevant types so a server binary can
 // depend on `man-serve` alone.

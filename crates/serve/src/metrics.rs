@@ -1,118 +1,67 @@
-//! Per-model serving metrics: request counters, a log-bucketed latency
-//! histogram, and the micro-batch size distribution.
+//! Per-model serving metrics: request counters, octave-bucket latency
+//! and queue-wait histograms, and the micro-batch size distribution.
 //!
-//! Everything on the hot path is a relaxed atomic increment; aggregation
-//! into the serializable [`ModelStats`] snapshot happens only when a
-//! `stats` request asks for it. Latencies land in power-of-two
-//! microsecond buckets, so the reported percentiles are exact to within
-//! one octave — plenty for capacity planning, and free of locks.
+//! Everything on the hot path is an atomic increment; aggregation into
+//! the serializable [`ModelStats`] snapshot happens only when a `stats`
+//! request asks for it. Latencies land in the shared `man-obs`
+//! power-of-two-microsecond buckets, so the reported percentiles are
+//! exact to within one octave — plenty for capacity planning, and free
+//! of locks.
+//!
+//! The request-outcome counters (`accepted`/`completed`/`rejected`/
+//! `timed_out`) are `SeqCst` and each request lands in *disjoint*
+//! buckets: `accepted` is counted before the queue handoff and every
+//! outcome is counted by the *submitter* before its call returns
+//! (exactly one branch per accepted request). A racing snapshot that
+//! reads the outcome counters first and `accepted` last can therefore
+//! assert `accepted >= completed + rejected + timed_out` at any
+//! instant — the consistency contract the `metrics_consistency` test
+//! hammers — and a client that got its reply always sees it counted
+//! in its very next `stats` call.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+
+pub use man_obs::OctaveHistogram as LatencyHistogram;
 
 use man_par::ShardPlan;
 use man_repro::SessionStats;
 use serde::Serialize;
 
-/// Number of power-of-two latency buckets: bucket `i` holds requests
-/// that completed in `[2^i, 2^(i+1))` microseconds; 40 buckets cover
-/// about 12.7 days, beyond any sane request timeout.
-const LATENCY_BUCKETS: usize = 40;
-
-/// Lock-free histogram of request latencies in microseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one request latency.
-    ///
-    /// ORDERING: monotonic statistics counters; readers tolerate torn
-    /// cross-counter views (see `load`), so Relaxed is sufficient.
-    pub fn observe(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (us.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// A consistent-enough copy of the bucket counts.
-    ///
-    /// ORDERING: reporting-only reads of monotonic counters; a slightly
-    /// stale or mutually-inconsistent view is acceptable by contract, so
-    /// no acquire ordering is needed.
-    fn load(&self) -> ([u64; LATENCY_BUCKETS], u64, u64) {
-        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
-        (
-            buckets,
-            self.count.load(Ordering::Relaxed),
-            self.sum_us.load(Ordering::Relaxed),
-        )
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Estimates the `q`-quantile (0..=1) from bucket counts: the geometric
-/// midpoint of the first bucket whose cumulative count reaches the rank.
-fn quantile_us(buckets: &[u64; LATENCY_BUCKETS], count: u64, q: f64) -> u64 {
-    if count == 0 {
-        return 0;
-    }
-    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-    let mut seen = 0u64;
-    for (i, &c) in buckets.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            // Midpoint of [2^i, 2^(i+1)): 1.5 * 2^i.
-            return (1u64 << i) + (1u64 << i) / 2;
-        }
-    }
-    1u64 << (LATENCY_BUCKETS - 1)
-}
-
 /// Live counters for one hosted model. Shared (`Arc`) between the
 /// submit path, the scheduler workers, and the stats endpoint.
 #[derive(Debug)]
 pub struct ModelMetrics {
-    /// Requests accepted into the queue.
+    /// Requests admitted past shape validation and offered to the
+    /// queue — including ones the full queue then rejected. Incremented
+    /// *before* the queue handoff, so at every instant
+    /// `accepted >= completed + rejected + timed_out`.
     pub accepted: AtomicU64,
-    /// Requests answered with a prediction.
+    /// Requests whose prediction came back to the submitter in time.
     pub completed: AtomicU64,
     /// Requests rejected at submit (queue full).
     pub rejected: AtomicU64,
-    /// Requests whose submitter gave up waiting (`request_timeout`).
-    /// The scheduler still runs and counts them `completed`, so a
-    /// latency collapse shows up here even when every batch succeeds.
+    /// Requests whose submitter gave up at `request_timeout` (the
+    /// scheduler still ran the batch; the late reply goes nowhere).
     pub timed_out: AtomicU64,
-    /// Requests answered with an error (bad shape, worker failure, ...).
+    /// Requests answered with an error: shape mismatches at submit,
+    /// plus worker-side failures delivered back in time.
     pub errors: AtomicU64,
     /// `infer_batch` calls issued by the scheduler.
     pub batches: AtomicU64,
     /// One counter per batch size `1..=max_batch` (index `size - 1`).
     batch_sizes: Vec<AtomicU64>,
-    /// End-to-end latency (enqueue to reply).
+    /// End-to-end latency (enqueue to reply) of delivered replies.
     pub latency: LatencyHistogram,
+    /// Time each request sat queued before a scheduler drained it —
+    /// the backpressure-onset signal the end-to-end percentiles hide.
+    pub queue_wait: LatencyHistogram,
     /// Requests currently queued (approximate).
     pub queue_depth: AtomicUsize,
+    /// First-memory-walk latch: guarantees the very first dispatched
+    /// batch of a freshly loaded model records the cache footprint,
+    /// however many workers race it (see `dispatch`).
+    pub(crate) memory_observed: AtomicBool,
     /// What the most recent dispatch resolved to (plan × kernel) plus
     /// the worker session's cache memory — plan/kernel are recorded per
     /// batch (two `Copy` stores), the memory walk only periodically;
@@ -146,7 +95,9 @@ impl ModelMetrics {
             batches: AtomicU64::new(0),
             batch_sizes: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
             queue_depth: AtomicUsize::new(0),
+            memory_observed: AtomicBool::new(false),
             session: Mutex::new(SessionObservation::default()),
         }
     }
@@ -177,7 +128,8 @@ impl ModelMetrics {
 
     /// Records a worker session's cache memory footprint. Walking the
     /// footprint locks every worker-slot cache and allocates, so the
-    /// scheduler calls this periodically, not per batch.
+    /// scheduler calls this on the first batch and then periodically,
+    /// not per batch.
     pub fn observe_memory(&self, stats: &SessionStats) {
         let mut obs = self
             .session
@@ -189,11 +141,31 @@ impl ModelMetrics {
         obs.kernel_plan_bytes = stats.kernel_plan_bytes;
     }
 
+    /// The most recent resolved plan × kernel, rendered (`None` before
+    /// the first dispatch) — what the Prometheus exporter labels
+    /// `man_serve_model_info` with.
+    pub fn resolved_labels(&self) -> Option<(String, &'static str)> {
+        let obs = self
+            .session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        obs.plan
+            .map(|p| (p.label_with_kernel(obs.kernel), obs.kernel))
+    }
+
     /// Aggregates the counters into a serializable snapshot.
     ///
-    /// ORDERING: every Relaxed load here reads an independent monotonic
-    /// statistics counter; the snapshot is advisory reporting, and no
-    /// cross-counter consistency is promised to callers.
+    /// The outcome counters are read in a deliberate order — the
+    /// disjoint outcomes (`completed`, `errors`, `timed_out`,
+    /// `rejected`) first, `accepted` *last*, all `SeqCst`: every
+    /// outcome increment follows its own request's `accepted`
+    /// increment in the total order, so the snapshot can never show
+    /// more outcomes than admissions. The remaining counters are
+    /// advisory Relaxed reads.
+    ///
+    /// ORDERING: the Relaxed loads here read independent monotonic
+    /// statistics counters (histograms, batch sizes, queue depth); no
+    /// cross-counter consistency is promised for them.
     pub fn snapshot(&self, model: &str) -> ModelStats {
         let obs = self
             .session
@@ -201,7 +173,8 @@ impl ModelMetrics {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone();
         let unresolved = || "unresolved".to_owned();
-        let (buckets, count, sum_us) = self.latency.load();
+        let latency = self.latency.snapshot();
+        let queue_wait = self.queue_wait.snapshot();
         let batch_histogram: Vec<u64> = self
             .batch_sizes
             .iter()
@@ -213,13 +186,19 @@ impl ModelMetrics {
             .enumerate()
             .map(|(i, &c)| (i as u64 + 1) * c)
             .sum();
+        // Disjoint outcomes first, accepted last — see the doc above.
+        let completed = self.completed.load(Ordering::SeqCst);
+        let errors = self.errors.load(Ordering::SeqCst);
+        let timed_out = self.timed_out.load(Ordering::SeqCst);
+        let rejected = self.rejected.load(Ordering::SeqCst);
+        let accepted = self.accepted.load(Ordering::SeqCst);
         ModelStats {
             model: model.to_owned(),
-            accepted: self.accepted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
+            accepted,
+            completed,
+            rejected,
+            timed_out,
+            errors,
             batches,
             mean_batch: if batches == 0 {
                 0.0
@@ -228,14 +207,14 @@ impl ModelMetrics {
             },
             batch_histogram,
             queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
-            mean_latency_us: if count == 0 {
-                0.0
-            } else {
-                sum_us as f64 / count as f64
-            },
-            p50_us: quantile_us(&buckets, count, 0.50),
-            p95_us: quantile_us(&buckets, count, 0.95),
-            p99_us: quantile_us(&buckets, count, 0.99),
+            mean_latency_us: latency.mean(),
+            p50_us: latency.quantile(0.50),
+            p95_us: latency.quantile(0.95),
+            p99_us: latency.quantile(0.99),
+            mean_queue_us: queue_wait.mean(),
+            queue_p50_us: queue_wait.quantile(0.50),
+            queue_p95_us: queue_wait.quantile(0.95),
+            queue_p99_us: queue_wait.quantile(0.99),
             plan: obs
                 .plan
                 .map(|p| p.label_with_kernel(obs.kernel))
@@ -259,13 +238,15 @@ impl ModelMetrics {
 pub struct ModelStats {
     /// Model name.
     pub model: String,
-    /// Requests accepted into the queue.
+    /// Requests admitted past shape validation and offered to the
+    /// queue (includes later-rejected ones); at every instant
+    /// `accepted >= completed + rejected + timed_out`.
     pub accepted: u64,
-    /// Requests answered with a prediction.
+    /// Requests whose prediction came back in time.
     pub completed: u64,
     /// Requests rejected with `Overloaded`.
     pub rejected: u64,
-    /// Requests whose submitter timed out waiting for the reply.
+    /// Requests whose submitter gave up at `request_timeout`.
     pub timed_out: u64,
     /// Requests answered with an error.
     pub errors: u64,
@@ -285,6 +266,16 @@ pub struct ModelStats {
     pub p95_us: u64,
     /// 99th-percentile latency (octave-bucket estimate).
     pub p99_us: u64,
+    /// Mean time a request sat queued before a scheduler drained it.
+    pub mean_queue_us: f64,
+    /// Median queue wait (octave-bucket estimate).
+    pub queue_p50_us: u64,
+    /// 95th-percentile queue wait (octave-bucket estimate).
+    pub queue_p95_us: u64,
+    /// 99th-percentile queue wait (octave-bucket estimate) — rising
+    /// queue percentiles with flat execution percentiles is the
+    /// backpressure-onset signature.
+    pub queue_p99_us: u64,
     /// The sharding plan × kernel the most recent dispatch resolved to
     /// (e.g. `"rows(4)+swar"`); `"unresolved"` before the first batch.
     pub plan: String,
@@ -305,6 +296,7 @@ pub struct ModelStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn percentiles_track_bucket_order() {
@@ -315,10 +307,10 @@ mod tests {
         for _ in 0..10 {
             h.observe(Duration::from_micros(10_000)); // bucket 13
         }
-        let (buckets, count, _) = h.load();
-        assert_eq!(count, 100);
-        let p50 = quantile_us(&buckets, count, 0.50);
-        let p99 = quantile_us(&buckets, count, 0.99);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
         assert!(
             (64..128).contains(&p50),
             "p50 {p50} should sit in the 100us octave"
@@ -348,6 +340,17 @@ mod tests {
         let s = ModelMetrics::new(8).snapshot("idle");
         assert_eq!(s.completed, 0);
         assert_eq!(s.p99_us, 0);
+        assert_eq!(s.queue_p99_us, 0);
         assert_eq!(s.mean_batch, 0.0);
+    }
+
+    #[test]
+    fn queue_wait_is_separate_from_latency() {
+        let m = ModelMetrics::new(8);
+        m.queue_wait.observe(Duration::from_micros(100));
+        m.latency.observe(Duration::from_micros(10_000));
+        let s = m.snapshot("m");
+        assert!((64..128).contains(&s.queue_p50_us), "{}", s.queue_p50_us);
+        assert!((8_192..16_384).contains(&s.p50_us), "{}", s.p50_us);
     }
 }

@@ -9,6 +9,8 @@
 //! {"op":"load","model":"digits","path":"digits.man.json"}
 //! {"op":"unload","model":"digits"}
 //! {"op":"stats"}            // or {"op":"stats","model":"digits"}
+//! {"op":"metrics"}          // Prometheus text page (as a JSON string)
+//! {"op":"dump_trace"}       // most recent flight-recorder dump
 //! ```
 //!
 //! Responses always carry `"ok"`:
@@ -62,6 +64,10 @@ pub enum Request {
         /// Optional registry name.
         model: Option<String>,
     },
+    /// The Prometheus text page of the unified export plane.
+    Metrics,
+    /// The most recent flight-recorder dump, if one was triggered.
+    DumpTrace,
 }
 
 fn protocol_err(msg: impl Into<String>) -> ManError {
@@ -128,8 +134,10 @@ pub fn parse_request(line: &str) -> Result<Request, ManError> {
             };
             Ok(Request::Stats { model })
         }
+        "metrics" => Ok(Request::Metrics),
+        "dump_trace" => Ok(Request::DumpTrace),
         other => Err(protocol_err(format!(
-            "unknown op `{other}` (expected predict/load/unload/stats)"
+            "unknown op `{other}` (expected predict/load/unload/stats/metrics/dump_trace)"
         ))),
     }
 }
@@ -198,6 +206,35 @@ pub fn stats_response(stats: &[ModelStats]) -> String {
     render(&Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
         ("models".into(), stats.to_value()),
+    ]))
+}
+
+/// Renders a successful `metrics` response line: the Prometheus text
+/// page travels as a JSON string (the NDJSON framing cannot carry raw
+/// multi-line text), with its content type alongside so a gateway can
+/// re-expose it verbatim.
+pub fn metrics_response(page: &str) -> String {
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        (
+            "content_type".into(),
+            Value::Str("text/plain; version=0.0.4".into()),
+        ),
+        ("body".into(), Value::Str(page.into())),
+    ]))
+}
+
+/// Renders a successful `dump_trace` response line: the flight
+/// recorder's most recent dump embedded as a JSON object, or
+/// `"dump":null` when nothing has been triggered (or the obs level is
+/// below `Spans`).
+pub fn dump_trace_response(dump: Option<&str>) -> String {
+    let embedded = dump
+        .and_then(|d| serde_json::from_str(d).ok())
+        .unwrap_or(Value::Null);
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("dump".into(), embedded),
     ]))
 }
 

@@ -194,6 +194,19 @@ impl ModelRegistry {
         }
     }
 
+    /// Live metrics handles for every loaded model, in name order —
+    /// what the telemetry exporter walks to render raw histograms
+    /// (the [`ModelRegistry::stats`] snapshot only carries derived
+    /// percentiles).
+    pub fn metrics_handles(&self) -> Vec<(String, Arc<crate::metrics::ModelMetrics>)> {
+        self.hosts
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, host)| (name.clone(), Arc::clone(host.metrics())))
+            .collect()
+    }
+
     /// Unloads every model (graceful drain), leaving the registry empty.
     pub fn shutdown(&self) {
         let drained = std::mem::take(&mut *self.hosts.write().expect("registry lock poisoned"));

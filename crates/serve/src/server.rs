@@ -16,9 +16,12 @@ use std::time::Duration;
 
 use serde::Value;
 
+use man_obs::{flight, Span, Stage};
+
+use crate::exporter::prometheus_page;
 use crate::protocol::{
-    error_response, load_response, parse_request, predict_response, stats_response,
-    unload_response, Request,
+    dump_trace_response, error_response, load_response, metrics_response, parse_request,
+    predict_response, stats_response, unload_response, Request,
 };
 use crate::registry::ModelRegistry;
 
@@ -29,8 +32,17 @@ const POLL_TICK: Duration = Duration::from_millis(100);
 /// Serves one already-parsed request line against a registry and renders
 /// the response line. This is the single dispatch point shared by every
 /// connection — and a convenient seam for tests.
+///
+/// Tracing: the `decode` span covers request parsing, the `encode` span
+/// covers dispatch *and* response rendering (request ids are assigned
+/// deeper, by `ModelHost::submit`, so both carry request id 0).
 pub fn handle_request(registry: &ModelRegistry, line: &str) -> String {
-    match parse_request(line) {
+    let parsed = {
+        let _decode = Span::enter(Stage::Decode);
+        parse_request(line)
+    };
+    let _encode = Span::enter(Stage::Encode);
+    match parsed {
         Err(e) => error_response(&e),
         Ok(Request::Predict { model, input }) => match registry.predict(&model, input) {
             Ok(p) => predict_response(&model, &p),
@@ -48,6 +60,8 @@ pub fn handle_request(registry: &ModelRegistry, line: &str) -> String {
             Ok(stats) => stats_response(&stats),
             Err(e) => error_response(&e),
         },
+        Ok(Request::Metrics) => metrics_response(&prometheus_page(registry)),
+        Ok(Request::DumpTrace) => dump_trace_response(flight::last_dump().as_deref()),
     }
 }
 
@@ -345,5 +359,34 @@ impl TcpClient {
         let line = serde_json::to_string(&Value::Object(fields))
             .map_err(|e| WireError::protocol(e.to_string()))?;
         self.request_ok(&line)
+    }
+
+    /// `metrics` round-trip: the Prometheus text page.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::request`], plus any server-reported error.
+    pub fn metrics_page(&mut self) -> Result<String, WireError> {
+        let value = self.request_ok(r#"{"op":"metrics"}"#)?;
+        let obj = value.as_object().expect("request_ok returns objects");
+        match field(obj, "body") {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(WireError::protocol("metrics response lacks `body`")),
+        }
+    }
+
+    /// `dump_trace` round-trip: the most recent flight-recorder dump as
+    /// a JSON value, or `None` if nothing has been triggered.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::request`], plus any server-reported error.
+    pub fn dump_trace(&mut self) -> Result<Option<Value>, WireError> {
+        let value = self.request_ok(r#"{"op":"dump_trace"}"#)?;
+        let obj = value.as_object().expect("request_ok returns objects");
+        match field(obj, "dump") {
+            Some(Value::Null) | None => Ok(None),
+            Some(dump) => Ok(Some(dump.clone())),
+        }
     }
 }

@@ -13,9 +13,15 @@ use man_repro::man::zoo::Benchmark;
 use man_repro::man_datasets::GenOptions;
 use man_repro::man_par::available_cores;
 use man_repro::{ManError, Parallelism, Pipeline};
+use man_serve::obs::{self, ObsLevel};
 use man_serve::{BatchConfig, Client, ModelRegistry, Server, TcpClient};
 
 fn main() -> Result<(), ManError> {
+    // Full span tracing for the demo: every stage of every request
+    // lands in the per-stage histograms and the flight-recorder ring
+    // (DESIGN.md §12). Production default is `Counters`; `Off` reduces
+    // every instrumentation site to one branch.
+    obs::set_level(ObsLevel::Spans);
     // One line for the CI logs: what the scheduler workers can shard
     // a micro-batch across on this host.
     let parallelism = Parallelism::Auto;
@@ -86,6 +92,29 @@ fn main() -> Result<(), ManError> {
         println!(
             "stats: {} completed, {} batches (mean size {:.2}), p50 {} us, p99 {} us",
             s.completed, s.batches, s.mean_batch, s.p50_us, s.p99_us
+        );
+    }
+
+    // ---- Where did the time go? The observability plane histograms
+    // every lifecycle stage (queue wait, batch coalesce, shard
+    // dispatch, kernel execute, ...) across serve, par and the kernel
+    // layer — one table instead of per-crate guesswork.
+    println!("\nper-stage latency breakdown (man-obs):");
+    println!(
+        "  {:<12} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "samples", "mean us", "p50 us", "p99 us"
+    );
+    for (stage, snap) in obs::stage_snapshot() {
+        if snap.is_empty() {
+            continue;
+        }
+        println!(
+            "  {:<12} {:>8} {:>10.1} {:>10} {:>10}",
+            stage.label(),
+            snap.count,
+            snap.mean(),
+            snap.quantile(0.50),
+            snap.quantile(0.99),
         );
     }
 

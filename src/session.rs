@@ -504,6 +504,15 @@ impl InferenceSession {
         for input in inputs {
             self.check_shape(input)?;
         }
+        // The kernel-execute stage of the obs taxonomy (DESIGN.md §12):
+        // one span per batch, labeled with the resolved MAC kernel,
+        // arg = batch size. A no-op branch when the plane is off.
+        let _kernel_span = man_obs::Span::labeled(
+            man_obs::Stage::Kernel,
+            0,
+            self.kernel_label(),
+            inputs.len() as u64,
+        );
         match self.record_plan(self.plan_with_load(inputs.len(), streams)) {
             ShardPlan::Sequential => {
                 let mut cache = self.lock_cache(0);
