@@ -68,6 +68,9 @@ impl Default for Config {
                 // The AVX2 kernel intrinsics (§8 bit-identity proven by
                 // the kernel-equivalence CI job).
                 "crates/core/src/kernel.rs",
+                // The reactor's poll(2) shim (§13): the serve crate's
+                // single unsafe expression, one audited syscall.
+                "crates/serve/src/reactor/poll.rs",
             ],
             env_read_allowed: vec![
                 // Kernel::from_env — the documented MAN_KERNEL dispatch.

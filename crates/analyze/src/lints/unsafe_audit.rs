@@ -10,8 +10,8 @@
 //!   carry `#![deny(unsafe_code)]` or `#![forbid(unsafe_code)]`, so
 //!   new unsafe cannot appear without a deliberate, reviewable opt-out;
 //! * a scoped `#[allow(unsafe_code)]` may only appear in files on the
-//!   config allowlist (today: the `man-par` latch transmute and the
-//!   AVX2 kernel module).
+//!   config allowlist (today: the `man-par` latch transmute, the
+//!   AVX2 kernel module, and the `man-serve` poll(2) shim).
 
 use crate::findings::Finding;
 use crate::{Config, Workspace};

@@ -12,8 +12,9 @@
 //!     [--tolerance 0.25] [--scaling-shape] [FILE ...]
 //! ```
 //!
-//! `FILE`s default to the four bench reports (`BENCH_pipeline.json`,
-//! `BENCH_serve.json`, `BENCH_par.json`, `BENCH_obs.json`). A file
+//! `FILE`s default to the five bench reports (`BENCH_pipeline.json`,
+//! `BENCH_serve.json`, `BENCH_par.json`, `BENCH_obs.json`,
+//! `BENCH_conn.json`). A file
 //! with no baseline yet is reported and skipped (first run); a baseline
 //! whose current counterpart is missing or unparsable fails the gate.
 //!
@@ -43,6 +44,7 @@ const DEFAULT_FILES: &[&str] = &[
     "BENCH_serve.json",
     "BENCH_par.json",
     "BENCH_obs.json",
+    "BENCH_conn.json",
 ];
 const DEFAULT_TOLERANCE: f64 = 0.25;
 

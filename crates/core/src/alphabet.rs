@@ -7,9 +7,9 @@ use serde::{Deserialize, Serialize};
 
 /// An alphabet set `{a₁, …}`: odd values in `1..=15`, always containing 1.
 ///
-/// The paper's working sets are [`AlphabetSet::A1`] (`{1}`, the MAN),
-/// [`AlphabetSet::A2`] (`{1,3}`), [`AlphabetSet::A4`] (`{1,3,5,7}`) and the
-/// complete [`AlphabetSet::A8`] which supports every 4-bit quartet.
+/// The paper's working sets are [`AlphabetSet::a1`] (`{1}`, the MAN),
+/// [`AlphabetSet::a2`] (`{1,3}`), [`AlphabetSet::a4`] (`{1,3,5,7}`) and the
+/// complete [`AlphabetSet::a8`] which supports every 4-bit quartet.
 ///
 /// # Example
 ///

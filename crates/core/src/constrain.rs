@@ -6,7 +6,7 @@
 //! * [`WeightLattice::project_exact`] — globally nearest representable
 //!   magnitude via a precomputed sorted table (ties round up, matching the
 //!   paper's threshold rule);
-//! * [`WeightLattice::project_greedy`] — the paper's Algorithm 1: quartets
+//! * [`project_greedy`] — the paper's Algorithm 1: quartets
 //!   are rounded LSB-to-MSB to the nearest supported value with carry
 //!   propagation into the next quartet.
 //!

@@ -371,13 +371,13 @@ impl ProductPlane {
 /// set, so it can be shared across every inference of a session — the
 /// mechanism behind [`FixedNet::infer_raw_with_cache`] and the batched
 /// `InferenceSession` in the facade crate. Banks live in one contiguous
-/// structure-of-arrays slab per layer (a [`BankArena`]: one padded row
+/// structure-of-arrays slab per layer (a `BankArena`: one padded row
 /// per magnitude, addressed by row offset), so the scalar hot path is
 /// an array index — and the vectorized MAC kernels stream rows out of
 /// the same slab without pointer chasing.
 ///
 /// A cache built by [`FixedNet::session_cache_warm`] additionally carries
-/// a [`ProductPlane`] that memoizes whole products across inferences —
+/// a `ProductPlane` that memoizes whole products across inferences —
 /// the right choice for long-lived serving sessions, and bit-identical
 /// to the plain path. **Cloning** a warm cache shares the plane (its
 /// slots are relaxed atomics over pure values) while deep-copying the

@@ -10,18 +10,18 @@
 //! sides into contiguous structure-of-arrays buffers and evaluates the
 //! exact same arithmetic four weights per step:
 //!
-//! * [`MacSoa`] — every weight's decoded plan, re-encoded as one byte
+//! * `MacSoa` — every weight's decoded plan, re-encoded as one byte
 //!   per (weight, quartet-slot): `padded bank index << 4 | total
 //!   shift`. Index 0 is a zero sentinel, so a masked (zero) quartet
 //!   adds nothing without a branch. Bytes are laid out plane-major
 //!   (slot-0 bytes of all weights, then slot-1, …) so a 4-weight step
 //!   reads four adjacent bytes per slot.
-//! * [`BankArena`] — the session cache's bank store, one *padded*
+//! * `BankArena` — the session cache's bank store, one *padded*
 //!   contiguous row per input magnitude (`[0, a₁·x, a₂·x, …]`), filled
 //!   lazily and addressed by row offset instead of a per-magnitude heap
 //!   box.
 //!
-//! Three [`MacKernel`] implementations evaluate a fan-in run over those
+//! Three `MacKernel` implementations evaluate a fan-in run over those
 //! buffers: the **scalar** reference (the same per-term walk as
 //! `AsmMultiplier::apply`, kept as the bit-exact anchor), a portable
 //! **SWAR**-style kernel (branch-free, four weights per unrolled step,

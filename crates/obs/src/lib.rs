@@ -40,6 +40,22 @@ use std::time::Instant;
 ///
 /// The ordering is meaningful: each level is a superset of the one
 /// below it.
+///
+/// # Example
+///
+/// ```
+/// use man_obs::ObsLevel;
+///
+/// // Each level is a superset of the one below it.
+/// assert!(ObsLevel::Spans > ObsLevel::Counters);
+/// assert!(ObsLevel::Counters > ObsLevel::Off);
+/// assert_eq!(ObsLevel::parse("spans"), Some(ObsLevel::Spans));
+///
+/// // The process-wide level gates every instrumentation site.
+/// man_obs::set_level(ObsLevel::Spans);
+/// assert_eq!(man_obs::level(), ObsLevel::Spans);
+/// assert_eq!(man_obs::level().label(), "spans");
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum ObsLevel {

@@ -47,6 +47,25 @@ pub enum SessionMode {
 }
 
 /// Scheduler tuning for one hosted model.
+///
+/// # Example
+///
+/// Struct-update over [`BatchConfig::default`] is the intended idiom —
+/// override what matters, keep the production defaults for the rest:
+///
+/// ```
+/// use std::time::Duration;
+/// use man_serve::{BatchConfig, SessionMode};
+///
+/// let config = BatchConfig {
+///     max_batch: 8,
+///     max_wait: Duration::from_micros(200),
+///     ..BatchConfig::default()
+/// };
+/// assert_eq!(config.workers, 1);
+/// assert_eq!(config.session_mode, SessionMode::Warm);
+/// assert_eq!(config.request_timeout, Duration::from_secs(30));
+/// ```
 #[derive(Clone, Debug)]
 pub struct BatchConfig {
     /// Most requests coalesced into one `infer_batch` call.

@@ -24,9 +24,14 @@
 //!   `CompiledModel` artifacts, routed by name; [`Client`] is the
 //!   in-process handle with the same four operations the wire protocol
 //!   speaks.
-//! * [`Server`] / [`TcpClient`] — a newline-delimited-JSON TCP front-end
-//!   over `std::net` (`predict` / `load` / `unload` / `stats`); see
-//!   [`protocol`] for the grammar and stable error codes.
+//! * [`Server`] / [`TcpClient`] / [`BinaryClient`] — the TCP front-end
+//!   over `std::net`: by default a nonblocking poll [`reactor`] that
+//!   serves 10k+ mostly-idle connections on a handful of threads, with
+//!   newline-delimited JSON and a compact length-prefixed binary
+//!   [`framing`] negotiated per connection on the same port (see
+//!   `PROTOCOL.md`, [`protocol`] for the grammar and stable error
+//!   codes, and `MAN_FRONTEND=legacy` for the thread-per-connection
+//!   fallback).
 //! * [`metrics`] — per-model counters, octave-bucket latency and
 //!   queue-wait percentiles and the micro-batch size distribution,
 //!   exported through `stats` and `BENCH_serve.json`.
@@ -63,13 +68,18 @@
 //! # Ok(()) }
 //! ```
 
-#![forbid(unsafe_code)]
+// The one exception to no-unsafe is the poll(2) shim in
+// `reactor::poll` — a single scoped allow, pinned to that file by the
+// man-analyze unsafe audit (`forbid` would reject even that).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod exporter;
+pub mod framing;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 
@@ -77,8 +87,9 @@ pub use batcher::{BatchConfig, ModelHost, SessionMode};
 pub use exporter::{prometheus_page, MetricsExporter};
 pub use metrics::{LatencyHistogram, ModelMetrics, ModelStats};
 pub use protocol::Request;
+pub use reactor::{FrontendStats, ReactorConfig};
 pub use registry::{Client, ModelInfo, ModelRegistry};
-pub use server::{Server, TcpClient, WireError};
+pub use server::{BinaryClient, FrontendMode, Server, ServerConfig, TcpClient, WireError};
 
 // The observability plane itself (levels, span stages, flight
 // recorder): re-exported so servers and tests can set the level and

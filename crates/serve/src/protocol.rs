@@ -24,7 +24,12 @@
 //!
 //! Error codes are stable strings: `overloaded`, `unknown_model`,
 //! `unavailable`, `timeout`, `bad_request`, `shape_mismatch`,
-//! `bad_artifact`, `io`, `internal`.
+//! `bad_artifact`, `io`, `internal` — plus `frame_too_large`, raised by
+//! the reactor front-end when a binary frame's length prefix exceeds
+//! [`crate::framing::MAX_FRAME_LEN`] (the connection closes after the
+//! error is written; see `PROTOCOL.md`). The same grammar travels
+//! unchanged inside binary `TAG_REQ_JSON`/`TAG_RESP_JSON` frames, so
+//! codes are identical across both wire modes.
 //!
 //! Parsing is hand-rolled over the vendored [`serde::Value`] model so
 //! optional fields (`"model"` on `stats`) behave leniently and error
@@ -160,6 +165,18 @@ pub fn error_code(e: &ManError) -> &'static str {
 
 fn render(value: &Value) -> String {
     serde_json::to_string(value).expect("response values contain no non-finite floats")
+}
+
+/// Renders an error response line from a raw stable code + message —
+/// for front-end conditions that never reach the registry (a too-large
+/// binary frame, a full dispatch queue, shutdown). Registry errors go
+/// through [`error_response`] so the code mapping stays in one place.
+pub fn raw_error_response(code: &str, message: &str) -> String {
+    render(&Value::Object(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(code.into())),
+        ("message".into(), Value::Str(message.into())),
+    ]))
 }
 
 /// Renders an error response line.

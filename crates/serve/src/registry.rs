@@ -219,6 +219,43 @@ impl ModelRegistry {
 /// An in-process client handle: the same operations the TCP front-end
 /// exposes (`predict` / `load` / `unload` / `stats`), minus the socket —
 /// what tests and benches use to drive the scheduler directly.
+///
+/// # Example
+///
+/// Compile a tiny network onto the MAN lattice, install it, and serve
+/// it in-process:
+///
+/// ```
+/// use std::sync::Arc;
+/// use man::alphabet::AlphabetSet;
+/// use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+/// use man_nn::network::Network;
+/// use man_serve::{BatchConfig, Client, ModelRegistry};
+/// use man_repro::Pipeline;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), man_serve::ManError> {
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let net = Network::new(vec![
+///     Layer::Dense(Dense::new(8, 4, &mut rng)),
+///     Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+/// ]);
+/// let model = Pipeline::from_network(net)
+///     .with_bits(8)
+///     .with_alphabets(vec![AlphabetSet::a2()])
+///     .constrain()?
+///     .compile()?;
+///
+/// let registry = ModelRegistry::new(BatchConfig::default());
+/// registry.install("tiny", model);
+///
+/// let client = Client::new(Arc::clone(&registry));
+/// let p = client.predict("tiny", vec![0.5; 8])?;
+/// assert!(p.class < 4, "4 output neurons -> class in 0..4");
+/// registry.shutdown();
+/// # Ok(()) }
+/// ```
 #[derive(Clone)]
 pub struct Client {
     registry: Arc<ModelRegistry>,

@@ -1,13 +1,23 @@
-//! The TCP front-end: newline-delimited JSON over `std::net`.
+//! The TCP front-end: one port, two wire modes, two engines.
 //!
-//! One accept thread plus one thread per connection. Connections poll
-//! with a short read timeout so a [`Server::shutdown`] is observed
-//! within a tick even on an idle socket; accepted requests always get a
-//! response line before the connection closes. [`TcpClient`] is the
-//! matching blocking client used by the bench load generator, CI smoke
-//! run, and tests.
+//! [`Server::bind`] serves `PROTOCOL.md` over `std::net` in whichever
+//! front-end mode resolves (see [`FrontendMode`]):
+//!
+//! * **reactor** (the default) — the nonblocking poll reactor of
+//!   [`crate::reactor`]: a few event-loop threads own every socket,
+//!   dispatch workers feed the blocking scheduler, and both NDJSON and
+//!   the length-prefixed binary framing are negotiated per connection.
+//! * **legacy** — the original thread-per-connection loop (one blocking
+//!   thread per client, NDJSON only), kept as a fallback and as the
+//!   behavioral reference the reactor's tests compare against.
+//!
+//! Both engines serve requests through the same [`handle_request`]
+//! seam, so responses are byte-identical across engines and wire modes.
+//! [`TcpClient`] (NDJSON) and [`BinaryClient`] (binary framing) are the
+//! matching blocking clients used by the bench load generators, CI
+//! smoke run, and tests.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -19,19 +29,21 @@ use serde::Value;
 use man_obs::{flight, Span, Stage};
 
 use crate::exporter::prometheus_page;
+use crate::framing;
 use crate::protocol::{
     dump_trace_response, error_response, load_response, metrics_response, parse_request,
     predict_response, stats_response, unload_response, Request,
 };
+use crate::reactor::{FrontendStats, ReactorConfig, ReactorFrontend};
 use crate::registry::ModelRegistry;
 
-/// How often an idle connection (or the accept loop, via a self-connect)
-/// re-checks the shutdown flag.
+/// How often an idle legacy connection (or its accept loop, via a
+/// self-connect) re-checks the shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(100);
 
 /// Serves one already-parsed request line against a registry and renders
 /// the response line. This is the single dispatch point shared by every
-/// connection — and a convenient seam for tests.
+/// connection of both engines — and a convenient seam for tests.
 ///
 /// Tracing: the `decode` span covers request parsing, the `encode` span
 /// covers dispatch *and* response rendering (request ids are assigned
@@ -65,33 +77,95 @@ pub fn handle_request(registry: &ModelRegistry, line: &str) -> String {
     }
 }
 
+/// Which engine drives the TCP front-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontendMode {
+    /// Nonblocking poll reactor (default): a few threads, many sockets,
+    /// NDJSON + binary framing. See [`crate::reactor`].
+    Reactor,
+    /// Thread-per-connection fallback: one blocking thread per client,
+    /// NDJSON only.
+    Legacy,
+}
+
+impl FrontendMode {
+    /// The mode's stable lowercase name (`"reactor"` / `"legacy"`) —
+    /// what the serving example and CI smoke print.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrontendMode::Reactor => "reactor",
+            FrontendMode::Legacy => "legacy",
+        }
+    }
+}
+
+/// Front-end selection and tuning for [`Server::bind_with`].
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// Explicit mode; `None` defers to the `MAN_FRONTEND` environment
+    /// variable (`reactor` / `legacy`), then to the reactor default.
+    pub mode: Option<FrontendMode>,
+    /// Reactor tuning (ignored in legacy mode).
+    pub reactor: ReactorConfig,
+}
+
+fn resolve_mode(explicit: Option<FrontendMode>) -> FrontendMode {
+    if let Some(mode) = explicit {
+        return mode;
+    }
+    match std::env::var("MAN_FRONTEND").ok().as_deref() {
+        Some("legacy") => FrontendMode::Legacy,
+        Some("reactor") => FrontendMode::Reactor,
+        _ => FrontendMode::Reactor,
+    }
+}
+
+enum Engine {
+    Reactor(ReactorFrontend),
+    Legacy(LegacyFrontend),
+}
+
 /// A running TCP front-end over a shared [`ModelRegistry`].
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    mode: FrontendMode,
+    engine: Engine,
 }
 
 impl Server {
-    /// Binds and starts accepting. Bind to port 0 for an ephemeral port
-    /// (see [`Server::local_addr`]).
+    /// Binds and starts accepting in the default front-end mode
+    /// (reactor, unless `MAN_FRONTEND=legacy`). Bind to port 0 for an
+    /// ephemeral port (see [`Server::local_addr`]).
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind (or reactor spawn) failure.
     pub fn bind(addr: impl ToSocketAddrs, registry: Arc<ModelRegistry>) -> io::Result<Self> {
+        Self::bind_with(addr, registry, ServerConfig::default())
+    }
+
+    /// Binds with explicit front-end selection and tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind (or reactor spawn) failure.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_handle = std::thread::Builder::new()
-            .name("man-serve/accept".into())
-            .spawn(move || accept_loop(&listener, &registry, &accept_shutdown))?;
-        Ok(Self {
-            addr,
-            shutdown,
-            accept_handle: Some(accept_handle),
-        })
+        let mode = resolve_mode(config.mode);
+        let engine = match mode {
+            FrontendMode::Reactor => {
+                Engine::Reactor(ReactorFrontend::spawn(listener, registry, config.reactor)?)
+            }
+            FrontendMode::Legacy => {
+                Engine::Legacy(LegacyFrontend::spawn(listener, addr, registry)?)
+            }
+        };
+        Ok(Self { addr, mode, engine })
     }
 
     /// The bound address (useful after binding port 0).
@@ -99,14 +173,26 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, wakes every connection, and joins the accept
-    /// loop (which joins the connection threads). Idempotent.
+    /// The engine this server resolved to at bind time.
+    pub fn mode(&self) -> FrontendMode {
+        self.mode
+    }
+
+    /// Connection-level counters: accepted/open/rejected connections,
+    /// the slab high-water mark, and the per-wire-mode split.
+    pub fn frontend_stats(&self) -> FrontendStats {
+        match &self.engine {
+            Engine::Reactor(reactor) => reactor.stats(),
+            Engine::Legacy(legacy) => legacy.stats(),
+        }
+    }
+
+    /// Stops accepting, answers everything in flight, closes every
+    /// connection, and joins the engine's threads. Idempotent.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
+        match &mut self.engine {
+            Engine::Reactor(reactor) => reactor.shutdown(),
+            Engine::Legacy(legacy) => legacy.shutdown(),
         }
     }
 }
@@ -117,7 +203,62 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, registry: &Arc<ModelRegistry>, shutdown: &Arc<AtomicBool>) {
+// ---------------------------------------------------------------------
+// Legacy engine: thread-per-connection, NDJSON only.
+// ---------------------------------------------------------------------
+
+/// Process-shared counters behind [`FrontendStats`], updated by both
+/// engines (all advisory: they report, they never synchronize data).
+pub(crate) use crate::reactor::FrontendCounters;
+
+struct LegacyFrontend {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    counters: Arc<FrontendCounters>,
+}
+
+impl LegacyFrontend {
+    fn spawn(
+        listener: TcpListener,
+        addr: SocketAddr,
+        registry: Arc<ModelRegistry>,
+    ) -> io::Result<Self> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(FrontendCounters::default());
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_counters = Arc::clone(&counters);
+        let accept_handle = std::thread::Builder::new()
+            .name("man-serve/accept".into())
+            .spawn(move || accept_loop(&listener, &registry, &accept_shutdown, &accept_counters))?;
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            counters,
+        })
+    }
+
+    fn stats(&self) -> FrontendStats {
+        self.counters.stats("legacy", 0, 0)
+    }
+
+    fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &Arc<ModelRegistry>,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<FrontendCounters>,
+) {
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
@@ -126,9 +267,18 @@ fn accept_loop(listener: &TcpListener, registry: &Arc<ModelRegistry>, shutdown: 
         let Ok(stream) = stream else { continue };
         let registry = Arc::clone(registry);
         let conn_shutdown = Arc::clone(shutdown);
+        let conn_counters = Arc::clone(counters);
         let handle = std::thread::Builder::new()
             .name("man-serve/conn".into())
-            .spawn(move || connection_loop(stream, &registry, &conn_shutdown));
+            .spawn(move || {
+                conn_counters.connection_opened();
+                // The legacy engine speaks NDJSON only; binary clients
+                // must use the reactor front-end.
+                // ORDERING: advisory statistics counter.
+                conn_counters.ndjson.fetch_add(1, Ordering::Relaxed);
+                connection_loop(stream, &registry, &conn_shutdown);
+                conn_counters.connection_closed();
+            });
         let mut conns = conns.lock().expect("connection list lock poisoned");
         if let Ok(handle) = handle {
             conns.push(handle);
@@ -184,8 +334,13 @@ fn connection_loop(stream: TcpStream, registry: &ModelRegistry, shutdown: &Arc<A
     }
 }
 
-/// A wire-level failure seen by [`TcpClient`]: the stable protocol code
-/// plus the server's message (or `"io"` for transport failures).
+// ---------------------------------------------------------------------
+// Clients.
+// ---------------------------------------------------------------------
+
+/// A wire-level failure seen by [`TcpClient`] / [`BinaryClient`]: the
+/// stable protocol code plus the server's message (or `"io"` for
+/// transport failures).
 #[derive(Clone, Debug)]
 pub struct WireError {
     /// Stable error code (`overloaded`, `unknown_model`, ... or `io`).
@@ -220,7 +375,33 @@ impl WireError {
 
 use crate::protocol::entry as field;
 
-/// A blocking line-protocol client for the TCP front-end.
+/// Unwraps a parsed response envelope: `Ok` for `"ok": true`, the
+/// server's error code/message for `"ok": false`.
+fn check_ok(value: Value) -> Result<Value, WireError> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| WireError::protocol("response is not an object"))?;
+    match field(obj, "ok") {
+        Some(Value::Bool(true)) => Ok(value),
+        Some(Value::Bool(false)) => {
+            let get_str = |key: &str| match field(obj, key) {
+                Some(Value::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            Err(WireError {
+                code: get_str("error"),
+                message: get_str("message"),
+            })
+        }
+        _ => Err(WireError::protocol("response has no `ok` field")),
+    }
+}
+
+/// A blocking line-protocol (NDJSON) client for the TCP front-end.
+///
+/// One request in flight at a time; responses arrive in request order.
+/// Works against both engines — the reactor sniffs the first byte (a
+/// `{`) and speaks NDJSON back.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -269,24 +450,7 @@ impl TcpClient {
     /// The server's error code/message when `ok` is `false`, plus the
     /// transport failures of [`TcpClient::request`].
     fn request_ok(&mut self, line: &str) -> Result<Value, WireError> {
-        let value = self.request(line)?;
-        let obj = value
-            .as_object()
-            .ok_or_else(|| WireError::protocol("response is not an object"))?;
-        match field(obj, "ok") {
-            Some(Value::Bool(true)) => Ok(value),
-            Some(Value::Bool(false)) => {
-                let get_str = |key: &str| match field(obj, key) {
-                    Some(Value::Str(s)) => s.clone(),
-                    _ => String::new(),
-                };
-                Err(WireError {
-                    code: get_str("error"),
-                    message: get_str("message"),
-                })
-            }
-            _ => Err(WireError::protocol("response has no `ok` field")),
-        }
+        check_ok(self.request(line)?)
     }
 
     /// `predict` round-trip: returns `(class, scores)`.
@@ -387,6 +551,137 @@ impl TcpClient {
         match field(obj, "dump") {
             Some(Value::Null) | None => Ok(None),
             Some(dump) => Ok(Some(dump.clone())),
+        }
+    }
+}
+
+/// A blocking client for the length-prefixed binary framing
+/// (`PROTOCOL.md` §binary; reactor front-end only).
+///
+/// [`BinaryClient::connect`] performs the `MANB` handshake; after it,
+/// `predict` travels in the compact fixed-layout encoding (no JSON on
+/// the hot path) while every other verb rides JSON-in-a-frame through
+/// [`BinaryClient::request`]. Error responses arrive as the same JSON
+/// envelopes NDJSON clients see, so error codes are stable across wire
+/// modes.
+pub struct BinaryClient {
+    stream: TcpStream,
+    /// The framing version the server agreed to.
+    version: u8,
+}
+
+impl BinaryClient {
+    /// Connects and performs the binary-framing handshake.
+    ///
+    /// # Errors
+    ///
+    /// `io` on transport failure; `bad_response` if the server answers
+    /// with anything but a valid `MANB` handshake (e.g. a legacy-mode
+    /// server, which speaks only NDJSON).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| WireError::io(&e))?;
+        stream.set_nodelay(true).map_err(|e| WireError::io(&e))?;
+        stream
+            .write_all(&framing::handshake(framing::VERSION))
+            .map_err(|e| WireError::io(&e))?;
+        let mut hello = [0u8; framing::HANDSHAKE_LEN];
+        stream
+            .read_exact(&mut hello)
+            .map_err(|e| WireError::io(&e))?;
+        let version = framing::negotiate(&hello)
+            .ok_or_else(|| WireError::protocol("server did not answer the MANB handshake"))?;
+        Ok(Self { stream, version })
+    }
+
+    /// The framing version negotiated with the server.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>, WireError> {
+        let mut len = [0u8; 4];
+        self.stream
+            .read_exact(&mut len)
+            .map_err(|e| WireError::io(&e))?;
+        let len = u32::from_le_bytes(len);
+        if len == 0 || len > framing::MAX_FRAME_LEN {
+            return Err(WireError::protocol(format!(
+                "response frame length {len} out of range"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.stream
+            .read_exact(&mut payload)
+            .map_err(|e| WireError::io(&e))?;
+        Ok(payload)
+    }
+
+    /// Sends one JSON request (any `PROTOCOL.md` verb) inside a binary
+    /// frame and returns the parsed response value.
+    ///
+    /// # Errors
+    ///
+    /// `io` on transport failure, `bad_response` on an unparseable or
+    /// unexpected reply.
+    pub fn request(&mut self, line: &str) -> Result<Value, WireError> {
+        let mut payload = Vec::with_capacity(1 + line.len());
+        payload.push(framing::TAG_REQ_JSON);
+        payload.extend_from_slice(line.as_bytes());
+        self.stream
+            .write_all(&framing::frame(&payload))
+            .map_err(|e| WireError::io(&e))?;
+        let response = self.read_frame()?;
+        match response.first() {
+            Some(&framing::TAG_RESP_JSON) => {
+                let text = std::str::from_utf8(&response[1..])
+                    .map_err(|e| WireError::protocol(format!("non-UTF-8 response: {e}")))?;
+                serde_json::from_str(text)
+                    .map_err(|e| WireError::protocol(format!("unparseable response: {e}")))
+            }
+            tag => Err(WireError::protocol(format!(
+                "unexpected response tag {tag:?} for a JSON request"
+            ))),
+        }
+    }
+
+    /// Sends a JSON request and unwraps the `ok` envelope.
+    ///
+    /// # Errors
+    ///
+    /// The server's error code/message when `ok` is `false`, plus the
+    /// transport failures of [`BinaryClient::request`].
+    pub fn request_ok(&mut self, line: &str) -> Result<Value, WireError> {
+        check_ok(self.request(line)?)
+    }
+
+    /// `predict` in the compact binary encoding: returns
+    /// `(class, scores)`, bit-identical to the NDJSON answer.
+    ///
+    /// # Errors
+    ///
+    /// As [`BinaryClient::request`], plus any server-reported error
+    /// (which arrives as a JSON error frame carrying the same stable
+    /// codes).
+    pub fn predict(&mut self, model: &str, input: &[f32]) -> Result<(usize, Vec<i64>), WireError> {
+        let frame = framing::frame_predict_request(model, input);
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| WireError::io(&e))?;
+        let response = self.read_frame()?;
+        match response.first() {
+            Some(&framing::TAG_RESP_PREDICT) => framing::decode_predict_response(&response[1..])
+                .map_err(|e| WireError::protocol(format!("bad predict response: {e}"))),
+            Some(&framing::TAG_RESP_JSON) => {
+                let text = std::str::from_utf8(&response[1..])
+                    .map_err(|e| WireError::protocol(format!("non-UTF-8 response: {e}")))?;
+                let value: Value = serde_json::from_str(text)
+                    .map_err(|e| WireError::protocol(format!("unparseable response: {e}")))?;
+                check_ok(value)
+                    .map(|_| Err(WireError::protocol("ok envelope on a predict frame")))?
+            }
+            tag => Err(WireError::protocol(format!(
+                "unexpected response tag {tag:?} for a predict frame"
+            ))),
         }
     }
 }

@@ -1,0 +1,393 @@
+//! End-to-end tests of the reactor front-end and the binary framing:
+//! wire-mode negotiation, slow-loris partial frames, oversized length
+//! prefixes, mid-frame disconnects, NDJSON↔binary interleaving on one
+//! server, backpressure, and reload-under-load through the reactor.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use man::alphabet::AlphabetSet;
+use man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
+use man_nn::network::Network;
+use man_repro::{CompiledModel, Pipeline};
+use man_serve::{
+    framing, BatchConfig, BinaryClient, FrontendMode, ModelRegistry, ReactorConfig, Server,
+    ServerConfig, SessionMode, TcpClient,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const IN_DIM: usize = 24;
+
+fn compiled_model(seed: u64, set: AlphabetSet) -> CompiledModel {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(IN_DIM, 12, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+        Layer::Dense(Dense::new(12, 4, &mut rng)),
+    ]);
+    Pipeline::from_network(net)
+        .with_bits(8)
+        .with_alphabets(vec![set])
+        .constrain()
+        .expect("projection-only pipeline")
+        .compile()
+        .expect("projected weights compile")
+}
+
+fn probe_input(i: usize) -> Vec<f32> {
+    (0..IN_DIM)
+        .map(|j| ((i * 7 + j * 3) % 13) as f32 / 13.0)
+        .collect()
+}
+
+fn quick_config() -> BatchConfig {
+    BatchConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 64,
+        workers: 2,
+        session_mode: SessionMode::Warm,
+        request_timeout: Duration::from_secs(10),
+        ..BatchConfig::default()
+    }
+}
+
+fn reactor_server(registry: Arc<ModelRegistry>) -> Server {
+    Server::bind_with(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            mode: Some(FrontendMode::Reactor),
+            reactor: ReactorConfig::default(),
+        },
+    )
+    .expect("reactor server binds")
+}
+
+#[test]
+fn reactor_is_the_default_mode() {
+    // An explicit config pins the tests; but the plain bind must
+    // resolve to the reactor unless MAN_FRONTEND overrides it.
+    if std::env::var("MAN_FRONTEND").is_err() {
+        let server = Server::bind("127.0.0.1:0", ModelRegistry::with_defaults())
+            .expect("default server binds");
+        assert_eq!(server.mode(), FrontendMode::Reactor);
+        assert_eq!(server.frontend_stats().mode, "reactor");
+    }
+}
+
+#[test]
+fn ndjson_roundtrip_through_reactor() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(3, AlphabetSet::a1()));
+    let mut reference = compiled_model(3, AlphabetSet::a1()).session();
+    let mut server = reactor_server(Arc::clone(&registry));
+
+    let mut tcp = TcpClient::connect(server.local_addr()).expect("connect");
+    for i in 0..8 {
+        let (class, scores) = tcp.predict("m", &probe_input(i)).expect("predict");
+        let expected = reference.infer(&probe_input(i)).expect("shape ok");
+        assert_eq!(class, expected.class);
+        assert_eq!(scores, expected.scores, "reactor must stay bit-identical");
+    }
+    // Typed error, connection kept.
+    let err = tcp.predict("m", &[0.1; 3]).expect_err("short input");
+    assert_eq!(err.code, "shape_mismatch");
+    let (_, _) = tcp.predict("m", &probe_input(0)).expect("conn survives");
+
+    let stats = server.frontend_stats();
+    assert_eq!(stats.mode, "reactor");
+    assert!(stats.accepted_conns >= 1);
+    assert!(stats.slab_high_water >= 1);
+    assert_eq!(stats.ndjson_conns, 1);
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn binary_and_ndjson_clients_interleave_bit_identically() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(4, AlphabetSet::a2()));
+    let mut server = reactor_server(Arc::clone(&registry));
+
+    let mut ndjson = TcpClient::connect(server.local_addr()).expect("ndjson connect");
+    let mut binary = BinaryClient::connect(server.local_addr()).expect("binary handshake");
+    assert_eq!(binary.version(), framing::VERSION);
+
+    for i in 0..16 {
+        let (jc, js) = ndjson
+            .predict("m", &probe_input(i))
+            .expect("ndjson predict");
+        let (bc, bs) = binary
+            .predict("m", &probe_input(i))
+            .expect("binary predict");
+        assert_eq!(jc, bc, "class must match across wire modes");
+        assert_eq!(js, bs, "scores must be bit-identical across wire modes");
+    }
+    // Non-predict verbs ride JSON frames on the binary connection.
+    let stats = binary
+        .request_ok(r#"{"op":"stats","model":"m"}"#)
+        .expect("stats");
+    assert!(stats.as_object().is_some());
+    // Errors carry the same stable codes on both wires.
+    let jerr = ndjson
+        .predict("nope", &probe_input(0))
+        .expect_err("unknown");
+    let berr = binary
+        .predict("nope", &probe_input(0))
+        .expect_err("unknown");
+    assert_eq!(jerr.code, "unknown_model");
+    assert_eq!(berr.code, "unknown_model");
+
+    let fe = server.frontend_stats();
+    assert_eq!(fe.ndjson_conns, 1);
+    assert_eq!(fe.binary_conns, 1);
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_frames_are_served_once_complete() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(5, AlphabetSet::a1()));
+    let mut reference = compiled_model(5, AlphabetSet::a1()).session();
+    let server = reactor_server(Arc::clone(&registry));
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    // Dribble the handshake one byte at a time.
+    for b in framing::handshake(framing::VERSION) {
+        stream.write_all(&[b]).expect("write");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut hello = [0u8; framing::HANDSHAKE_LEN];
+    stream.read_exact(&mut hello).expect("handshake reply");
+    assert_eq!(framing::negotiate(&hello), Some(framing::VERSION));
+
+    // Dribble a predict frame in 3-byte chunks; the reactor must hold
+    // the partial frame and answer only once it completes.
+    let frame = framing::frame_predict_request("m", &probe_input(1));
+    for chunk in frame.chunks(3) {
+        stream.write_all(chunk).expect("write chunk");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("response length");
+    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut payload).expect("response payload");
+    assert_eq!(payload[0], framing::TAG_RESP_PREDICT);
+    let (class, scores) = framing::decode_predict_response(&payload[1..]).expect("decodes");
+    let expected = reference.infer(&probe_input(1)).expect("shape ok");
+    assert_eq!(class, expected.class);
+    assert_eq!(scores, expected.scores);
+    registry.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_gets_stable_code_and_close() {
+    let registry = ModelRegistry::new(quick_config());
+    let server = reactor_server(Arc::clone(&registry));
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(&framing::handshake(1)).expect("handshake");
+    let mut hello = [0u8; framing::HANDSHAKE_LEN];
+    stream.read_exact(&mut hello).expect("handshake reply");
+    // A length prefix beyond MAX_FRAME_LEN must be rejected without the
+    // server ever allocating the claimed size.
+    stream
+        .write_all(&(framing::MAX_FRAME_LEN + 1).to_le_bytes())
+        .expect("bad prefix");
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("error frame length");
+    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream
+        .read_exact(&mut payload)
+        .expect("error frame payload");
+    assert_eq!(payload[0], framing::TAG_RESP_JSON);
+    let body = std::str::from_utf8(&payload[1..]).expect("utf8");
+    assert!(
+        body.contains(r#""error":"frame_too_large""#),
+        "stable code expected, got: {body}"
+    );
+    // ... and the connection must then close.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF after violation");
+    assert!(rest.is_empty());
+    registry.shutdown();
+}
+
+#[test]
+fn bad_handshake_closes_without_reply() {
+    let registry = ModelRegistry::with_defaults();
+    let server = reactor_server(Arc::clone(&registry));
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Starts with 'M' so it sniffs as binary, but the magic is wrong.
+    stream.write_all(b"MXXB\x01\0\0\0").expect("bad magic");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF");
+    assert!(rest.is_empty(), "no reply exists for an unframed stream");
+    registry.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnect_is_cleaned_up() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(6, AlphabetSet::a1()));
+    let mut server = reactor_server(Arc::clone(&registry));
+
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.write_all(&framing::handshake(1)).expect("handshake");
+        let mut hello = [0u8; framing::HANDSHAKE_LEN];
+        stream.read_exact(&mut hello).expect("handshake reply");
+        let frame = framing::frame_predict_request("m", &probe_input(0));
+        // Half a frame, then vanish.
+        stream.write_all(&frame[..frame.len() / 2]).expect("half");
+    } // drop = RST/FIN mid-frame
+
+    // The slot must be reclaimed and the server fully functional.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.frontend_stats().open_conns > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mid-frame disconnect must release its slab slot"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut binary = BinaryClient::connect(server.local_addr()).expect("fresh client");
+    binary.predict("m", &probe_input(2)).expect("still serving");
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn pipelined_ndjson_lines_all_get_answers_in_order() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(7, AlphabetSet::a1()));
+    let server = reactor_server(Arc::clone(&registry));
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Burst 20 requests in one write, then half-close: every line must
+    // still be answered, in order, before the server closes.
+    let mut burst = String::new();
+    for i in 0..20 {
+        let input: Vec<String> = probe_input(i).iter().map(f32::to_string).collect();
+        burst.push_str(&format!(
+            "{{\"op\":\"predict\",\"model\":\"m\",\"input\":[{}]}}\n",
+            input.join(",")
+        ));
+    }
+    stream.write_all(burst.as_bytes()).expect("burst write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut all = String::new();
+    stream.read_to_string(&mut all).expect("drain responses");
+    let lines: Vec<&str> = all.lines().collect();
+    assert_eq!(lines.len(), 20, "every pipelined request gets a reply");
+    for line in lines {
+        assert!(line.contains(r#""ok":true"#), "unexpected reply: {line}");
+    }
+    registry.shutdown();
+}
+
+#[test]
+fn reload_under_load_through_reactor() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(8, AlphabetSet::a1()));
+    let mut server = reactor_server(Arc::clone(&registry));
+    let addr = server.local_addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut binary = BinaryClient::connect(addr).expect("connect");
+                let mut i = t;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    match binary.predict("m", &probe_input(i % 48)) {
+                        Ok((_, scores)) => {
+                            assert_eq!(scores.len(), 4, "scores from either epoch");
+                            ok += 1;
+                        }
+                        // During the registry swap a request may see the
+                        // model draining; those are typed, not torn.
+                        Err(e) => assert!(
+                            matches!(e.code.as_str(), "unavailable" | "unknown_model"),
+                            "unexpected error under reload: {e}"
+                        ),
+                    }
+                    i += 1;
+                }
+                ok
+            })
+        })
+        .collect();
+
+    for seed in [9, 10, 11] {
+        std::thread::sleep(Duration::from_millis(30));
+        registry.install("m", compiled_model(seed, AlphabetSet::a1()));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let served: usize = workers
+        .into_iter()
+        .map(|w| w.join().expect("load thread panicked"))
+        .sum();
+    assert!(served > 0, "requests must flow across hot reloads");
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn legacy_mode_still_serves_ndjson() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(12, AlphabetSet::a1()));
+    let mut server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig {
+            mode: Some(FrontendMode::Legacy),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("legacy server binds");
+    assert_eq!(server.mode(), FrontendMode::Legacy);
+
+    let mut tcp = TcpClient::connect(server.local_addr()).expect("connect");
+    let (_, scores) = tcp.predict("m", &probe_input(0)).expect("predict");
+    assert_eq!(scores.len(), 4);
+    let stats = server.frontend_stats();
+    assert_eq!(stats.mode, "legacy");
+    assert!(stats.accepted_conns >= 1);
+    // Binary handshake against legacy: no reply, the bytes just sit
+    // unparsed — the client times out rather than negotiates. (Covered
+    // here only as "does not crash the server".)
+    drop(tcp);
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn shutdown_answers_inflight_then_closes() {
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(13, AlphabetSet::a1()));
+    let mut server = reactor_server(Arc::clone(&registry));
+
+    let mut tcp = TcpClient::connect(server.local_addr()).expect("connect");
+    tcp.predict("m", &probe_input(1)).expect("warm the path");
+    server.shutdown();
+    // After shutdown the socket must be closed...
+    let err = tcp.predict("m", &probe_input(2)).expect_err("server gone");
+    assert!(matches!(
+        err.code.as_str(),
+        "io" | "bad_response" | "unavailable"
+    ));
+    // ...and a fresh connect must fail or be torn down immediately.
+    registry.shutdown();
+}

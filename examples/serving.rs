@@ -120,7 +120,17 @@ fn main() -> Result<(), ManError> {
 
     // ---- The same four operations over TCP (newline-delimited JSON).
     let mut server = Server::bind("127.0.0.1:0", Arc::clone(&registry)).map_err(ManError::Io)?;
-    println!("TCP front-end on {}", server.local_addr());
+    // Which front-end engine `Server::bind` resolved to (the poll
+    // reactor by default; `MAN_FRONTEND=legacy` forces the
+    // thread-per-connection fallback) — grep `[man-serve]` in CI logs.
+    let fe = server.frontend_stats();
+    println!(
+        "[man-serve] front-end: {} ({} reactor + {} dispatch threads), TCP on {}",
+        server.mode().label(),
+        fe.reactor_threads,
+        fe.dispatch_threads,
+        server.local_addr()
+    );
     let mut tcp = TcpClient::connect(server.local_addr()).map_err(ManError::Io)?;
     let (class, scores) = tcp
         .predict("digits", &ds.test_images[0])
@@ -132,6 +142,11 @@ fn main() -> Result<(), ManError> {
         .expect_err("short input must be rejected");
     println!("TCP shape error -> [{}] {}", err.code, err.message);
     tcp.unload("digits").expect("unload over the wire");
+    let fe = server.frontend_stats();
+    println!(
+        "[man-serve] slab high-water: {} ({} accepted, {} ndjson / {} binary)",
+        fe.slab_high_water, fe.accepted_conns, fe.ndjson_conns, fe.binary_conns
+    );
 
     server.shutdown();
     registry.shutdown();
