@@ -146,10 +146,12 @@ pub fn decode_predict_request(body: &[u8]) -> Result<PredictRequest, String> {
     take(rest, 4, "input count")?;
     let count = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
     let rest = &rest[4..];
-    if rest.len() != 4 * count {
+    // Divide rather than multiply: `4 * count` can overflow usize on
+    // 32-bit targets (count is attacker-controlled, up to u32::MAX).
+    if !rest.len().is_multiple_of(4) || rest.len() / 4 != count {
         return Err(format!(
             "predict body length mismatch: {count} inputs need {} bytes, got {}",
-            4 * count,
+            4 * count as u64,
             rest.len()
         ));
     }
@@ -169,10 +171,11 @@ pub fn decode_predict_response(body: &[u8]) -> Result<(usize, Vec<i64>), String>
     let class = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
     let count = u32::from_le_bytes([body[4], body[5], body[6], body[7]]) as usize;
     let rest = &body[8..];
-    if rest.len() != 8 * count {
+    // Divide rather than multiply: see `decode_predict_request`.
+    if !rest.len().is_multiple_of(8) || rest.len() / 8 != count {
         return Err(format!(
             "predict response length mismatch: {count} scores need {} bytes, got {}",
-            8 * count,
+            8 * count as u64,
             rest.len()
         ));
     }
@@ -294,5 +297,21 @@ mod tests {
         body.extend_from_slice(&1.0f32.to_le_bytes());
         assert!(decode_predict_request(&body).is_err());
         assert!(decode_predict_response(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn huge_declared_count_is_an_error_not_an_overflow() {
+        // A count of u32::MAX must fail the length check, never feed a
+        // `4 * count` / `8 * count` multiply (which would overflow usize
+        // on 32-bit targets).
+        let mut body = vec![1, 0, b'm'];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(&[0u8; 8]);
+        assert!(decode_predict_request(&body).is_err());
+        let mut resp = Vec::new();
+        resp.extend_from_slice(&1u32.to_le_bytes());
+        resp.extend_from_slice(&u32::MAX.to_le_bytes());
+        resp.extend_from_slice(&[0u8; 16]);
+        assert!(decode_predict_response(&resp).is_err());
     }
 }

@@ -345,6 +345,45 @@ impl Conn {
 const SLOT_WAKER: usize = usize::MAX;
 const SLOT_LISTENER: usize = usize::MAX - 1;
 
+/// Whether the reactor should keep reading this connection.
+///
+/// Below `read_high_water`: always. At or above it: only while the
+/// buffered bytes are a single *incomplete* request. Read backpressure
+/// throttles pipelined complete-but-unparsed requests; it must never
+/// park a legal large request mid-arrival, or a frame/line bigger than
+/// the high-water mark (but within its protocol cap) would wedge the
+/// connection forever — unparseable, unanswerable, never closed. The
+/// in-progress request is instead bounded by its own cap
+/// (`max_line_len` / [`framing::MAX_FRAME_LEN`]), whose violations
+/// `advance` answers with their stable codes.
+fn wants_read(config: &ReactorConfig, conn: &Conn) -> bool {
+    if conn.inflight
+        || conn.read_closed
+        || conn.kill
+        || conn.pending_write() >= config.write_high_water
+    {
+        return false;
+    }
+    if conn.rbuf.len() < config.read_high_water {
+        return true;
+    }
+    match conn.wire {
+        // No newline buffered = one incomplete line: read on until the
+        // line completes, or one byte past `max_line_len` lets `advance`
+        // fire the documented `bad_request` violation.
+        Wire::Ndjson => !conn.rbuf.contains(&b'\n') && conn.rbuf.len() <= config.max_line_len,
+        // An incomplete frame is bounded by its own length prefix
+        // (≤ MAX_FRAME_LEN — anything larger is a violation `advance`
+        // already answered); a complete frame waiting on dispatch is
+        // the pipelined case backpressure exists for.
+        Wire::Binary => matches!(framing::split_frame(&conn.rbuf), FrameStatus::Incomplete),
+        // The wire mode is not known yet (`advance` has not looked at
+        // this burst), so no per-request cap applies — hold at the
+        // high-water mark; the sniff resolves before the next read.
+        Wire::Sniff | Wire::Handshake => false,
+    }
+}
+
 /// One event-loop thread's state.
 struct ReactorThread {
     id: usize,
@@ -403,13 +442,7 @@ impl ReactorThread {
                     continue;
                 }
                 let mut events = 0i16;
-                if !shutting
-                    && !conn.inflight
-                    && !conn.read_closed
-                    && !conn.kill
-                    && conn.pending_write() < self.config.write_high_water
-                    && conn.rbuf.len() < self.config.read_high_water
-                {
+                if !shutting && wants_read(&self.config, conn) {
                     events |= poll::POLLIN;
                 }
                 if conn.pending_write() > 0 {
@@ -431,12 +464,7 @@ impl ReactorThread {
                         if conn.hot(now) {
                             continue; // already included above
                         }
-                        if !conn.inflight
-                            && !conn.read_closed
-                            && !conn.kill
-                            && conn.pending_write() < self.config.write_high_water
-                            && conn.rbuf.len() < self.config.read_high_water
-                        {
+                        if wants_read(&self.config, conn) {
                             pollfds.push(poll::PollFd::new(conn.stream.as_raw_fd(), poll::POLLIN));
                             slots.push(i);
                         }
@@ -629,7 +657,7 @@ impl ReactorThread {
                 return;
             };
             loop {
-                if conn.rbuf.len() >= self.config.read_high_water {
+                if !wants_read(&self.config, conn) {
                     break; // backpressure: parse before reading more
                 }
                 match conn.stream.read(&mut buf) {
@@ -702,9 +730,21 @@ impl ReactorThread {
                 Wire::Ndjson => match conn.rbuf.iter().position(|&b| b == b'\n') {
                     Some(pos) => {
                         let line_bytes: Vec<u8> = conn.rbuf.drain(..=pos).collect();
-                        let line = String::from_utf8_lossy(&line_bytes[..pos])
-                            .trim()
-                            .to_owned();
+                        let Ok(line) = std::str::from_utf8(&line_bytes[..pos]) else {
+                            // Same answer as the legacy engine: a stable
+                            // `bad_request`, then close — never a lossy
+                            // decode that parses mangled bytes.
+                            let mut reply = raw_error_response(
+                                "bad_request",
+                                "request line is not valid UTF-8",
+                            )
+                            .into_bytes();
+                            reply.push(b'\n');
+                            conn.wbuf.extend_from_slice(&reply);
+                            conn.kill = true;
+                            break;
+                        };
+                        let line = line.trim().to_owned();
                         if line.is_empty() {
                             continue; // blank keep-alive line
                         }
@@ -835,10 +875,15 @@ fn serve_job(registry: &ModelRegistry, kind: &JobKind) -> Vec<u8> {
             bytes
         }
         JobKind::Frame(payload) => match payload.first() {
-            Some(&TAG_REQ_JSON) => {
-                let line = String::from_utf8_lossy(&payload[1..]);
-                framing::frame_json_response(&handle_request(registry, &line))
-            }
+            Some(&TAG_REQ_JSON) => match std::str::from_utf8(&payload[1..]) {
+                Ok(line) => framing::frame_json_response(&handle_request(registry, line)),
+                // Frame boundaries stay synchronized, so (unlike a
+                // mangled NDJSON line) the connection can live on.
+                Err(_) => framing::frame_json_response(&raw_error_response(
+                    "bad_request",
+                    "JSON frame payload is not valid UTF-8",
+                )),
+            },
             Some(&TAG_REQ_PREDICT) => {
                 let decoded = {
                     let _decode = Span::enter(Stage::Decode);
@@ -935,6 +980,8 @@ impl ReactorFrontend {
         }
 
         let mut reactor_handles = Vec::with_capacity(reactor_threads);
+        let mut worker_handles = Vec::with_capacity(dispatch_threads);
+        let mut spawn_err: Option<io::Error> = None;
         let mut listener = Some(listener);
         for (id, waker_rx) in waker_rxs.into_iter().enumerate() {
             let thread = ReactorThread {
@@ -953,26 +1000,56 @@ impl ReactorFrontend {
                 next_gen: 0,
                 next_deal: 0,
             };
-            reactor_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("man-serve/reactor/{id}"))
-                    .spawn(move || thread.run())?,
-            );
+            match std::thread::Builder::new()
+                .name(format!("man-serve/reactor/{id}"))
+                .spawn(move || thread.run())
+            {
+                Ok(handle) => reactor_handles.push(handle),
+                Err(e) => {
+                    spawn_err = Some(e);
+                    break;
+                }
+            }
         }
         // The reactor threads hold the only senders now; when the last
         // exits, the workers drain the queue and see Disconnected.
         drop(dispatch_tx);
 
-        let mut worker_handles = Vec::with_capacity(dispatch_threads);
-        for w in 0..dispatch_threads {
-            let rx = Arc::clone(&dispatch_rx);
-            let registry = Arc::clone(&registry);
-            let reactors = shareds.clone();
-            worker_handles.push(
-                std::thread::Builder::new()
+        if spawn_err.is_none() {
+            for w in 0..dispatch_threads {
+                let rx = Arc::clone(&dispatch_rx);
+                let registry = Arc::clone(&registry);
+                let reactors = shareds.clone();
+                match std::thread::Builder::new()
                     .name(format!("man-serve/dispatch/{w}"))
-                    .spawn(move || dispatch_worker(&rx, &registry, &reactors))?,
-            );
+                    .spawn(move || dispatch_worker(&rx, &registry, &reactors))
+                {
+                    Ok(handle) => worker_handles.push(handle),
+                    Err(e) => {
+                        spawn_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if let Some(e) = spawn_err {
+            // A half-built front-end must not leak live threads (or the
+            // listener reactor 0 is holding): run the normal shutdown
+            // over whatever was spawned before propagating the error.
+            shutdown.store(true, Ordering::SeqCst);
+            for shared in &shareds {
+                shared.wake();
+            }
+            for handle in reactor_handles {
+                let _ = handle.join();
+            }
+            // Reactors gone -> all senders dropped -> workers drain
+            // whatever was queued, see Disconnected, and exit.
+            for handle in worker_handles {
+                let _ = handle.join();
+            }
+            return Err(e);
         }
 
         Ok(Self {

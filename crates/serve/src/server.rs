@@ -32,7 +32,7 @@ use crate::exporter::prometheus_page;
 use crate::framing;
 use crate::protocol::{
     dump_trace_response, error_response, load_response, metrics_response, parse_request,
-    predict_response, stats_response, unload_response, Request,
+    predict_response, raw_error_response, stats_response, unload_response, Request,
 };
 use crate::reactor::{FrontendStats, ReactorConfig, ReactorFrontend};
 use crate::registry::ModelRegistry;
@@ -303,14 +303,23 @@ fn connection_loop(stream: TcpStream, registry: &ModelRegistry, shutdown: &Arc<A
     };
     let mut writer = io::BufWriter::new(write_half);
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut raw = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
+        match reader.read_until(b'\n', &mut raw) {
             // EOF: client closed its half; we are done.
             Ok(0) => return,
             Ok(_) => {
+                // Bytes, then a strict UTF-8 check — the same stable
+                // `bad_request` + close the reactor engine answers, so
+                // responses stay identical across engines.
+                let Ok(line) = std::str::from_utf8(&raw) else {
+                    let reply =
+                        raw_error_response("bad_request", "request line is not valid UTF-8");
+                    let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+                    return;
+                };
                 if !line.trim().is_empty() {
-                    let response = handle_request(registry, &line);
+                    let response = handle_request(registry, line);
                     if writeln!(writer, "{response}")
                         .and_then(|()| writer.flush())
                         .is_err()
@@ -318,12 +327,12 @@ fn connection_loop(stream: TcpStream, registry: &ModelRegistry, shutdown: &Arc<A
                         return;
                     }
                 }
-                line.clear();
+                raw.clear();
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                // Idle tick; partially-read bytes stay in `line`.
+                // Idle tick; partially-read bytes stay in `raw`.
                 if shutdown.load(Ordering::SeqCst) {
                     return;
                 }

@@ -344,6 +344,159 @@ fn reload_under_load_through_reactor() {
     registry.shutdown();
 }
 
+/// Drains a socket until EOF or error, tolerating a reset after the
+/// server killed the connection.
+fn read_until_close(stream: &mut TcpStream) -> String {
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => reply.extend_from_slice(&buf[..n]),
+        }
+    }
+    String::from_utf8_lossy(&reply).into_owned()
+}
+
+#[test]
+fn large_requests_beyond_read_high_water_are_served() {
+    // A single request bigger than read_high_water (default 1 MiB) but
+    // within the protocol caps must complete: read backpressure may
+    // park pipelined complete requests, never one mid-arrival.
+    let registry = ModelRegistry::new(quick_config());
+    registry.install("m", compiled_model(14, AlphabetSet::a1()));
+    let mut server = reactor_server(Arc::clone(&registry));
+    let padded = format!(
+        r#"{{"op":"stats","model":"m"}}{}"#,
+        " ".repeat(2 * 1024 * 1024)
+    );
+
+    // NDJSON: one ~2 MiB request line.
+    let mut tcp = TcpClient::connect(server.local_addr()).expect("connect");
+    let value = tcp.request(&padded).expect("2 MiB line answered");
+    assert!(
+        serde_json::to_string(&value)
+            .expect("render")
+            .contains(r#""ok":true"#),
+        "large NDJSON line must be served"
+    );
+
+    // Binary: one ~2 MiB JSON frame.
+    let mut binary = BinaryClient::connect(server.local_addr()).expect("handshake");
+    binary.request_ok(&padded).expect("2 MiB frame answered");
+
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn over_long_ndjson_line_gets_bad_request_past_high_water() {
+    // The max_line_len violation sits *above* read_high_water: the
+    // reactor must keep reading past the mark for the documented
+    // bad_request to be reachable at all.
+    let registry = ModelRegistry::new(quick_config());
+    let max_line_len = 16 * 1024;
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig {
+            mode: Some(FrontendMode::Reactor),
+            reactor: ReactorConfig {
+                read_high_water: 4 * 1024,
+                max_line_len,
+                ..ReactorConfig::default()
+            },
+        },
+    )
+    .expect("reactor server binds");
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Newline-less and just past the cap, so the server consumes every
+    // byte (no reset racing the reply) before tripping the violation.
+    let blob = vec![b'{'; max_line_len + 64];
+    stream.write_all(&blob).expect("write blob");
+    let reply = read_until_close(&mut stream);
+    assert!(
+        reply.contains(r#""error":"bad_request""#),
+        "expected bad_request, got: {reply:?}"
+    );
+    registry.shutdown();
+}
+
+#[test]
+fn invalid_utf8_line_gets_bad_request_on_both_engines() {
+    for mode in [FrontendMode::Reactor, FrontendMode::Legacy] {
+        let registry = ModelRegistry::new(quick_config());
+        let mut server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig {
+                mode: Some(mode),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server binds");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"{\"op\":\"\xff\xfe\"}\n")
+            .expect("write mangled line");
+        let reply = read_until_close(&mut stream);
+        assert!(
+            reply.contains(r#""error":"bad_request""#),
+            "{mode:?}: expected bad_request, got: {reply:?}"
+        );
+        server.shutdown();
+        registry.shutdown();
+    }
+}
+
+#[test]
+fn invalid_utf8_json_frame_gets_bad_request_and_conn_survives() {
+    let registry = ModelRegistry::new(quick_config());
+    let server = reactor_server(Arc::clone(&registry));
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(&framing::handshake(1)).expect("handshake");
+    let mut hello = [0u8; framing::HANDSHAKE_LEN];
+    stream.read_exact(&mut hello).expect("handshake reply");
+
+    let read_frame = |stream: &mut TcpStream| -> Vec<u8> {
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).expect("frame length");
+        let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut payload).expect("frame payload");
+        payload
+    };
+
+    // A JSON frame whose payload is not UTF-8: a typed error, and —
+    // frame boundaries being intact — the connection lives on.
+    let mut payload = vec![framing::TAG_REQ_JSON];
+    payload.extend_from_slice(b"\xff\xfe\xfd");
+    stream
+        .write_all(&framing::frame(&payload))
+        .expect("mangled frame");
+    let reply = read_frame(&mut stream);
+    assert_eq!(reply[0], framing::TAG_RESP_JSON);
+    let body = std::str::from_utf8(&reply[1..]).expect("utf8 reply");
+    assert!(
+        body.contains(r#""error":"bad_request""#),
+        "expected bad_request, got: {body}"
+    );
+
+    let mut payload = vec![framing::TAG_REQ_JSON];
+    payload.extend_from_slice(br#"{"op":"stats"}"#);
+    stream
+        .write_all(&framing::frame(&payload))
+        .expect("valid frame");
+    let reply = read_frame(&mut stream);
+    let body = std::str::from_utf8(&reply[1..]).expect("utf8 reply");
+    assert!(
+        body.contains(r#""ok":true"#),
+        "connection must survive a mangled JSON frame, got: {body}"
+    );
+    registry.shutdown();
+}
+
 #[test]
 fn legacy_mode_still_serves_ndjson() {
     let registry = ModelRegistry::new(quick_config());
