@@ -61,6 +61,12 @@ impl Default for Config {
                 // carry the same justification markers.
                 "crates/obs/src/lib.rs",
                 "crates/obs/src/flight.rs",
+                // The cluster placement function (DESIGN.md §14): the
+                // same node set must yield the same ring — and thus
+                // the same replica sets — on every router instance, or
+                // two routers would disagree about where a model
+                // lives.
+                "crates/serve/src/cluster/ring.rs",
             ],
             allow_unsafe_files: vec![
                 // The §9 latch transmute.

@@ -12,9 +12,9 @@
 //!     [--tolerance 0.25] [--scaling-shape] [FILE ...]
 //! ```
 //!
-//! `FILE`s default to the five bench reports (`BENCH_pipeline.json`,
+//! `FILE`s default to the six bench reports (`BENCH_pipeline.json`,
 //! `BENCH_serve.json`, `BENCH_par.json`, `BENCH_obs.json`,
-//! `BENCH_conn.json`). A file
+//! `BENCH_conn.json`, `BENCH_cluster.json`). A file
 //! with no baseline yet is reported and skipped (first run); a baseline
 //! whose current counterpart is missing or unparsable fails the gate.
 //!
@@ -45,6 +45,7 @@ const DEFAULT_FILES: &[&str] = &[
     "BENCH_par.json",
     "BENCH_obs.json",
     "BENCH_conn.json",
+    "BENCH_cluster.json",
 ];
 const DEFAULT_TOLERANCE: f64 = 0.25;
 

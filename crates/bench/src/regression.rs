@@ -42,6 +42,8 @@ const ID_KEYS: &[&str] = &[
     "batch",
     "queue_capacity",
     "clients",
+    "phase",
+    "node",
 ];
 
 /// One extracted throughput metric.
@@ -723,6 +725,56 @@ mod tests {
         let cmp = compare(&old_base, &cur, 0.25);
         assert_eq!(cmp.compared, 1);
         assert_eq!(cmp.regressions.len(), 1);
+    }
+
+    #[test]
+    fn cluster_rows_are_labelled_by_mode_and_phase() {
+        // The BENCH_cluster.json surface: the same wire mode appears
+        // once per phase, so `mode` alone would collide — `phase` must
+        // join the row identity for the gate to pair rows stably.
+        let base = parse(
+            r#"{"active": [
+                {"mode": "binary", "phase": "steady",   "predict_rps": 900.0},
+                {"mode": "binary", "phase": "failover", "predict_rps": 700.0}
+            ]}"#,
+        );
+        let metrics = extract_metrics(&base);
+        let paths: Vec<&str> = metrics.iter().map(|m| m.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "active/[mode=binary,phase=steady]/predict_rps",
+                "active/[mode=binary,phase=failover]/predict_rps",
+            ]
+        );
+        // Reordering phases must not mispair: steady regressing to
+        // failover's throughput is fine, failover collapsing is not.
+        let cur = parse(
+            r#"{"active": [
+                {"mode": "binary", "phase": "failover", "predict_rps": 100.0},
+                {"mode": "binary", "phase": "steady",   "predict_rps": 880.0}
+            ]}"#,
+        );
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].path.contains("phase=failover"));
+    }
+
+    #[test]
+    fn cluster_node_rows_are_labelled_but_not_gated() {
+        // Per-backend rows are identified by `node`; their counters and
+        // latencies are informational — only throughput keys gate.
+        let doc = parse(
+            r#"{"nodes": [
+                {"node": "127.0.0.1:7001", "requests": 5000, "p99_us": 900},
+                {"node": "127.0.0.1:7002", "requests": 12, "p99_us": 100}
+            ]}"#,
+        );
+        assert!(extract_metrics(&doc).is_empty());
+        assert_eq!(
+            element_label(&doc.as_object().unwrap()[0].1.as_array().unwrap()[0], 0),
+            "node=127.0.0.1:7001"
+        );
     }
 
     #[test]

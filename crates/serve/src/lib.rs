@@ -41,6 +41,12 @@
 //!   `man-par` pool utilization and the `man-obs` per-stage span
 //!   histograms; the `dump_trace` verb retrieves flight-recorder
 //!   dumps.
+//! * [`cluster`] — the multi-process tier: a [`Router`] that serves
+//!   both wire modes on one port through the same front-end engines
+//!   (via [`RequestHandler`]) and fans out to worker processes over the
+//!   binary framing, with consistent-hash sharding, per-model replica
+//!   sets, health-check-driven failover and drain-then-join rebalance
+//!   — any replica answers bit-identically.
 //!
 //! Everything is `std`-only and deterministic-by-construction: a batch
 //! of predictions is bit-identical to the same inputs served
@@ -75,6 +81,7 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod cluster;
 pub mod exporter;
 pub mod framing;
 pub mod metrics;
@@ -84,12 +91,15 @@ pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchConfig, ModelHost, SessionMode};
+pub use cluster::{HashRing, Router, RouterConfig, RouterStats};
 pub use exporter::{prometheus_page, MetricsExporter};
 pub use metrics::{LatencyHistogram, ModelMetrics, ModelStats};
 pub use protocol::Request;
 pub use reactor::{FrontendStats, ReactorConfig};
 pub use registry::{Client, ModelInfo, ModelRegistry};
-pub use server::{BinaryClient, FrontendMode, Server, ServerConfig, TcpClient, WireError};
+pub use server::{
+    BinaryClient, FrontendMode, RequestHandler, Server, ServerConfig, TcpClient, WireError,
+};
 
 // The observability plane itself (levels, span stages, flight
 // recorder): re-exported so servers and tests can set the level and

@@ -56,8 +56,7 @@ use man_obs::{Span, Stage};
 
 use crate::framing::{self, FrameStatus, HANDSHAKE_LEN, TAG_REQ_JSON, TAG_REQ_PREDICT};
 use crate::protocol::{error_response, raw_error_response};
-use crate::registry::ModelRegistry;
-use crate::server::handle_request;
+use crate::server::RequestHandler;
 
 /// Tuning for the reactor front-end. The defaults serve tens of
 /// thousands of mostly-idle connections on three threads (one reactor,
@@ -862,21 +861,21 @@ impl ReactorThread {
     }
 }
 
-/// Serves one dispatch job against the registry and renders the wire
+/// Serves one dispatch job against the handler and renders the wire
 /// bytes for its connection's mode. JSON requests (both wire modes) go
-/// through [`handle_request`], so the decode/encode span taxonomy and
-/// every error code are identical across framings; the compact predict
-/// path mirrors the same spans around its binary codec.
-fn serve_job(registry: &ModelRegistry, kind: &JobKind) -> Vec<u8> {
+/// through [`RequestHandler::handle_line`], so the decode/encode span
+/// taxonomy and every error code are identical across framings; the
+/// compact predict path mirrors the same spans around its binary codec.
+fn serve_job(handler: &dyn RequestHandler, kind: &JobKind) -> Vec<u8> {
     match kind {
         JobKind::Line(line) => {
-            let mut bytes = handle_request(registry, line).into_bytes();
+            let mut bytes = handler.handle_line(line).into_bytes();
             bytes.push(b'\n');
             bytes
         }
         JobKind::Frame(payload) => match payload.first() {
             Some(&TAG_REQ_JSON) => match std::str::from_utf8(&payload[1..]) {
-                Ok(line) => framing::frame_json_response(&handle_request(registry, line)),
+                Ok(line) => framing::frame_json_response(&handler.handle_line(line)),
                 // Frame boundaries stay synchronized, so (unlike a
                 // mangled NDJSON line) the connection can live on.
                 Err(_) => framing::frame_json_response(&raw_error_response(
@@ -892,7 +891,7 @@ fn serve_job(registry: &ModelRegistry, kind: &JobKind) -> Vec<u8> {
                 match decoded {
                     Ok(request) => {
                         let _encode = Span::enter(Stage::Encode);
-                        match registry.predict(&request.model, request.input) {
+                        match handler.handle_predict(&request.model, request.input) {
                             Ok(prediction) => framing::frame_predict_response(&prediction),
                             Err(e) => framing::frame_json_response(&error_response(&e)),
                         }
@@ -913,7 +912,7 @@ fn serve_job(registry: &ModelRegistry, kind: &JobKind) -> Vec<u8> {
 
 fn dispatch_worker(
     rx: &Mutex<Receiver<DispatchJob>>,
-    registry: &ModelRegistry,
+    handler: &dyn RequestHandler,
     reactors: &[Arc<ReactorShared>],
 ) {
     loop {
@@ -923,7 +922,7 @@ fn dispatch_worker(
             Ok(job) => job,
             Err(_) => return, // every reactor exited; queue fully drained
         };
-        let bytes = serve_job(registry, &job.kind);
+        let bytes = serve_job(handler, &job.kind);
         man_obs::flush();
         let reactor = &reactors[job.reactor];
         reactor
@@ -956,7 +955,7 @@ impl ReactorFrontend {
     /// already-bound listener.
     pub(crate) fn spawn(
         listener: TcpListener,
-        registry: Arc<ModelRegistry>,
+        handler: Arc<dyn RequestHandler>,
         config: ReactorConfig,
     ) -> io::Result<Self> {
         listener.set_nonblocking(true)?;
@@ -1018,11 +1017,11 @@ impl ReactorFrontend {
         if spawn_err.is_none() {
             for w in 0..dispatch_threads {
                 let rx = Arc::clone(&dispatch_rx);
-                let registry = Arc::clone(&registry);
+                let handler = Arc::clone(&handler);
                 let reactors = shareds.clone();
                 match std::thread::Builder::new()
                     .name(format!("man-serve/dispatch/{w}"))
-                    .spawn(move || dispatch_worker(&rx, &registry, &reactors))
+                    .spawn(move || dispatch_worker(&rx, handler.as_ref(), &reactors))
                 {
                     Ok(handle) => worker_handles.push(handle),
                     Err(e) => {

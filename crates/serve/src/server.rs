@@ -28,11 +28,13 @@ use serde::Value;
 
 use man_obs::{flight, Span, Stage};
 
+use man_repro::{ManError, Prediction};
+
 use crate::exporter::prometheus_page;
 use crate::framing;
 use crate::protocol::{
-    dump_trace_response, error_response, load_response, metrics_response, parse_request,
-    predict_response, raw_error_response, stats_response, unload_response, Request,
+    dump_trace_response, error_response, health_response, load_response, metrics_response,
+    parse_request, predict_response, raw_error_response, stats_response, unload_response, Request,
 };
 use crate::reactor::{FrontendStats, ReactorConfig, ReactorFrontend};
 use crate::registry::ModelRegistry;
@@ -40,6 +42,42 @@ use crate::registry::ModelRegistry;
 /// How often an idle legacy connection (or its accept loop, via a
 /// self-connect) re-checks the shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// The dispatch seam both front-end engines serve requests through.
+///
+/// Everything above the socket — wire-mode sniffing, framing,
+/// backpressure, the dispatch pool — is identical whether the process
+/// is a plain model server or a cluster router; only what happens to a
+/// *parsed* request differs. A [`ModelRegistry`] serves requests
+/// locally (scheduler + sessions); a [`crate::cluster::Router`] routes
+/// them to worker processes over the binary framing. Both engines are
+/// generic over this trait, so the router inherits NDJSON + binary
+/// serving, the reactor's slab, and every backpressure valve for free.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Serves one JSON request line (the NDJSON grammar — also carried
+    /// inside binary `TAG_REQ_JSON` frames) and renders the response
+    /// line, without a trailing newline.
+    fn handle_line(&self, line: &str) -> String;
+
+    /// Serves one compact binary predict (the reactor's JSON-free fast
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying predict path reports; the front-end maps
+    /// it onto the stable wire codes.
+    fn handle_predict(&self, model: &str, input: Vec<f32>) -> Result<Prediction, ManError>;
+}
+
+impl RequestHandler for ModelRegistry {
+    fn handle_line(&self, line: &str) -> String {
+        handle_request(self, line)
+    }
+
+    fn handle_predict(&self, model: &str, input: Vec<f32>) -> Result<Prediction, ManError> {
+        self.predict(model, input)
+    }
+}
 
 /// Serves one already-parsed request line against a registry and renders
 /// the response line. This is the single dispatch point shared by every
@@ -74,6 +112,11 @@ pub fn handle_request(registry: &ModelRegistry, line: &str) -> String {
         },
         Ok(Request::Metrics) => metrics_response(&prometheus_page(registry)),
         Ok(Request::DumpTrace) => dump_trace_response(flight::last_dump().as_deref()),
+        Ok(Request::Health) => health_response(&registry.names()),
+        Ok(Request::Join { .. } | Request::Leave { .. }) => raw_error_response(
+            "bad_request",
+            "join/leave are cluster-router verbs; this server is a plain node",
+        ),
     }
 }
 
@@ -154,16 +197,29 @@ impl Server {
         registry: Arc<ModelRegistry>,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        Self::bind_handler(addr, registry as Arc<dyn RequestHandler>, config)
+    }
+
+    /// Binds a front-end over any [`RequestHandler`] — the seam the
+    /// cluster router uses to serve both wire modes on one port with
+    /// the exact same engines a plain model server gets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind (or reactor spawn) failure.
+    pub fn bind_handler(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let mode = resolve_mode(config.mode);
         let engine = match mode {
             FrontendMode::Reactor => {
-                Engine::Reactor(ReactorFrontend::spawn(listener, registry, config.reactor)?)
+                Engine::Reactor(ReactorFrontend::spawn(listener, handler, config.reactor)?)
             }
-            FrontendMode::Legacy => {
-                Engine::Legacy(LegacyFrontend::spawn(listener, addr, registry)?)
-            }
+            FrontendMode::Legacy => Engine::Legacy(LegacyFrontend::spawn(listener, addr, handler)?),
         };
         Ok(Self { addr, mode, engine })
     }
@@ -222,7 +278,7 @@ impl LegacyFrontend {
     fn spawn(
         listener: TcpListener,
         addr: SocketAddr,
-        registry: Arc<ModelRegistry>,
+        handler: Arc<dyn RequestHandler>,
     ) -> io::Result<Self> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(FrontendCounters::default());
@@ -230,7 +286,7 @@ impl LegacyFrontend {
         let accept_counters = Arc::clone(&counters);
         let accept_handle = std::thread::Builder::new()
             .name("man-serve/accept".into())
-            .spawn(move || accept_loop(&listener, &registry, &accept_shutdown, &accept_counters))?;
+            .spawn(move || accept_loop(&listener, &handler, &accept_shutdown, &accept_counters))?;
         Ok(Self {
             addr,
             shutdown,
@@ -255,7 +311,7 @@ impl LegacyFrontend {
 
 fn accept_loop(
     listener: &TcpListener,
-    registry: &Arc<ModelRegistry>,
+    handler: &Arc<dyn RequestHandler>,
     shutdown: &Arc<AtomicBool>,
     counters: &Arc<FrontendCounters>,
 ) {
@@ -265,7 +321,7 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
-        let registry = Arc::clone(registry);
+        let handler = Arc::clone(handler);
         let conn_shutdown = Arc::clone(shutdown);
         let conn_counters = Arc::clone(counters);
         let handle = std::thread::Builder::new()
@@ -276,7 +332,7 @@ fn accept_loop(
                 // must use the reactor front-end.
                 // ORDERING: advisory statistics counter.
                 conn_counters.ndjson.fetch_add(1, Ordering::Relaxed);
-                connection_loop(stream, &registry, &conn_shutdown);
+                connection_loop(stream, handler.as_ref(), &conn_shutdown);
                 conn_counters.connection_closed();
             });
         let mut conns = conns.lock().expect("connection list lock poisoned");
@@ -294,7 +350,7 @@ fn accept_loop(
     }
 }
 
-fn connection_loop(stream: TcpStream, registry: &ModelRegistry, shutdown: &Arc<AtomicBool>) {
+fn connection_loop(stream: TcpStream, handler: &dyn RequestHandler, shutdown: &Arc<AtomicBool>) {
     if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
         return;
     }
@@ -319,7 +375,7 @@ fn connection_loop(stream: TcpStream, registry: &ModelRegistry, shutdown: &Arc<A
                     return;
                 };
                 if !line.trim().is_empty() {
-                    let response = handle_request(registry, line);
+                    let response = handler.handle_line(line);
                     if writeln!(writer, "{response}")
                         .and_then(|()| writer.flush())
                         .is_err()
@@ -588,7 +644,30 @@ impl BinaryClient {
     /// with anything but a valid `MANB` handshake (e.g. a legacy-mode
     /// server, which speaks only NDJSON).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
-        let mut stream = TcpStream::connect(addr).map_err(|e| WireError::io(&e))?;
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::io(&e))?;
+        Self::handshake_on(stream)
+    }
+
+    /// Connects with explicit connect + read/write timeouts — the
+    /// constructor the cluster router uses so a dead worker surfaces as
+    /// a fast `io` error (and a failover) instead of a hung client.
+    ///
+    /// # Errors
+    ///
+    /// As [`BinaryClient::connect`], plus `io` when any deadline
+    /// expires.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self, WireError> {
+        let stream = TcpStream::connect_timeout(addr, timeout).map_err(|e| WireError::io(&e))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| WireError::io(&e))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| WireError::io(&e))?;
+        Self::handshake_on(stream)
+    }
+
+    fn handshake_on(mut stream: TcpStream) -> Result<Self, WireError> {
         stream.set_nodelay(true).map_err(|e| WireError::io(&e))?;
         stream
             .write_all(&framing::handshake(framing::VERSION))
