@@ -28,6 +28,12 @@ struct ThroughputRow {
     /// (`scalar`/`swar`/`avx2`). The regression gate treats rows whose
     /// kernel differs from the baseline's as incomparable.
     kernel: String,
+    /// The data layout the *batched* path resolved to (`row`/`batch`).
+    /// Like `kernel`, a layout flip makes rows incomparable in the
+    /// regression gate rather than a regression. The cold path is
+    /// batch=1 and therefore always row-major; this field records the
+    /// batched run.
+    layout: String,
     /// Inferences per second through `infer_batch` (shared bank cache).
     batched_ips: f64,
     /// Inferences per second with a fresh session per input (no sharing).
@@ -53,8 +59,8 @@ fn main() {
     );
     println!("Pipeline serving throughput (batch = {batch_size}, best of {reps})\n");
     println!(
-        "{:<30} {:>4} {:<14} {:>12} {:>12} {:>8}",
-        "Benchmark", "bits", "alphabet", "batched i/s", "cold i/s", "speedup"
+        "{:<30} {:>4} {:<14} {:<7} {:>12} {:>12} {:>8}",
+        "Benchmark", "bits", "alphabet", "layout", "batched i/s", "cold i/s", "speedup"
     );
     let mut rows = Vec::new();
     for b in Benchmark::ALL {
@@ -76,6 +82,7 @@ fn main() {
 
             let (mut batched_s, mut cold_s) = (f64::MAX, f64::MAX);
             let kernel = compiled.session().kernel_label().to_owned();
+            let mut layout = String::new();
             for _ in 0..reps {
                 // Shared path: one session, banks shared across the batch.
                 let mut session = compiled.session();
@@ -85,6 +92,11 @@ fn main() {
                     .expect("dataset images match the input layer");
                 batched_s = batched_s.min(start.elapsed().as_secs_f64());
                 assert_eq!(predictions.len(), batch_size);
+                // What the batched dispatch actually resolved to —
+                // identical every rep (same session config, same batch).
+                if let Some((_, kind)) = session.last_dispatch() {
+                    layout = kind.label().to_owned();
+                }
 
                 // Cold path: a fresh session (empty cache) per input.
                 let start = Instant::now();
@@ -102,14 +114,21 @@ fn main() {
                 alphabet: set.label(),
                 batch: batch_size,
                 kernel,
+                layout,
                 batched_ips: batch_size as f64 / batched_s,
                 cold_ips: batch_size as f64 / cold_s,
                 speedup: cold_s / batched_s,
                 macs,
             };
             println!(
-                "{:<30} {:>4} {:<14} {:>12.1} {:>12.1} {:>7.2}x",
-                row.benchmark, row.bits, row.alphabet, row.batched_ips, row.cold_ips, row.speedup
+                "{:<30} {:>4} {:<14} {:<7} {:>12.1} {:>12.1} {:>7.2}x",
+                row.benchmark,
+                row.bits,
+                row.alphabet,
+                row.layout,
+                row.batched_ips,
+                row.cold_ips,
+                row.speedup
             );
             rows.push(row);
         }

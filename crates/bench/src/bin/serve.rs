@@ -45,6 +45,10 @@ struct ModeRow {
     /// (`scalar`/`swar`/`avx2`) — scopes this row's throughput in the
     /// regression gate (kernel-mismatched rows are incomparable).
     kernel: String,
+    /// The resolved data layout of the mode's most recent dispatch
+    /// (`row`/`batch`) — the third scoping label; a layout flip makes
+    /// the row incomparable rather than a regression.
+    layout: String,
     /// Throughput of the mode's *best* measurement window.
     load: LoadReport,
     /// Scheduler metrics accumulated over the warmup plus every
@@ -148,6 +152,7 @@ fn run_modes(
                 max_batch: config.max_batch,
                 session: session_label(config.session_mode).to_owned(),
                 kernel: stats.kernel.clone(),
+                layout: stats.layout.clone(),
                 load,
                 stats,
             }

@@ -62,6 +62,11 @@ pub struct Metric {
     /// paths stay stable across kernel changes, so a switched row pairs
     /// up (and is then skipped) rather than reported missing.
     pub kernel: Option<String>,
+    /// The layout label of the nearest enclosing row that records one
+    /// (`"row"`/`"batch"`), if any — the third tuner axis, handled
+    /// exactly like `kernel`: mismatched labels make a pair
+    /// incomparable, and the label is not part of the row identity.
+    pub layout: Option<String>,
 }
 
 fn numeric(v: &Value) -> Option<f64> {
@@ -96,25 +101,27 @@ fn element_label(v: &Value, index: usize) -> String {
     index.to_string()
 }
 
-/// The object's own `kernel` field (a string label), if it records one.
-fn kernel_of(v: &Value) -> Option<String> {
+/// The object's own string field named `key`, if it records one.
+fn label_of(v: &Value, key: &str) -> Option<String> {
     let entries = v.as_object()?;
     entries
         .iter()
-        .find(|(k, _)| k == "kernel")
+        .find(|(k, _)| k == key)
         .and_then(|(_, v)| match v {
             Value::Str(s) => Some(s.clone()),
             _ => None,
         })
 }
 
-fn walk(v: &Value, path: &str, kernel: Option<&str>, out: &mut Vec<Metric>) {
+fn walk(v: &Value, path: &str, kernel: Option<&str>, layout: Option<&str>, out: &mut Vec<Metric>) {
     match v {
         Value::Object(entries) => {
-            // A row that records its kernel scopes every metric below it
-            // (the closest enclosing label wins).
-            let own = kernel_of(v);
-            let kernel = own.as_deref().or(kernel);
+            // A row that records its kernel/layout scopes every metric
+            // below it (the closest enclosing label wins, per axis).
+            let own_kernel = label_of(v, "kernel");
+            let kernel = own_kernel.as_deref().or(kernel);
+            let own_layout = label_of(v, "layout");
+            let layout = own_layout.as_deref().or(layout);
             for (key, child) in entries {
                 let child_path = if path.is_empty() {
                     key.clone()
@@ -127,11 +134,12 @@ fn walk(v: &Value, path: &str, kernel: Option<&str>, out: &mut Vec<Metric>) {
                             path: child_path,
                             value,
                             kernel: kernel.map(str::to_owned),
+                            layout: layout.map(str::to_owned),
                         });
                         continue;
                     }
                 }
-                walk(child, &child_path, kernel, out);
+                walk(child, &child_path, kernel, layout, out);
             }
         }
         Value::Array(items) => {
@@ -142,7 +150,7 @@ fn walk(v: &Value, path: &str, kernel: Option<&str>, out: &mut Vec<Metric>) {
                 } else {
                     format!("{path}/[{label}]")
                 };
-                walk(item, &child_path, kernel, out);
+                walk(item, &child_path, kernel, layout, out);
             }
         }
         _ => {}
@@ -152,7 +160,7 @@ fn walk(v: &Value, path: &str, kernel: Option<&str>, out: &mut Vec<Metric>) {
 /// Extracts every throughput metric from a bench JSON document.
 pub fn extract_metrics(doc: &Value) -> Vec<Metric> {
     let mut out = Vec::new();
-    walk(doc, "", None, &mut out);
+    walk(doc, "", None, None, &mut out);
     out
 }
 
@@ -182,9 +190,9 @@ pub struct Comparison {
     /// Compared metrics that improved beyond the tolerance (informational).
     pub improved: usize,
     /// Metric pairs skipped because baseline and current were measured
-    /// under different MAC kernels (both rows record a `kernel` label
-    /// and the labels differ): a kernel switch changes the
-    /// configuration, so the pair is incomparable rather than
+    /// under different MAC kernels or layouts (both rows record the
+    /// label and the labels differ): a kernel or layout switch changes
+    /// the configuration, so the pair is incomparable rather than
     /// regressed. Informational — the gate still fails if the metric
     /// vanished outright.
     pub incomparable: usize,
@@ -234,6 +242,14 @@ pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Comparison 
             if bk != ck {
                 // Measured under different MAC kernels: a configuration
                 // change, not a regression — skip rather than gate.
+                cmp.incomparable += 1;
+                continue;
+            }
+        }
+        if let (Some(bl), Some(cl)) = (&base.layout, &cur.layout) {
+            if bl != cl {
+                // Measured under different layouts (row- vs
+                // batch-major): same reasoning as the kernel axis.
                 cmp.incomparable += 1;
                 continue;
             }
@@ -722,6 +738,59 @@ mod tests {
         // ...while a pre-kernel baseline (no labels) keeps comparing
         // absolutely against a labelled current run.
         let old_base = parse(r#"{"modes": [{"mode": "m", "load": {"throughput_rps": 500.0}}]}"#);
+        let cmp = compare(&old_base, &cur, 0.25);
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.regressions.len(), 1);
+    }
+
+    #[test]
+    fn layout_mismatched_rows_are_incomparable_not_regressed() {
+        let base = parse(
+            r#"[
+            {"benchmark": "A", "kernel": "swar", "layout": "row", "batched_ips": 1000.0},
+            {"benchmark": "B", "kernel": "swar", "layout": "batch", "batched_ips": 2000.0}
+        ]"#,
+        );
+        // A's layout flipped (row -> batch) and its throughput "fell"
+        // 10x: incomparable, not a regression. B kept both axes and
+        // genuinely collapsed: still a regression.
+        let cur = parse(
+            r#"[
+            {"benchmark": "A", "kernel": "swar", "layout": "batch", "batched_ips": 100.0},
+            {"benchmark": "B", "kernel": "swar", "layout": "batch", "batched_ips": 900.0}
+        ]"#,
+        );
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.incomparable, 1);
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].path.contains("benchmark=B"));
+        // The layout label scopes but does not rename rows: nothing is
+        // "missing" just because the layout axis flipped.
+        assert!(cmp.missing.is_empty());
+    }
+
+    #[test]
+    fn layout_label_scopes_nested_metrics_and_absent_labels_compare() {
+        // An enclosing row's layout label scopes nested metrics, and
+        // the axes are independent: same kernel but flipped layout is
+        // already incomparable...
+        let base = parse(
+            r#"{"modes": [{"mode": "m", "kernel": "swar", "layout": "row",
+                           "load": {"throughput_rps": 500.0}}]}"#,
+        );
+        let cur = parse(
+            r#"{"modes": [{"mode": "m", "kernel": "swar", "layout": "batch",
+                           "load": {"throughput_rps": 100.0}}]}"#,
+        );
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.incomparable, 1);
+        assert!(cmp.passed(), "{cmp:?}");
+        // ...while a pre-layout baseline (kernel label only) keeps
+        // comparing absolutely against a layout-labelled current run.
+        let old_base = parse(
+            r#"{"modes": [{"mode": "m", "kernel": "swar", "load": {"throughput_rps": 500.0}}]}"#,
+        );
         let cmp = compare(&old_base, &cur, 0.25);
         assert_eq!(cmp.compared, 1);
         assert_eq!(cmp.regressions.len(), 1);

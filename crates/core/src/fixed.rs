@@ -292,6 +292,12 @@ pub struct FixedNet {
 /// so 12 bits costs 16 MiB and anything wider grows unreasonably.
 pub const PRODUCT_PLANE_MAX_BITS: u32 = 12;
 
+/// Lanes per batch-major block (DESIGN.md §10): the batch advances
+/// layer-by-layer in blocks of this many images. 16 lanes feed four
+/// 4-lane SWAR/AVX2 groups per term byte while keeping the transposed
+/// bank block of a wide layer comfortably inside L2.
+pub const LANE_BLOCK: usize = 16;
+
 /// A lazily-filled memo of the ASM datapath's products, indexed by
 /// `(weight magnitude, input magnitude)`.
 ///
@@ -393,6 +399,14 @@ pub struct SessionCache {
     layer_alphabets: Vec<Vec<u8>>,
     layers: Vec<BankArena>,
     plane: Option<ProductPlane>,
+    /// Reusable batch-major transpose scratch (DESIGN.md §10): the
+    /// lane-transposed bank block and activation sign masks rebuilt per
+    /// layer per lane block. Empty until the first batch-major dispatch;
+    /// capacity then sticks at the widest layer's block so steady-state
+    /// serving never reallocates. Per-clone (each worker slot transposes
+    /// its own lanes), counted by [`CacheFootprint::transpose_bytes`].
+    bank_t: Vec<u64>,
+    sign_t: Vec<i64>,
 }
 
 /// A [`SessionCache`]'s memory footprint — what the facade session and
@@ -405,12 +419,17 @@ pub struct CacheFootprint {
     /// shared across a session's worker-slot clones, so when summing
     /// slot footprints it must be counted once.
     pub plane_bytes: usize,
+    /// Heap bytes of the batch-major transpose scratch (lane-transposed
+    /// bank block + sign masks; 0 until the first batch-major dispatch).
+    /// Per worker slot, like the bank arenas.
+    pub transpose_bytes: usize,
 }
 
 impl CacheFootprint {
-    /// Total bytes: every layer's banks plus the plane.
+    /// Total bytes: every layer's banks, the plane, and the batch-major
+    /// transpose scratch.
     pub fn total_bytes(&self) -> usize {
-        self.layer_bank_bytes.iter().sum::<usize>() + self.plane_bytes
+        self.layer_bank_bytes.iter().sum::<usize>() + self.plane_bytes + self.transpose_bytes
     }
 }
 
@@ -492,16 +511,22 @@ impl SessionCache {
                 .as_ref()
                 .map(ProductPlane::bytes)
                 .unwrap_or_default(),
+            transpose_bytes: self.bank_t.capacity() * std::mem::size_of::<u64>()
+                + self.sign_t.capacity() * std::mem::size_of::<i64>(),
         }
     }
 
     /// Releases growth slack in every layer's bank arena — cheap (a
     /// no-op per layer unless that arena actually over-allocated), and
-    /// called automatically after every prefill.
+    /// called automatically after every prefill — and frees the
+    /// batch-major transpose scratch entirely (the next batch-major
+    /// dispatch rebuilds it at exactly the live layer's size).
     pub fn shrink_to_fit(&mut self) {
         for arena in &mut self.layers {
             arena.shrink_to_fit();
         }
+        self.bank_t = Vec::new();
+        self.sign_t = Vec::new();
     }
 }
 
@@ -1168,6 +1193,8 @@ impl FixedNet {
                 .map(|l| BankArena::new(slots, l.mac().asm.alphabet().len()))
                 .collect(),
             plane: None,
+            bank_t: Vec::new(),
+            sign_t: Vec::new(),
         }
     }
 
@@ -1342,6 +1369,339 @@ impl FixedNet {
                     .collect()
             },
         )
+    }
+
+    /// Runs a whole batch through the **batch-major** datapath
+    /// (DESIGN.md §10): images advance layer-by-layer *together* in lane
+    /// blocks of [`LANE_BLOCK`], each dense/conv layer transposing its
+    /// prefilled bank rows so one weight's term byte is applied to every
+    /// lane under a single shared shift — the per-row term reload the
+    /// row-major loop pays per image disappears. Row `i` of the result
+    /// is bit-identical to
+    /// `infer_raw_with_cache_kernel(&images[i], cache, kind)`: lanes are
+    /// independent batch rows and each lane's `i64` accumulator chain
+    /// runs strictly in fan-in order, so flipping the layout moves
+    /// work, never bits (§8/§10).
+    ///
+    /// Like the row-major vector kernels, the batch-major MAC loop runs
+    /// over the prefilled bank arena alone and never reads (or fills)
+    /// the warm product plane — a plane-backed cache is valid and still
+    /// bit-identical. Pool layers and the output stages loop lanes
+    /// through the existing scalar arithmetic (a vanishing fraction of
+    /// the MACs).
+    ///
+    /// # Panics
+    ///
+    /// As [`FixedNet::infer_raw_with_cache`], for every image.
+    pub fn infer_batch_raw_batch_major_kernel(
+        &self,
+        images: &[Vec<f32>],
+        cache: &mut SessionCache,
+        kind: KernelKind,
+    ) -> Vec<Vec<i64>> {
+        assert!(
+            self.cache_matches(cache),
+            "session cache belongs to a network with a different word \
+             length or alphabet assignment"
+        );
+        let mut out = Vec::with_capacity(images.len());
+        for block in images.chunks(LANE_BLOCK) {
+            out.extend(self.forward_lane_block(block, cache, kind));
+        }
+        out
+    }
+
+    /// [`FixedNet::infer_batch_raw_batch_major_kernel`] with the batch
+    /// row-sharded across one worker per element of `caches`. Unlike the
+    /// row-major [`FixedNet::infer_batch_raw_par_kernel`] (which deals
+    /// fine-grained chunks for load balance), each worker gets one
+    /// contiguous chunk: batch-major throughput comes from lane width,
+    /// so the split should hand every worker the widest blocks it can.
+    ///
+    /// # Panics
+    ///
+    /// As [`FixedNet::infer_batch_raw_par`].
+    pub fn infer_batch_raw_batch_major_par_kernel(
+        &self,
+        images: &[Vec<f32>],
+        caches: &mut [&mut SessionCache],
+        kind: KernelKind,
+    ) -> Vec<Vec<i64>> {
+        assert!(!caches.is_empty(), "need at least one worker cache");
+        for cache in caches.iter() {
+            assert!(
+                self.cache_matches(cache),
+                "session cache belongs to a network with a different word \
+                 length or alphabet assignment"
+            );
+        }
+        let workers = caches.len();
+        let chunk = images.len().div_ceil(workers).max(1);
+        run_chunked(caches, images.len(), chunk, |cache, range| {
+            let mut out = Vec::with_capacity(range.len());
+            for block in images[range].chunks(LANE_BLOCK) {
+                out.extend(self.forward_lane_block(block, cache, kind));
+            }
+            out
+        })
+    }
+
+    /// One lane block's forward pass — the batch-major engine loop. All
+    /// lanes advance through each layer together: dense and conv layers
+    /// prefill every lane's banks, transpose them into the cache's
+    /// reusable scratch ([`crate::kernel`]'s `transpose_bank_block`),
+    /// and run the batch-major kernel per output neuron; pool layers
+    /// and the output stages loop the lanes through the scalar path.
+    /// Accumulators are laid out `accs[o * width + b]` (output-major)
+    /// so each kernel call writes one contiguous lane group.
+    fn forward_lane_block(
+        &self,
+        images: &[Vec<f32>],
+        cache: &mut SessionCache,
+        kind: KernelKind,
+    ) -> Vec<Vec<i64>> {
+        let width = images.len();
+        if width == 0 {
+            return Vec::new();
+        }
+        let plan = self.plan_params();
+        let bk = kernel::batch_kernel_for(kind);
+        let mut xs: Vec<Vec<SignedAct>> = images
+            .iter()
+            .map(|image| {
+                assert_eq!(
+                    image.len(),
+                    self.input_len(),
+                    "input has {} values but the network expects {}",
+                    image.len(),
+                    self.input_len()
+                );
+                self.quantize_input(image)
+                    .into_iter()
+                    .map(|mag| SignedAct { mag, neg: false })
+                    .collect()
+            })
+            .collect();
+        let mut logits: Vec<Vec<i64>> = vec![Vec::new(); width];
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mac = layer.mac();
+            let acc_frac = self.act_frac + mac.w_format.frac();
+            let stride = mac.asm.alphabet().len() + 1;
+            let accs: Vec<i64> = match layer {
+                FixedLayer::Dense {
+                    in_dim, out_dim, ..
+                } => {
+                    let (in_dim, out_dim) = (*in_dim, *out_dim);
+                    for lane in &xs {
+                        cache.prefill_layer(li, mac, lane);
+                    }
+                    let SessionCache {
+                        layers,
+                        bank_t,
+                        sign_t,
+                        ..
+                    } = &mut *cache;
+                    let arena = &layers[li];
+                    let lane_rows: Vec<Vec<u32>> = xs
+                        .iter()
+                        .map(|lane| {
+                            lane.iter()
+                                .map(|x| arena.row(x.mag).expect("prefilled above"))
+                                .collect()
+                        })
+                        .collect();
+                    let lane_negs: Vec<Vec<bool>> = xs
+                        .iter()
+                        .map(|lane| lane.iter().map(|x| x.neg).collect())
+                        .collect();
+                    let row_refs: Vec<&[u32]> = lane_rows.iter().map(Vec::as_slice).collect();
+                    let neg_refs: Vec<&[bool]> = lane_negs.iter().map(Vec::as_slice).collect();
+                    kernel::transpose_bank_block(
+                        arena.slab(),
+                        stride,
+                        &row_refs,
+                        &neg_refs,
+                        bank_t,
+                        sign_t,
+                    );
+                    // Dense fan-in is the identity gather; every output
+                    // shares it, with weights at the contiguous run
+                    // starting at `o * in_dim`.
+                    let fan: Vec<u32> = (0..in_dim as u32).collect();
+                    let mut accs = vec![0i64; out_dim * width];
+                    for o in 0..out_dim {
+                        let lane_accs = &mut accs[o * width..(o + 1) * width];
+                        lane_accs.fill(mac.bias[o]);
+                        bk.accumulate(kernel::MacBatchRun {
+                            soa: &mac.soa,
+                            bank_t,
+                            stride,
+                            width,
+                            w_neg: &mac.w_neg,
+                            w0: o * in_dim,
+                            fan: &fan,
+                            sign_t,
+                            accs: lane_accs,
+                        });
+                    }
+                    accs
+                }
+                FixedLayer::Conv {
+                    in_ch,
+                    out_ch,
+                    k,
+                    in_h,
+                    in_w,
+                    gather,
+                    ..
+                } => {
+                    let (in_h, in_w, in_ch, k, out_ch) = (*in_h, *in_w, *in_ch, *k, *out_ch);
+                    let (oh, ow) = (in_h - k + 1, in_w - k + 1);
+                    let fan = in_ch * k * k;
+                    for lane in &xs {
+                        cache.prefill_layer(li, mac, lane);
+                    }
+                    let SessionCache {
+                        layers,
+                        bank_t,
+                        sign_t,
+                        ..
+                    } = &mut *cache;
+                    let arena = &layers[li];
+                    // Transpose over the *raw* input activations; the
+                    // per-position gather (static layer geometry, built
+                    // at compile time) is applied through the kernel's
+                    // `fan` indirection instead of materializing a
+                    // gathered row list per lane.
+                    let lane_rows: Vec<Vec<u32>> = xs
+                        .iter()
+                        .map(|lane| {
+                            lane.iter()
+                                .map(|x| arena.row(x.mag).expect("prefilled above"))
+                                .collect()
+                        })
+                        .collect();
+                    let lane_negs: Vec<Vec<bool>> = xs
+                        .iter()
+                        .map(|lane| lane.iter().map(|x| x.neg).collect())
+                        .collect();
+                    let row_refs: Vec<&[u32]> = lane_rows.iter().map(Vec::as_slice).collect();
+                    let neg_refs: Vec<&[bool]> = lane_negs.iter().map(Vec::as_slice).collect();
+                    kernel::transpose_bank_block(
+                        arena.slab(),
+                        stride,
+                        &row_refs,
+                        &neg_refs,
+                        bank_t,
+                        sign_t,
+                    );
+                    let outputs = out_ch * oh * ow;
+                    let mut accs = vec![0i64; outputs * width];
+                    for o in 0..outputs {
+                        let pos = o % (oh * ow);
+                        let lane_accs = &mut accs[o * width..(o + 1) * width];
+                        lane_accs.fill(mac.bias[o / (oh * ow)]);
+                        bk.accumulate(kernel::MacBatchRun {
+                            soa: &mac.soa,
+                            bank_t,
+                            stride,
+                            width,
+                            w_neg: &mac.w_neg,
+                            w0: o / (oh * ow) * fan,
+                            fan: &gather[pos * fan..(pos + 1) * fan],
+                            sign_t,
+                            accs: lane_accs,
+                        });
+                    }
+                    accs
+                }
+                FixedLayer::Pool {
+                    channels,
+                    in_h,
+                    in_w,
+                    ..
+                } => {
+                    // Pool magnitudes are derived, not prefillable; each
+                    // lane keeps the sequential scalar reference path
+                    // (identical to the row-major pool arm).
+                    let (oh, ow) = (in_h / 2, in_w / 2);
+                    let (in_h, in_w, channels) = (*in_h, *in_w, *channels);
+                    let outputs = channels * oh * ow;
+                    let max_mag = (1i64 << (self.bits - 1)) - 1;
+                    let mut accs = vec![0i64; outputs * width];
+                    for (b, lane) in xs.iter().enumerate() {
+                        let lxs: &[SignedAct] = lane;
+                        let lane_accs = self.run_mac_layer(
+                            li,
+                            mac,
+                            |o| mac.bias[o / (oh * ow)],
+                            move |o| {
+                                let ch = o / (oh * ow);
+                                let oy = (o % (oh * ow)) / ow;
+                                let ox = o % ow;
+                                let base = ch * in_h * in_w + 2 * oy * in_w + 2 * ox;
+                                let signed =
+                                    |a: SignedAct| man_fixed::bits::apply_sign(a.mag as u64, a.neg);
+                                let sum = (signed(lxs[base])
+                                    + signed(lxs[base + 1])
+                                    + signed(lxs[base + in_w])
+                                    + signed(lxs[base + in_w + 1]))
+                                    >> 2;
+                                let avg = SignedAct {
+                                    mag: sum.unsigned_abs().min(max_mag as u64) as u32,
+                                    neg: sum < 0,
+                                };
+                                std::iter::once((ch, avg))
+                            },
+                            outputs,
+                            cache,
+                            &mut None,
+                            1,
+                            None,
+                        );
+                        for (o, a) in lane_accs.into_iter().enumerate() {
+                            accs[o * width + b] = a;
+                        }
+                    }
+                    accs
+                }
+            };
+            let outputs = accs.len() / width;
+            match mac.output {
+                OutputStage::Sigmoid => {
+                    for (b, lane) in xs.iter_mut().enumerate() {
+                        *lane = (0..outputs)
+                            .map(|o| SignedAct {
+                                mag: activation_unit_fixed(accs[o * width + b], 64, acc_frac, &plan)
+                                    as u32,
+                                neg: false,
+                            })
+                            .collect();
+                    }
+                }
+                OutputStage::Requant => {
+                    let shift = mac.w_format.frac();
+                    let max_mag = (1i64 << (self.bits - 1)) - 1;
+                    for (b, lane) in xs.iter_mut().enumerate() {
+                        *lane = (0..outputs)
+                            .map(|o| {
+                                let v = (accs[o * width + b] >> shift).clamp(-max_mag, max_mag);
+                                SignedAct {
+                                    mag: v.unsigned_abs() as u32,
+                                    neg: v < 0,
+                                }
+                            })
+                            .collect();
+                    }
+                }
+                OutputStage::Logits => {
+                    for (b, out) in logits.iter_mut().enumerate() {
+                        *out = (0..outputs).map(|o| accs[o * width + b]).collect();
+                    }
+                }
+            }
+        }
+        logits
     }
 
     /// Predicted class (exact argmax over the raw integer logits).
@@ -1885,6 +2245,135 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The batch-major engine path (every kernel kind, plain and warm
+    /// caches, sequential and row-sharded) is bit-identical to the
+    /// row-major scalar reference on dense *and* conv stacks, across
+    /// batch sizes straddling the [`LANE_BLOCK`] boundary — the
+    /// engine-level half of the §10 layout contract (the kernel-level
+    /// half is exhaustive in `crate::kernel`'s tests).
+    #[test]
+    fn batch_major_is_bit_identical_on_dense_and_conv() {
+        use man_nn::layers::{Conv2d, ScaledAvgPool};
+        let mut kinds = vec![KernelKind::Scalar, KernelKind::Swar];
+        if crate::kernel::avx2_available() {
+            kinds.push(KernelKind::Avx2);
+        }
+        let mut rng = SmallRng::seed_from_u64(92);
+        let nets: Vec<(Network, usize, u32)> = vec![
+            (
+                Network::new(vec![
+                    Layer::Dense(Dense::new(18, 48, &mut rng)),
+                    Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+                    Layer::Dense(Dense::new(48, 5, &mut rng)),
+                ]),
+                18,
+                8,
+            ),
+            (
+                Network::new(vec![
+                    Layer::Conv2d(Conv2d::new(1, 4, 3, 10, 10, &mut rng)),
+                    Layer::ScaledAvgPool(ScaledAvgPool::new(4, 8, 8)),
+                    Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+                    Layer::Dense(Dense::new(4 * 4 * 4, 3, &mut rng)),
+                    Layer::Activation(ActivationLayer::new(Activation::Sigmoid)),
+                    Layer::Dense(Dense::new(3, 2, &mut rng)),
+                ]),
+                100,
+                12,
+            ),
+        ];
+        for (mut net, in_len, bits) in nets {
+            let spec = QuantSpec::fit(&net, bits);
+            let layers = spec.layer_formats().len();
+            let alphabets = LayerAlphabets::uniform(AlphabetSet::a2(), layers);
+            constrain_net(&mut net, &spec, &alphabets);
+            let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+            // Batches straddling the lane-block boundary: empty, one
+            // lane, a partial block, exactly one block, block + tail.
+            for batch in [0usize, 1, 5, LANE_BLOCK, LANE_BLOCK + 5] {
+                let images: Vec<Vec<f32>> = (0..batch)
+                    .map(|i| {
+                        (0..in_len)
+                            .map(|j| ((i * 17 + j * 7) % 23) as f32 / 23.0)
+                            .collect()
+                    })
+                    .collect();
+                let mut ref_cache = fixed.session_cache();
+                let reference: Vec<Vec<i64>> = images
+                    .iter()
+                    .map(|x| {
+                        fixed.infer_raw_with_cache_kernel(x, &mut ref_cache, KernelKind::Scalar)
+                    })
+                    .collect();
+                for &kind in &kinds {
+                    for warm in [false, true] {
+                        let mk = || {
+                            if warm {
+                                fixed.session_cache_warm()
+                            } else {
+                                fixed.session_cache()
+                            }
+                        };
+                        let mut cache = mk();
+                        assert_eq!(
+                            fixed.infer_batch_raw_batch_major_kernel(&images, &mut cache, kind),
+                            reference,
+                            "bits={bits} kernel={} warm={warm} batch={batch}",
+                            kind.label()
+                        );
+                        for workers in [1usize, 3] {
+                            let mut caches: Vec<SessionCache> =
+                                (0..workers).map(|_| mk()).collect();
+                            let mut refs: Vec<&mut SessionCache> = caches.iter_mut().collect();
+                            assert_eq!(
+                                fixed.infer_batch_raw_batch_major_par_kernel(
+                                    &images, &mut refs, kind
+                                ),
+                                reference,
+                                "bits={bits} kernel={} warm={warm} batch={batch} workers={workers}",
+                                kind.label()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_footprint_counts_transpose_scratch() {
+        let mut net = tiny_net(93);
+        let spec = QuantSpec::fit(&net, 8);
+        let alphabets = LayerAlphabets::uniform(AlphabetSet::a4(), 2);
+        constrain_net(&mut net, &spec, &alphabets);
+        let fixed = FixedNet::compile(&net, &spec, &alphabets).unwrap();
+        let mut cache = fixed.session_cache();
+        assert_eq!(cache.footprint().transpose_bytes, 0, "empty until used");
+        let images: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..16).map(|j| ((i * 5 + j) % 11) as f32 / 11.0).collect())
+            .collect();
+        let _ = fixed.infer_batch_raw_batch_major_kernel(&images, &mut cache, KernelKind::Swar);
+        let used = cache.footprint();
+        assert!(
+            used.transpose_bytes > 0,
+            "batch-major run leaves scratch capacity: {used:?}"
+        );
+        assert_eq!(
+            used.total_bytes(),
+            used.layer_bank_bytes.iter().sum::<usize>() + used.plane_bytes + used.transpose_bytes
+        );
+        cache.shrink_to_fit();
+        assert_eq!(
+            cache.footprint().transpose_bytes,
+            0,
+            "shrink_to_fit frees the batch-major scratch"
+        );
+        // The freed cache still serves batch-major inference (the next
+        // dispatch rebuilds the scratch at the live layer's size).
+        let again = fixed.infer_batch_raw_batch_major_kernel(&images, &mut cache, KernelKind::Swar);
+        assert_eq!(again.len(), images.len());
     }
 
     #[test]

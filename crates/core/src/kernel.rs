@@ -29,6 +29,18 @@
 //! specialization (`vpgatherqq` bank selects + `vpsllvq` per-lane
 //! shifts), selected at runtime behind `is_x86_feature_detected!`.
 //!
+//! A second, **batch-major** family (`MacBatchKernel`, same three
+//! variants) flips the vectorization axis: instead of packing four
+//! weights of one batch row, it evaluates one weight term against four
+//! batch rows at once over a batch-transposed view of the same arena
+//! rows (`transpose_bank_block`). The term byte of a weight is
+//! identical across rows, so the transpose turns every bank select into
+//! a contiguous load under one shared shift — no gathers and no
+//! per-row term reload, which is where wide batches win. Which family
+//! runs is the **layout** axis ([`LayoutKind`], resolved by
+//! [`resolve_layout`] from the `man_par::Layout` request vocabulary,
+//! the `MAN_LAYOUT` environment override and the tuner heuristic).
+//!
 //! # Bit-exactness by construction
 //!
 //! Every kernel computes, per weight, `Σ_q bank[idx_q] << (shift_q +
@@ -45,7 +57,7 @@
 
 use std::sync::OnceLock;
 
-use man_par::Kernel;
+use man_par::{AutoTuning, Kernel, Layout};
 
 use crate::asm::{AsmMultiplier, AsmPlan};
 
@@ -145,6 +157,76 @@ pub fn default_kernel() -> KernelKind {
         Some(Kernel::Swar) => KernelKind::Swar,
         Some(Kernel::Vector) | Some(Kernel::Auto) | None => detect(),
     })
+}
+
+/// The MAC layout that actually runs after dispatch — what bench rows,
+/// session stats and the serve scheduler report as the third label in
+/// the `plan×kernel×layout` triple.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Vectorize across one neuron's fan-in (the PR 5 kernel family).
+    RowMajor,
+    /// Vectorize across batch rows over a batch-transposed bank view.
+    BatchMajor,
+}
+
+impl LayoutKind {
+    /// A short label (`"row"`, `"batch"`) for logs, stats and bench
+    /// reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayoutKind::RowMajor => "row",
+            LayoutKind::BatchMajor => "batch",
+        }
+    }
+
+    /// `true` for the batch-major layout.
+    pub fn is_batch_major(self) -> bool {
+        matches!(self, LayoutKind::BatchMajor)
+    }
+}
+
+/// The `MAN_LAYOUT` override, consulted once per process (cached, like
+/// `MAN_KERNEL` in [`default_kernel`]).
+fn env_layout() -> Option<Layout> {
+    static ENV: OnceLock<Option<Layout>> = OnceLock::new();
+    *ENV.get_or_init(Layout::from_env)
+}
+
+/// Resolves a layout *request* for a batch of `batch` rows of a model
+/// costing `macs_per_row` MACs per inference:
+///
+/// | request      | resolves to |
+/// |--------------|-------------|
+/// | `RowMajor`   | `RowMajor` |
+/// | `BatchMajor` | `BatchMajor` — `RowMajor` when `batch < 2` |
+/// | `Auto`       | the `MAN_LAYOUT` env override when set, else [`man_par::plan_layout`] |
+///
+/// Like the kernel axis, explicit non-`Auto` requests always win over
+/// `MAN_LAYOUT` (so equivalence tests that pin both layouts stay
+/// meaningful under the CI env matrix), and the environment is read
+/// once per process. A batch with fewer than two rows *always* resolves
+/// to `RowMajor` — there is no batch axis to vectorize, and the
+/// row-major path is the bit-identical fast path — so the reported
+/// label stays honest even under a forced `BatchMajor` request.
+pub fn resolve_layout(
+    request: Layout,
+    batch: usize,
+    macs_per_row: u64,
+    tuning: &AutoTuning,
+) -> LayoutKind {
+    let requested = match request {
+        Layout::Auto => match env_layout() {
+            Some(Layout::RowMajor) => Layout::RowMajor,
+            Some(Layout::BatchMajor) => Layout::BatchMajor,
+            Some(Layout::Auto) | None => man_par::plan_layout(batch, macs_per_row, tuning),
+        },
+        explicit => explicit,
+    };
+    match requested {
+        Layout::BatchMajor if batch >= 2 => LayoutKind::BatchMajor,
+        _ => LayoutKind::RowMajor,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -555,6 +637,297 @@ unsafe fn avx2_q<const Q: usize>(run: MacRun<'_>) -> i64 {
     acc
 }
 
+// ---------------------------------------------------------------------------
+// The batch-major kernel family
+// ---------------------------------------------------------------------------
+
+/// Repacks per-lane arena rows into the batch-transposed block the
+/// [`MacBatchKernel`]s consume.
+///
+/// The term byte of a `(weight, quartet-slot)` pair is identical across
+/// batch rows — only the bank *values* differ per lane. Transposing the
+/// bank rows by lane therefore turns every hot-loop bank select into a
+/// contiguous load: slot `k` of input `i` for lane `b` lands at
+/// `bank_t[(i*stride + k)*width + b]`, so one term byte drives `width`
+/// adjacent `u64`s under one shared shift count — no gathers, no
+/// per-lane term reload. Activation signs transpose alongside as
+/// `0`/`-1` masks (`sign_t[i*width + b]`), which is the form both the
+/// branch-free SWAR sign application and the AVX2 `xor`/`sub` identity
+/// consume directly.
+///
+/// `lane_rows[b]` / `lane_negs[b]` are lane `b`'s arena row offsets and
+/// activation signs over the layer's raw inputs (every lane the same
+/// length). The output buffers are reused across layers and blocks —
+/// the caller keeps them in its session cache scratch.
+pub(crate) fn transpose_bank_block(
+    slab: &[u64],
+    stride: usize,
+    lane_rows: &[&[u32]],
+    lane_negs: &[&[bool]],
+    bank_t: &mut Vec<u64>,
+    sign_t: &mut Vec<i64>,
+) {
+    let width = lane_rows.len();
+    let inputs = lane_rows.first().map_or(0, |rows| rows.len());
+    bank_t.clear();
+    bank_t.resize(inputs * stride * width, 0);
+    sign_t.clear();
+    sign_t.resize(inputs * width, 0);
+    for (b, (rows, negs)) in lane_rows.iter().zip(lane_negs).enumerate() {
+        debug_assert_eq!(rows.len(), inputs, "every lane covers every input");
+        for (i, (&row, &neg)) in rows.iter().zip(*negs).enumerate() {
+            let src = &slab[row as usize..row as usize + stride];
+            let base = i * stride * width + b;
+            for (k, &v) in src.iter().enumerate() {
+                bank_t[base + k * width] = v;
+            }
+            sign_t[i * width + b] = -(neg as i64);
+        }
+    }
+}
+
+/// One output neuron's fan-in run across a *block of batch rows*:
+/// weights `w0..w0 + fan.len()` of the layer, against every lane of the
+/// batch-transposed bank block at once, accumulating each lane's `i64`
+/// chain strictly in fan-in order (lanes are independent batch rows, so
+/// vectorizing *across* them never reorders any accumulator — the §8
+/// argument holds per lane by construction).
+pub(crate) struct MacBatchRun<'a> {
+    /// The layer's repacked plans.
+    pub soa: &'a MacSoa,
+    /// The batch-transposed bank block (see [`transpose_bank_block`]).
+    pub bank_t: &'a [u64],
+    /// Padded row stride (alphabet members + 1), as in the arena.
+    pub stride: usize,
+    /// Lanes (batch rows) in the block; `accs.len()`.
+    pub width: usize,
+    /// The layer's weight signs (all weights, not just this run).
+    pub w_neg: &'a [bool],
+    /// First weight of the run.
+    pub w0: usize,
+    /// Input index per fan-in position — the identity for dense layers,
+    /// the position's gather slice for conv layers.
+    pub fan: &'a [u32],
+    /// Transposed activation sign masks (`0`/`-1`), lane `b` of input
+    /// `i` at `i*width + b`.
+    pub sign_t: &'a [i64],
+    /// Per-lane accumulators, bias-initialized; updated in place.
+    pub accs: &'a mut [i64],
+}
+
+/// A batch-major MAC kernel: evaluates one fan-in run over every lane
+/// of a block, bit-identically per lane to the row-major scalar
+/// reference (same terms, same sign application, same per-lane
+/// accumulation order).
+pub(crate) trait MacBatchKernel: Sync {
+    /// Runs one fan-in accumulation across the block.
+    fn accumulate(&self, run: MacBatchRun<'_>);
+}
+
+/// Static dispatch table for the batch-major family — the same
+/// forced-kind guard as [`kernel_for`]: the AVX2 arm re-checks
+/// [`avx2_available`] and falls back to the bit-identical portable SWAR
+/// variant, and non-x86-64 hosts always take that fallback.
+pub(crate) fn batch_kernel_for(kind: KernelKind) -> &'static dyn MacBatchKernel {
+    match kind {
+        KernelKind::Scalar => &ScalarBatchKernel,
+        KernelKind::Swar => &SwarBatchKernel,
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => {
+            if avx2_available() {
+                &Avx2BatchKernel
+            } else {
+                &SwarBatchKernel
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelKind::Avx2 => &SwarBatchKernel,
+    }
+}
+
+/// One lane's reference fan-in walk over the transposed block — the
+/// scalar batch-major anchor, and the tail path of both vectorized
+/// batch kernels.
+#[inline]
+fn batch_lane_scalar(run: &MacBatchRun<'_>, b: usize) -> i64 {
+    let soa = run.soa;
+    let width = run.width;
+    let mut acc = run.accs[b];
+    for (j, &gi) in run.fan.iter().enumerate() {
+        let gi = gi as usize;
+        let mut p = 0u64;
+        for s in 0..soa.q {
+            let term = soa.terms[s * soa.weights + run.w0 + j] as usize;
+            p += run.bank_t[(gi * run.stride + (term >> 4)) * width + b] << (term & 15);
+        }
+        let neg = run.w_neg[run.w0 + j] ^ (run.sign_t[gi * width + b] != 0);
+        acc += man_fixed::bits::apply_sign(p, neg);
+    }
+    acc
+}
+
+/// The scalar batch-major reference: every lane through the per-term
+/// walk, one lane at a time.
+struct ScalarBatchKernel;
+
+impl MacBatchKernel for ScalarBatchKernel {
+    fn accumulate(&self, run: MacBatchRun<'_>) {
+        for b in 0..run.width {
+            run.accs[b] = batch_lane_scalar(&run, b);
+        }
+    }
+}
+
+/// The portable batch-major vector kernel: four batch-row lanes per
+/// unrolled step, one term byte (and one shift count) shared across all
+/// four, contiguous bank loads — no `std::arch` anywhere.
+struct SwarBatchKernel;
+
+impl MacBatchKernel for SwarBatchKernel {
+    fn accumulate(&self, run: MacBatchRun<'_>) {
+        match run.soa.q {
+            1 => swar_batch_q::<1>(run),
+            2 => swar_batch_q::<2>(run),
+            3 => swar_batch_q::<3>(run),
+            4 => swar_batch_q::<4>(run),
+            q => unreachable!("{q} quartet slots; 3..=16-bit words have 1..=4"),
+        }
+    }
+}
+
+#[inline]
+fn swar_batch_q<const Q: usize>(run: MacBatchRun<'_>) {
+    debug_assert_eq!(run.soa.q, Q);
+    let width = run.width;
+    let w = run.soa.weights;
+    let t = &run.soa.terms;
+    let mut b = 0;
+    while b + 4 <= width {
+        let mut acc = [
+            run.accs[b],
+            run.accs[b + 1],
+            run.accs[b + 2],
+            run.accs[b + 3],
+        ];
+        for (j, &gi) in run.fan.iter().enumerate() {
+            let gi = gi as usize;
+            let row = gi * run.stride;
+            let mut p = [0u64; 4];
+            for s in 0..Q {
+                let term = t[s * w + run.w0 + j] as usize;
+                let off = (row + (term >> 4)) * width + b;
+                let sh = term & 15;
+                for (l, lane) in p.iter_mut().enumerate() {
+                    *lane += run.bank_t[off + l] << sh;
+                }
+            }
+            // Sign application via the two's-complement identity
+            // `(p ^ m) - m` (`m` = 0 keeps `p`, `m` = -1 negates) —
+            // exactly `apply_sign`, lane-independent and branch-free.
+            // Each lane's accumulator still advances in fan-in order.
+            let wm = -(run.w_neg[run.w0 + j] as i64);
+            let sb = gi * width + b;
+            for (l, &lane) in p.iter().enumerate() {
+                let m = run.sign_t[sb + l] ^ wm;
+                acc[l] += (lane as i64 ^ m) - m;
+            }
+        }
+        run.accs[b..b + 4].copy_from_slice(&acc);
+        b += 4;
+    }
+    while b < width {
+        run.accs[b] = batch_lane_scalar(&run, b);
+        b += 1;
+    }
+}
+
+/// The AVX2 batch-major specialization: four batch-row lanes per
+/// 256-bit step — one *contiguous* `vmovdqu` bank load per term (the
+/// transpose already put the four lanes' bank entries side by side; no
+/// gathers), one shared `vpsllq` shift count per term, and the sign
+/// application folded into a `vpxor`/`vpsubq` pair against the
+/// transposed sign masks. Reachable only through [`batch_kernel_for`]
+/// after the availability re-check, so the `target_feature` contract
+/// holds at every call site.
+#[cfg(target_arch = "x86_64")]
+struct Avx2BatchKernel;
+
+#[cfg(target_arch = "x86_64")]
+impl MacBatchKernel for Avx2BatchKernel {
+    fn accumulate(&self, run: MacBatchRun<'_>) {
+        debug_assert!(avx2_available(), "AVX2 kernel dispatched without AVX2");
+        // SAFETY: reachable only via `batch_kernel_for`, whose AVX2 arm
+        // re-checks `avx2_available()` even for forced kinds; every
+        // load stays in bounds — `(input*stride + idx)*width + b + 4 <=
+        // inputs*stride*width` whenever `b + 4 <= width` and the term
+        // index is below the row stride (enforced by
+        // `transpose_bank_block`/`MacSoa` construction).
+        #[allow(unsafe_code)]
+        unsafe {
+            match run.soa.q {
+                1 => avx2_batch_q::<1>(run),
+                2 => avx2_batch_q::<2>(run),
+                3 => avx2_batch_q::<3>(run),
+                4 => avx2_batch_q::<4>(run),
+                q => unreachable!("{q} quartet slots; 3..=16-bit words have 1..=4"),
+            }
+        }
+    }
+}
+
+/// # Safety
+///
+/// Callers must ensure the host supports AVX2 and that `run`'s block
+/// buffers were built by [`transpose_bank_block`] over in-bounds rows
+/// (see the safety comment at the call site).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn avx2_batch_q<const Q: usize>(run: MacBatchRun<'_>) {
+    use std::arch::x86_64::*;
+
+    debug_assert_eq!(run.soa.q, Q);
+    let width = run.width;
+    let w = run.soa.weights;
+    let t = &run.soa.terms;
+    let bank_ptr = run.bank_t.as_ptr();
+    let sign_ptr = run.sign_t.as_ptr();
+    let mut b = 0;
+    while b + 4 <= width {
+        let mut acc = _mm256_loadu_si256(run.accs.as_ptr().add(b) as *const __m256i);
+        for (j, &gi) in run.fan.iter().enumerate() {
+            let gi = gi as usize;
+            let row = gi * run.stride;
+            let mut prod = _mm256_setzero_si256();
+            for s in 0..Q {
+                let term = t[s * w + run.w0 + j] as usize;
+                let v = _mm256_loadu_si256(
+                    bank_ptr.add((row + (term >> 4)) * width + b) as *const __m256i
+                );
+                prod = _mm256_add_epi64(
+                    prod,
+                    _mm256_sll_epi64(v, _mm_cvtsi32_si128((term & 15) as i32)),
+                );
+            }
+            // `(p ^ m) - m` — the same sign identity as the SWAR batch
+            // kernel, with the per-lane masks loaded contiguously from
+            // the transposed sign block and the weight sign broadcast.
+            let wm = _mm256_set1_epi64x(-(run.w_neg[run.w0 + j] as i64));
+            let m = _mm256_xor_si256(
+                _mm256_loadu_si256(sign_ptr.add(gi * width + b) as *const __m256i),
+                wm,
+            );
+            acc = _mm256_add_epi64(acc, _mm256_sub_epi64(_mm256_xor_si256(prod, m), m));
+        }
+        _mm256_storeu_si256(run.accs.as_mut_ptr().add(b) as *mut __m256i, acc);
+        b += 4;
+    }
+    while b < width {
+        run.accs[b] = batch_lane_scalar(&run, b);
+        b += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +1072,223 @@ mod tests {
         assert!(!KernelKind::Scalar.is_vectorized());
         assert_eq!(KernelKind::Swar.label(), "swar");
         assert!(!cpu_features().is_empty());
+    }
+
+    /// Every batch-major kernel × every paper alphabet × several word
+    /// lengths × lane widths with and without a vector tail: each lane
+    /// must reproduce the row-major scalar reference bit for bit (the
+    /// layouts share terms, signs and per-lane accumulation order by
+    /// construction; this pins the transpose and the lane indexing).
+    #[test]
+    fn batch_kernels_match_row_major_scalar_per_lane() {
+        let mut kinds = vec![KernelKind::Scalar, KernelKind::Swar];
+        if avx2_available() {
+            kinds.push(KernelKind::Avx2);
+        }
+        for bits in [3u32, 6, 8, 12, 16] {
+            for set in [AlphabetSet::a1(), AlphabetSet::a4(), AlphabetSet::a8()] {
+                let asm = AsmMultiplier::new(bits, set);
+                let mags = supported_mags(&asm);
+                let plans: Vec<AsmPlan> = mags
+                    .iter()
+                    .map(|&m| asm.decode(m).expect("supported"))
+                    .collect();
+                let soa = MacSoa::build(&asm, &plans);
+                let w_neg: Vec<bool> = (0..mags.len()).map(|i| i % 3 == 1).collect();
+                let max_x = (1u32 << (bits - 1)) - 1;
+                let fan: Vec<u32> = (0..mags.len() as u32).collect();
+
+                for width in [1usize, 2, 4, 5, 8, 11] {
+                    // Per-lane activations: distinct magnitude/sign
+                    // patterns so a lane swap or off-by-one in the
+                    // transpose cannot cancel out.
+                    let mut arena = BankArena::new(1usize << (bits - 1), asm.alphabet().len());
+                    let lanes: Vec<(Vec<u32>, Vec<bool>)> = (0..width)
+                        .map(|b| {
+                            let rows: Vec<u32> = (0..mags.len())
+                                .map(|i| {
+                                    let mag = [0, 1, max_x / 3 + 1, max_x, max_x / 2][(i + b) % 5]
+                                        .min(max_x);
+                                    arena.row_or_fill(&asm, mag)
+                                })
+                                .collect();
+                            let negs: Vec<bool> =
+                                (0..mags.len()).map(|i| (i + 2 * b) % 4 == 1).collect();
+                            (rows, negs)
+                        })
+                        .collect();
+                    let lane_rows: Vec<&[u32]> = lanes.iter().map(|(r, _)| r.as_slice()).collect();
+                    let lane_negs: Vec<&[bool]> = lanes.iter().map(|(_, n)| n.as_slice()).collect();
+                    let mut bank_t = Vec::new();
+                    let mut sign_t = Vec::new();
+                    transpose_bank_block(
+                        arena.slab(),
+                        asm.alphabet().len() + 1,
+                        &lane_rows,
+                        &lane_negs,
+                        &mut bank_t,
+                        &mut sign_t,
+                    );
+
+                    // Row-major scalar reference, lane by lane.
+                    let want: Vec<i64> = (0..width)
+                        .map(|b| {
+                            kernel_for(KernelKind::Scalar).accumulate(MacRun {
+                                soa: &soa,
+                                slab: arena.slab(),
+                                w_neg: &w_neg,
+                                w0: 0,
+                                rows: &lanes[b].0,
+                                x_neg: &lanes[b].1,
+                                acc: 7 + b as i64,
+                            })
+                        })
+                        .collect();
+
+                    for &kind in &kinds {
+                        let mut accs: Vec<i64> = (0..width).map(|b| 7 + b as i64).collect();
+                        batch_kernel_for(kind).accumulate(MacBatchRun {
+                            soa: &soa,
+                            bank_t: &bank_t,
+                            stride: asm.alphabet().len() + 1,
+                            width,
+                            w_neg: &w_neg,
+                            w0: 0,
+                            fan: &fan,
+                            sign_t: &sign_t,
+                            accs: &mut accs,
+                        });
+                        assert_eq!(
+                            accs,
+                            want,
+                            "bits={bits} alphabet={} width={width} kernel={}",
+                            asm.alphabet(),
+                            kind.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offset runs (`w0 > 0`) with a gather-style (non-identity,
+    /// repeating) fan — the shape the conv per-position loop uses — hit
+    /// the same bits across batch kernels.
+    #[test]
+    fn batch_kernels_agree_on_offset_runs_and_gathered_fans() {
+        let asm = AsmMultiplier::new(8, AlphabetSet::a2());
+        let mags = supported_mags(&asm);
+        let plans: Vec<AsmPlan> = mags
+            .iter()
+            .map(|&m| asm.decode(m).expect("supported"))
+            .collect();
+        let soa = MacSoa::build(&asm, &plans);
+        let w_neg: Vec<bool> = (0..mags.len()).map(|i| i % 2 == 0).collect();
+        let inputs = 9usize;
+        let mut arena = BankArena::new(128, asm.alphabet().len());
+        let width = 6usize;
+        let lanes: Vec<(Vec<u32>, Vec<bool>)> = (0..width)
+            .map(|b| {
+                let rows: Vec<u32> = (0..inputs)
+                    .map(|i| arena.row_or_fill(&asm, ((i + 3 * b) as u32 * 13) % 128))
+                    .collect();
+                let negs: Vec<bool> = (0..inputs).map(|i| (i * (b + 1)) % 3 == 1).collect();
+                (rows, negs)
+            })
+            .collect();
+        let lane_rows: Vec<&[u32]> = lanes.iter().map(|(r, _)| r.as_slice()).collect();
+        let lane_negs: Vec<&[bool]> = lanes.iter().map(|(_, n)| n.as_slice()).collect();
+        let mut bank_t = Vec::new();
+        let mut sign_t = Vec::new();
+        transpose_bank_block(
+            arena.slab(),
+            asm.alphabet().len() + 1,
+            &lane_rows,
+            &lane_negs,
+            &mut bank_t,
+            &mut sign_t,
+        );
+        // A conv-style fan: repeats and skips over the raw inputs.
+        let fan: Vec<u32> = vec![0, 4, 4, 7, 2, 8, 1, 1];
+        for w0 in [0usize, 1, 5] {
+            let len = fan.len().min(mags.len() - w0);
+            let want: Vec<i64> = (0..width)
+                .map(|b| {
+                    let rows: Vec<u32> =
+                        fan[..len].iter().map(|&g| lanes[b].0[g as usize]).collect();
+                    let x_neg: Vec<bool> =
+                        fan[..len].iter().map(|&g| lanes[b].1[g as usize]).collect();
+                    kernel_for(KernelKind::Scalar).accumulate(MacRun {
+                        soa: &soa,
+                        slab: arena.slab(),
+                        w_neg: &w_neg,
+                        w0,
+                        rows: &rows,
+                        x_neg: &x_neg,
+                        acc: -3,
+                    })
+                })
+                .collect();
+            let mut kinds = vec![KernelKind::Scalar, KernelKind::Swar];
+            if avx2_available() {
+                kinds.push(KernelKind::Avx2);
+            }
+            for &kind in &kinds {
+                let mut accs = vec![-3i64; width];
+                batch_kernel_for(kind).accumulate(MacBatchRun {
+                    soa: &soa,
+                    bank_t: &bank_t,
+                    stride: asm.alphabet().len() + 1,
+                    width,
+                    w_neg: &w_neg,
+                    w0,
+                    fan: &fan[..len],
+                    sign_t: &sign_t,
+                    accs: &mut accs,
+                });
+                assert_eq!(accs, want, "w0={w0} kernel={}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn layout_resolution_table_holds() {
+        let t = AutoTuning::default();
+        // Explicit requests are literal (modulo the batch<2 degrade).
+        assert_eq!(
+            resolve_layout(Layout::RowMajor, 64, 1_000_000, &t),
+            LayoutKind::RowMajor
+        );
+        assert_eq!(
+            resolve_layout(Layout::BatchMajor, 64, 0, &t),
+            LayoutKind::BatchMajor
+        );
+        // A lone row (or an empty batch) has no batch axis: always
+        // row-major, even under a forced BatchMajor request.
+        assert_eq!(
+            resolve_layout(Layout::BatchMajor, 1, u64::MAX, &t),
+            LayoutKind::RowMajor
+        );
+        assert_eq!(
+            resolve_layout(Layout::BatchMajor, 0, u64::MAX, &t),
+            LayoutKind::RowMajor
+        );
+        // Auto defers to the tuner heuristic (or MAN_LAYOUT; under the
+        // CI env matrix the explicit expectations above still hold, and
+        // here we only pin that Auto resolves to *a* concrete layout).
+        let auto = resolve_layout(Layout::Auto, 64, 1_000_000, &t);
+        assert!(matches!(
+            auto,
+            LayoutKind::RowMajor | LayoutKind::BatchMajor
+        ));
+        assert_eq!(
+            resolve_layout(Layout::Auto, 1, u64::MAX, &t),
+            LayoutKind::RowMajor
+        );
+        assert_eq!(LayoutKind::RowMajor.label(), "row");
+        assert_eq!(LayoutKind::BatchMajor.label(), "batch");
+        assert!(LayoutKind::BatchMajor.is_batch_major());
+        assert!(!LayoutKind::RowMajor.is_batch_major());
     }
 
     #[test]

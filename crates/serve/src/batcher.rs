@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use man_obs::{flight, Span, Stage};
-use man_par::{AutoTuning, Kernel, ShardPlan};
+use man_par::{AutoTuning, Kernel, Layout, ShardPlan};
 use man_repro::{CompiledModel, InferenceSession, ManError, Parallelism, Prediction, ServeError};
 
 use crate::metrics::ModelMetrics;
@@ -65,6 +65,7 @@ pub enum SessionMode {
 /// assert_eq!(config.workers, 1);
 /// assert_eq!(config.session_mode, SessionMode::Warm);
 /// assert_eq!(config.request_timeout, Duration::from_secs(30));
+/// assert_eq!(config.layout, man_repro::man_par::Layout::Auto);
 /// ```
 #[derive(Clone, Debug)]
 pub struct BatchConfig {
@@ -104,6 +105,13 @@ pub struct BatchConfig {
     /// (engine default, `MAN_KERNEL`-overridable). Bit-identical either
     /// way; the resolved label lands in the model's `stats`.
     pub kernel: Kernel,
+    /// The layout axis for every worker session: row-major (per-image
+    /// kernels), batch-major (batch-transposed lane kernels), or `Auto`
+    /// (engine default, `MAN_LAYOUT`-overridable — the tuner flips to
+    /// batch-major when the coalesced batch is wide and rows are
+    /// expensive). Bit-identical either way; the per-dispatch resolved
+    /// label lands in the model's `stats`.
+    pub layout: Layout,
     /// How long a submitter waits for its reply before giving up.
     pub request_timeout: Duration,
 }
@@ -119,6 +127,7 @@ impl Default for BatchConfig {
             parallelism: Parallelism::Sequential,
             auto_tuning: AutoTuning::default(),
             kernel: Kernel::Auto,
+            layout: Layout::Auto,
             request_timeout: Duration::from_secs(30),
         }
     }
@@ -340,6 +349,7 @@ fn worker_session(model: &CompiledModel, cfg: &BatchConfig) -> Option<InferenceS
         s.with_parallelism(cfg.parallelism)
             .with_auto_tuning(cfg.auto_tuning.clone())
             .with_kernel(cfg.kernel)
+            .with_layout(cfg.layout)
     };
     match cfg.session_mode {
         SessionMode::Cold => None,
@@ -525,8 +535,8 @@ fn dispatch(
                 // and allocates, so it runs on the first batch (latch
                 // below) and then only periodically; the snapshot drifts
                 // by at most 64 batches.
-                if let Some(plan) = session.last_plan() {
-                    metrics.observe_plan(plan, session.kernel_label());
+                if let Some((plan, layout)) = session.last_dispatch() {
+                    metrics.observe_plan(plan, session.kernel_label(), layout.label());
                     *resolved = Some((plan, session.kernel_label()));
                 }
                 // ORDERING: the swap is a first-observation latch — any
@@ -546,7 +556,10 @@ fn dispatch(
             // the naive-server baseline); building the session dwarfs the
             // stats walk, so both observations run every time.
             None => {
-                let cold = model.session().with_kernel(cfg.kernel);
+                let cold = model
+                    .session()
+                    .with_kernel(cfg.kernel)
+                    .with_layout(cfg.layout);
                 let kernel_start = if dispatch_start > 0 {
                     man_obs::now_ns().max(1)
                 } else {
@@ -556,8 +569,8 @@ fn dispatch(
                 if kernel_start > 0 {
                     *kernel_window = (kernel_start, man_obs::now_ns().saturating_sub(kernel_start));
                 }
-                if let Some(plan) = cold.last_plan() {
-                    metrics.observe_plan(plan, cold.kernel_label());
+                if let Some((plan, layout)) = cold.last_dispatch() {
+                    metrics.observe_plan(plan, cold.kernel_label(), layout.label());
                     *resolved = Some((plan, cold.kernel_label()));
                 }
                 metrics.observe_memory(&cold.stats());

@@ -79,13 +79,18 @@ pub fn prometheus_page(registry: &ModelRegistry) -> String {
     page.header(
         "man_serve_model_info",
         "gauge",
-        "Resolved plan and kernel labels of the most recent dispatch (value is always 1).",
+        "Resolved plan, kernel and layout labels of the most recent dispatch (value is always 1).",
     );
     for (name, m) in &handles {
-        if let Some((plan, kernel)) = m.resolved_labels() {
+        if let Some((plan, kernel, layout)) = m.resolved_labels() {
             page.sample_u64(
                 "man_serve_model_info",
-                &[("model", name), ("plan", plan.as_str()), ("kernel", kernel)],
+                &[
+                    ("model", name),
+                    ("plan", plan.as_str()),
+                    ("kernel", kernel),
+                    ("layout", layout),
+                ],
                 1,
             );
         }

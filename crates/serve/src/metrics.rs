@@ -77,10 +77,13 @@ struct SessionObservation {
     plan: Option<ShardPlan>,
     /// `""` until the first dispatch.
     kernel: &'static str,
+    /// `""` until the first dispatch.
+    layout: &'static str,
     layer_bank_bytes: Vec<u64>,
     bank_bytes: u64,
     plane_bytes: u64,
     kernel_plan_bytes: u64,
+    transpose_bytes: u64,
 }
 
 impl ModelMetrics {
@@ -114,16 +117,18 @@ impl ModelMetrics {
         }
     }
 
-    /// Records what a dispatch resolved to on both tuner axes — two
-    /// `Copy` stores under a short lock, cheap enough for every batch,
-    /// so operators always see what the tuner actually chose last.
-    pub fn observe_plan(&self, plan: ShardPlan, kernel: &'static str) {
+    /// Records what a dispatch resolved to on all three tuner axes —
+    /// three `Copy` stores under a short lock, cheap enough for every
+    /// batch, so operators always see what the tuner actually chose
+    /// last.
+    pub fn observe_plan(&self, plan: ShardPlan, kernel: &'static str, layout: &'static str) {
         let mut obs = self
             .session
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         obs.plan = Some(plan);
         obs.kernel = kernel;
+        obs.layout = layout;
     }
 
     /// Records a worker session's cache memory footprint. Walking the
@@ -139,18 +144,24 @@ impl ModelMetrics {
         obs.bank_bytes = stats.bank_bytes;
         obs.plane_bytes = stats.plane_bytes;
         obs.kernel_plan_bytes = stats.kernel_plan_bytes;
+        obs.transpose_bytes = stats.transpose_bytes;
     }
 
-    /// The most recent resolved plan × kernel, rendered (`None` before
-    /// the first dispatch) — what the Prometheus exporter labels
-    /// `man_serve_model_info` with.
-    pub fn resolved_labels(&self) -> Option<(String, &'static str)> {
+    /// The most recent resolved plan × kernel × layout, rendered
+    /// (`None` before the first dispatch) — what the Prometheus
+    /// exporter labels `man_serve_model_info` with.
+    pub fn resolved_labels(&self) -> Option<(String, &'static str, &'static str)> {
         let obs = self
             .session
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        obs.plan
-            .map(|p| (p.label_with_kernel(obs.kernel), obs.kernel))
+        obs.plan.map(|p| {
+            (
+                p.label_with_kernel_layout(obs.kernel, obs.layout),
+                obs.kernel,
+                obs.layout,
+            )
+        })
     }
 
     /// Aggregates the counters into a serializable snapshot.
@@ -217,17 +228,23 @@ impl ModelMetrics {
             queue_p99_us: queue_wait.quantile(0.99),
             plan: obs
                 .plan
-                .map(|p| p.label_with_kernel(obs.kernel))
+                .map(|p| p.label_with_kernel_layout(obs.kernel, obs.layout))
                 .unwrap_or_else(unresolved),
             kernel: if obs.kernel.is_empty() {
                 unresolved()
             } else {
                 obs.kernel.to_owned()
             },
+            layout: if obs.layout.is_empty() {
+                unresolved()
+            } else {
+                obs.layout.to_owned()
+            },
             cache_layer_bank_bytes: obs.layer_bank_bytes,
             cache_bank_bytes: obs.bank_bytes,
             cache_plane_bytes: obs.plane_bytes,
             kernel_plan_bytes: obs.kernel_plan_bytes,
+            cache_transpose_bytes: obs.transpose_bytes,
         }
     }
 }
@@ -276,12 +293,16 @@ pub struct ModelStats {
     /// queue percentiles with flat execution percentiles is the
     /// backpressure-onset signature.
     pub queue_p99_us: u64,
-    /// The sharding plan × kernel the most recent dispatch resolved to
-    /// (e.g. `"rows(4)+swar"`); `"unresolved"` before the first batch.
+    /// The sharding plan × kernel × layout the most recent dispatch
+    /// resolved to (e.g. `"rows(4)+swar+batch"`); `"unresolved"` before
+    /// the first batch.
     pub plan: String,
     /// The resolved MAC kernel label (`"scalar"`/`"swar"`/`"avx2"`;
     /// `"unresolved"` before the first batch).
     pub kernel: String,
+    /// The resolved layout label (`"row"`/`"batch"`; `"unresolved"`
+    /// before the first batch).
+    pub layout: String,
     /// Per-layer bank-arena bytes of the observed worker session.
     pub cache_layer_bank_bytes: Vec<u64>,
     /// Total bank-arena bytes of the observed worker session.
@@ -291,6 +312,10 @@ pub struct ModelStats {
     pub cache_plane_bytes: u64,
     /// Bytes of the engine's shared SoA kernel plans.
     pub kernel_plan_bytes: u64,
+    /// Batch-major transpose-scratch bytes of the observed worker
+    /// session, summed across its slots (0 until a batch-major
+    /// dispatch ran).
+    pub cache_transpose_bytes: u64,
 }
 
 #[cfg(test)]

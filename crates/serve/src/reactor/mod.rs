@@ -21,7 +21,7 @@
 //!   polled for readability until the client drains it.
 //! * **Dispatch workers** — a small pool that takes parsed requests off
 //!   a bounded queue, runs them against the blocking
-//!   [`ModelRegistry`]/scheduler stack (where the `decode`/`accept`/
+//!   [`ModelRegistry`](crate::ModelRegistry)/scheduler stack (where the `decode`/`accept`/
 //!   `queue_wait`/… span taxonomy of DESIGN.md §12 is recorded exactly
 //!   as before), and posts the rendered response back to the owning
 //!   reactor's completion queue. A full dispatch queue answers

@@ -96,6 +96,14 @@ fn main() -> Result<(), ManError> {
     for (i, p) in session.infer_batch(&batch)?.iter().enumerate() {
         println!("batch[{i}] -> class {} (scores {:?})", p.class, p.scores);
     }
+    // The third tuner axis: which MAC data layout that batch resolved
+    // to (`row` vectorizes within a row's fan-in, `batch` across batch
+    // rows — DESIGN.md §10) — grep-able next to `[man-kernel]`.
+    println!(
+        "[man-kernel] resolved layout for the batch of {}: {}",
+        batch.len(),
+        session.stats().layout
+    );
     std::fs::remove_file(&path).ok();
     Ok(())
 }

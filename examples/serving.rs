@@ -93,6 +93,14 @@ fn main() -> Result<(), ManError> {
             "stats: {} completed, {} batches (mean size {:.2}), p50 {} us, p99 {} us",
             s.completed, s.batches, s.mean_batch, s.p50_us, s.p99_us
         );
+        // The layout axis next to the kernel one: what data layout the
+        // scheduler's most recent dispatch resolved to (DESIGN.md §10)
+        // — `row` below the tuner's batch/row-cost thresholds, `batch`
+        // once micro-batches are wide and rows heavy enough.
+        println!(
+            "[man-kernel] resolved layout: {} (plan {})",
+            s.layout, s.plan
+        );
     }
 
     // ---- Where did the time go? The observability plane histograms

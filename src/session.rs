@@ -45,8 +45,8 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use man::fixed::{argmax_raw, FixedNet, LayerTrace, SessionCache};
-use man::kernel::KernelKind;
-use man_par::{plan_shards, AutoContext, AutoTuning, Kernel, Parallelism, ShardPlan};
+use man::kernel::{KernelKind, LayoutKind};
+use man_par::{plan_shards, AutoContext, AutoTuning, Kernel, Layout, Parallelism, ShardPlan};
 use serde::Serialize;
 
 use crate::artifact::CompiledModel;
@@ -94,10 +94,15 @@ pub struct InferenceSession {
     /// [`AutoTuning::kernel`], which itself defaults to the engine's
     /// env-aware auto resolution.
     kernel: Kernel,
-    /// The sharding plan the most recent batch resolved to — what
-    /// [`InferenceSession::stats`] reports so operators can see what
-    /// the tuner actually chose.
-    resolved_plan: Mutex<Option<ShardPlan>>,
+    /// The session-level layout request — the third tuner axis.
+    /// [`Layout::Auto`] defers to [`AutoTuning::layout`] and the
+    /// `MAN_LAYOUT` environment override; the resolved axis is decided
+    /// per batch (see [`InferenceSession::resolved_layout`]).
+    layout: Layout,
+    /// The `(sharding plan, layout)` the most recent batch resolved to —
+    /// what [`InferenceSession::stats`] reports so operators can see
+    /// what the tuner actually chose.
+    resolved_plan: Mutex<Option<(ShardPlan, LayoutKind)>>,
     warm: bool,
     trace_limit: Option<usize>,
 }
@@ -115,9 +120,12 @@ pub struct SessionStats {
     pub workers: u64,
     /// The resolved MAC kernel label (`"scalar"`, `"swar"`, `"avx2"`).
     pub kernel: String,
+    /// The layout axis the most recent batch resolved to (`"row"`,
+    /// `"batch"`); `"unresolved"` before the first inference.
+    pub layout: String,
     /// The sharding plan the most recent batch resolved to, combined
-    /// with the kernel (e.g. `"rows(4)+swar"`); `"unresolved"` before
-    /// the first inference.
+    /// with the kernel and layout (e.g. `"rows(4)+swar+batch"`);
+    /// `"unresolved"` before the first inference.
     pub plan: String,
     /// Compile-time MACs per inference (the tuner's work measure).
     pub macs_per_row: u64,
@@ -132,7 +140,11 @@ pub struct SessionStats {
     /// Bytes of the engine's repacked SoA kernel plans (shared by every
     /// session over the same compiled model).
     pub kernel_plan_bytes: u64,
-    /// `bank_bytes + plane_bytes` — the session-owned cache total.
+    /// Heap bytes of the batch-major transpose scratch, summed across
+    /// worker slots (0 until a batch-major dispatch ran).
+    pub transpose_bytes: u64,
+    /// `bank_bytes + plane_bytes + transpose_bytes` — the session-owned
+    /// cache total.
     pub cache_bytes: u64,
 }
 
@@ -150,6 +162,7 @@ impl InferenceSession {
             macs_per_row,
             auto_tuning: AutoTuning::default(),
             kernel: Kernel::Auto,
+            layout: Layout::Auto,
             resolved_plan: Mutex::new(None),
             warm: false,
             trace_limit: None,
@@ -224,6 +237,19 @@ impl InferenceSession {
         self
     }
 
+    /// Sets the session's layout request (see [`Layout`]): `RowMajor`
+    /// pins the per-image kernels, `BatchMajor` the batch-transposed
+    /// lane kernels for every batch of ≥ 2 rows, and `Auto` — the
+    /// default — defers to [`AutoTuning::layout`], the `MAN_LAYOUT`
+    /// environment override, and the tuner's batch/MACs-per-row
+    /// heuristic. Every layout returns bit-identical predictions; see
+    /// [`InferenceSession::resolved_layout`] for what actually runs.
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// The MAC kernel this session's inferences run after dispatch
     /// (`scalar`/`swar`/`avx2`): the session-level request when
     /// explicit, else the tuning's kernel axis, else the engine's
@@ -235,22 +261,45 @@ impl InferenceSession {
         }
     }
 
+    /// The layout a batch of `batch` rows runs under on this session:
+    /// the session-level request when explicit, else the tuning's layout
+    /// axis, through the engine's env-aware resolution
+    /// ([`man::kernel::resolve_layout`]) — which degrades every batch of
+    /// fewer than 2 rows to row-major, so the label always names the
+    /// datapath that actually ran. Tracing forces row-major (the operand
+    /// stream is ordered per image).
+    pub fn resolved_layout(&self, batch: usize) -> LayoutKind {
+        if self.trace_limit.is_some() {
+            return LayoutKind::RowMajor;
+        }
+        let request = match self.layout {
+            Layout::Auto => self.auto_tuning.layout,
+            explicit => explicit,
+        };
+        man::kernel::resolve_layout(request, batch, self.macs_per_row, &self.auto_tuning)
+    }
+
     /// The resolved kernel's label (`"scalar"`, `"swar"`, `"avx2"`) for
     /// logs and bench rows.
     pub fn kernel_label(&self) -> &'static str {
         self.resolved_kernel().label()
     }
 
-    /// The sharding plan the most recent batch resolved to, or `None`
-    /// before the first inference — the cheap (`Copy`) form of what
-    /// [`InferenceSession::stats`] renders as the `plan` label, for
+    /// The `(sharding plan, layout)` the most recent batch resolved to,
+    /// or `None` before the first inference — the cheap (`Copy`) form of
+    /// what [`InferenceSession::stats`] renders as the `plan` label, for
     /// callers on a hot path (the serve scheduler records it per
     /// dispatch).
-    pub fn last_plan(&self) -> Option<ShardPlan> {
+    pub fn last_dispatch(&self) -> Option<(ShardPlan, LayoutKind)> {
         *self
             .resolved_plan
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The sharding-plan half of [`InferenceSession::last_dispatch`].
+    pub fn last_plan(&self) -> Option<ShardPlan> {
+        self.last_dispatch().map(|(plan, _)| plan)
     }
 
     /// An observability snapshot: resolved plan × kernel plus the cache
@@ -259,14 +308,16 @@ impl InferenceSession {
     /// shared SoA plan bytes alongside).
     pub fn stats(&self) -> SessionStats {
         let kernel = self.resolved_kernel();
-        let plan = self
-            .resolved_plan
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .map(|p| p.label_with_kernel(kernel.label()))
+        let dispatch = self.last_dispatch();
+        let plan = dispatch
+            .map(|(p, l)| p.label_with_kernel_layout(kernel.label(), l.label()))
+            .unwrap_or_else(|| "unresolved".to_owned());
+        let layout = dispatch
+            .map(|(_, l)| l.label().to_owned())
             .unwrap_or_else(|| "unresolved".to_owned());
         let mut layer_bank_bytes: Vec<u64> = Vec::new();
         let mut plane_bytes = 0u64;
+        let mut transpose_bytes = 0u64;
         for slot in 0..self.caches.len() {
             let fp = self.lock_cache(slot).footprint();
             if layer_bank_bytes.is_empty() {
@@ -276,20 +327,24 @@ impl InferenceSession {
                 *sum += *bytes as u64;
             }
             // The plane is shared by clone across slots: count it once.
+            // Transpose scratch (like the banks) is per slot: sum it.
             plane_bytes = plane_bytes.max(fp.plane_bytes as u64);
+            transpose_bytes += fp.transpose_bytes as u64;
         }
         let bank_bytes: u64 = layer_bank_bytes.iter().sum();
         SessionStats {
             parallelism: self.parallelism.label(),
             workers: self.caches.len() as u64,
             kernel: kernel.label().to_owned(),
+            layout,
             plan,
             macs_per_row: self.macs_per_row,
             layer_bank_bytes,
             bank_bytes,
             plane_bytes,
             kernel_plan_bytes: self.fixed.kernel_plan_bytes() as u64,
-            cache_bytes: bank_bytes + plane_bytes,
+            transpose_bytes,
+            cache_bytes: bank_bytes + plane_bytes + transpose_bytes,
         }
     }
 
@@ -384,13 +439,13 @@ impl InferenceSession {
     }
 
     /// Remembers what the most recent batch resolved to (for
-    /// [`InferenceSession::stats`]), then returns the plan unchanged.
-    fn record_plan(&self, plan: ShardPlan) -> ShardPlan {
+    /// [`InferenceSession::stats`]), then returns the dispatch unchanged.
+    fn record_dispatch(&self, plan: ShardPlan, layout: LayoutKind) -> (ShardPlan, LayoutKind) {
         *self
             .resolved_plan
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan);
-        plan
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((plan, layout));
+        (plan, layout)
     }
 
     fn infer_locked(&self, input: &[f32], cache: &mut SessionCache) -> Prediction {
@@ -446,7 +501,10 @@ impl InferenceSession {
     pub fn infer_shared(&self, input: &[f32]) -> Result<Prediction, ManError> {
         self.check_shape(input)?;
         let mut cache = self.lock_cache(0);
-        match self.record_plan(self.plan_with_load(1, 1)) {
+        // A lone row always resolves row-major (the batch-major path
+        // needs ≥ 2 lanes to pay for the transpose).
+        let (plan, _) = self.record_dispatch(self.plan_with_load(1, 1), self.resolved_layout(1));
+        match plan {
             ShardPlan::Neurons { workers } | ShardPlan::Rows { workers } => {
                 Ok(self.infer_locked_sharded(input, &mut cache, workers))
             }
@@ -513,27 +571,54 @@ impl InferenceSession {
             self.kernel_label(),
             inputs.len() as u64,
         );
-        match self.record_plan(self.plan_with_load(inputs.len(), streams)) {
-            ShardPlan::Sequential => {
+        let mut plan = self.plan_with_load(inputs.len(), streams);
+        let layout = self.resolved_layout(inputs.len());
+        if layout.is_batch_major() {
+            // Batch-major consumes whole rows per lane, so a Neurons
+            // plan (rows too few/expensive to row-shard each) remaps to
+            // row sharding over the same worker budget — each worker
+            // then runs the widest lane block its rows allow.
+            if let ShardPlan::Neurons { workers } = plan {
+                plan = ShardPlan::Rows {
+                    workers: workers.min(inputs.len()),
+                };
+            }
+        }
+        match self.record_dispatch(plan, layout) {
+            (ShardPlan::Sequential, LayoutKind::BatchMajor) => {
+                let mut cache = self.lock_cache(0);
+                Ok(self
+                    .fixed
+                    .infer_batch_raw_batch_major_kernel(inputs, &mut cache, self.resolved_kernel())
+                    .into_iter()
+                    .map(|scores| Prediction {
+                        class: argmax_raw(&scores),
+                        scores,
+                        traces: None,
+                    })
+                    .collect())
+            }
+            (ShardPlan::Sequential, LayoutKind::RowMajor) => {
                 let mut cache = self.lock_cache(0);
                 Ok(inputs
                     .iter()
                     .map(|x| self.infer_locked(x, &mut cache))
                     .collect())
             }
-            ShardPlan::Neurons { workers } => {
+            (ShardPlan::Neurons { workers }, _) => {
                 // Rows too few (or too expensive each) to row-shard:
                 // shard each row's large layers across the workers
                 // instead (a no-op on warm sessions, whose product
                 // plane beats sharding — see
-                // `FixedNet::infer_raw_with_cache_par`).
+                // `FixedNet::infer_raw_with_cache_par`). Only reachable
+                // row-major: batch-major remapped this plan above.
                 let mut cache = self.lock_cache(0);
                 Ok(inputs
                     .iter()
                     .map(|x| self.infer_locked_sharded(x, &mut cache, workers))
                     .collect())
             }
-            ShardPlan::Rows { workers } => {
+            (ShardPlan::Rows { workers }, layout) => {
                 // Row sharding over as many worker slots as the plan
                 // engaged; each slot's cache memoizes (banks and, when
                 // warm, plane entries) on the ordinary mutable path.
@@ -541,9 +626,19 @@ impl InferenceSession {
                     (0..workers).map(|slot| self.lock_cache(slot)).collect();
                 let mut caches: Vec<&mut SessionCache> =
                     guards.iter_mut().map(|g| &mut **g).collect();
-                Ok(self
-                    .fixed
-                    .infer_batch_raw_par_kernel(inputs, &mut caches, self.resolved_kernel())
+                let raw = match layout {
+                    LayoutKind::BatchMajor => self.fixed.infer_batch_raw_batch_major_par_kernel(
+                        inputs,
+                        &mut caches,
+                        self.resolved_kernel(),
+                    ),
+                    LayoutKind::RowMajor => self.fixed.infer_batch_raw_par_kernel(
+                        inputs,
+                        &mut caches,
+                        self.resolved_kernel(),
+                    ),
+                };
+                Ok(raw
                     .into_iter()
                     .map(|scores| Prediction {
                         class: argmax_raw(&scores),

@@ -9,7 +9,7 @@
 use man_repro::man::alphabet::AlphabetSet;
 use man_repro::man_nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use man_repro::man_nn::network::Network;
-use man_repro::man_par::{run_chunked, Kernel, Parallelism};
+use man_repro::man_par::{run_chunked, Kernel, Layout, Parallelism};
 use man_repro::{CompiledModel, Pipeline};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -227,6 +227,46 @@ proptest! {
         }
     }
 
+    /// The §10 layout matrix: the batch-major lane-block path (a
+    /// transposed bank walk vectorizing across batch rows) is
+    /// bit-identical to the row-major reference across random models ×
+    /// word lengths × alphabets × batch 0..64 (straddling the
+    /// `LANE_BLOCK` width and its remainders) × warm/plain caches ×
+    /// `Threads(1..8)` — asserted twice per session, so the second pass
+    /// also covers prefilled arenas and reused transpose scratch.
+    #[test]
+    fn batch_major_layout_is_bit_identical(
+        seed in any::<u64>(),
+        bits in prop_oneof![Just(6u32), Just(8u32), Just(12u32)],
+        set in any_alphabet(),
+        in_dim in 4usize..20,
+        hidden in 4usize..48,
+        classes in 2usize..6,
+        rows in 0usize..64,
+        threads in 1usize..8,
+        warm in any::<bool>(),
+    ) {
+        let model = random_model(seed, bits, in_dim, hidden, classes, set);
+        let batch = random_batch(seed, rows, in_dim);
+        let row_major = scores_of(
+            model.session()
+                .with_layout(Layout::RowMajor)
+                .infer_batch_shared(&batch)
+                .expect("shapes match"),
+        );
+        let session = if warm { model.session().warm() } else { model.session() }
+            .with_parallelism(Parallelism::Threads(threads))
+            .with_layout(Layout::BatchMajor);
+        let batch_major = scores_of(
+            session.infer_batch_shared(&batch).expect("shapes match"),
+        );
+        prop_assert_eq!(&batch_major, &row_major, "first pass");
+        let again = scores_of(
+            session.infer_batch_shared(&batch).expect("shapes match"),
+        );
+        prop_assert_eq!(&again, &row_major, "reused-scratch pass");
+    }
+
     /// `Parallelism::Auto` — whatever plan the tuner resolves (rows,
     /// neurons or sequential) — is bit-identical to the sequential
     /// path, warm or plain.
@@ -355,9 +395,41 @@ fn forced_swar_fallback_matches_scalar_and_vector() {
     assert_eq!(got, scalar);
 }
 
-/// Session `stats` surface the resolved plan × kernel and the cache
-/// memory story (per-layer bank bytes, plane bytes counted once across
-/// worker slots) — the observability satellite.
+/// Batch-major is a batch-path optimization: below two rows there is
+/// nothing to vectorize across, so an explicit `Layout::BatchMajor`
+/// request degrades to the row-major path — same bits, and the
+/// dispatch record says `row`, so operators never see a phantom
+/// `batch` label on single-row traffic. From two rows up the explicit
+/// request is honoured again.
+#[test]
+fn batch_major_request_degrades_to_row_major_below_two_rows() {
+    let model = random_model(23, 8, 12, 32, 3, AlphabetSet::a2());
+    let session = model.session().with_layout(Layout::BatchMajor);
+    let single = random_batch(23, 1, 12);
+    let reference = scores_of(
+        model
+            .session()
+            .infer_batch_shared(&single)
+            .expect("shapes match"),
+    );
+    let got = scores_of(session.infer_batch_shared(&single).expect("shapes match"));
+    assert_eq!(got, reference);
+    let (_, layout) = session.last_dispatch().expect("a batch resolved");
+    assert_eq!(layout.label(), "row", "batch=1 must degrade to row-major");
+    assert_eq!(session.stats().layout, "row");
+    let pair = random_batch(24, 2, 12);
+    session.infer_batch_shared(&pair).expect("shapes match");
+    assert_eq!(
+        session.stats().layout,
+        "batch",
+        "two rows honour the explicit batch-major request"
+    );
+}
+
+/// Session `stats` surface the resolved plan × kernel × layout and the
+/// cache memory story (per-layer bank bytes, plane bytes counted once
+/// across worker slots, transpose scratch) — the observability
+/// satellite.
 #[test]
 fn session_stats_report_plan_kernel_and_memory() {
     let model = random_model(22, 8, 12, 32, 3, AlphabetSet::a2());
@@ -377,13 +449,29 @@ fn session_stats_report_plan_kernel_and_memory() {
     session.infer_batch_shared(&batch).expect("shapes match");
     let stats = session.stats();
     assert!(
-        stats.plan.contains(&stats.kernel) && stats.plan.contains('+'),
-        "plan must carry the plan×kernel label, got {:?}",
+        stats.plan.contains(&stats.kernel)
+            && stats.plan.contains(&stats.layout)
+            && stats.plan.matches('+').count() == 2,
+        "plan must carry the plan×kernel×layout label, got {:?}",
         stats.plan
+    );
+    assert!(
+        stats.layout == "row" || stats.layout == "batch",
+        "a resolved batch pins one layout, got {:?}",
+        stats.layout
     );
     assert_eq!(stats.layer_bank_bytes.len(), 2, "one entry per layer");
     assert!(stats.bank_bytes > 0, "inference filled bank rows");
-    assert_eq!(stats.cache_bytes, stats.bank_bytes + stats.plane_bytes);
+    assert_eq!(
+        stats.cache_bytes,
+        stats.bank_bytes + stats.plane_bytes + stats.transpose_bytes
+    );
+    if stats.layout == "batch" {
+        assert!(
+            stats.transpose_bytes > 0,
+            "a batch-major dispatch leaves transpose scratch behind"
+        );
+    }
     assert!(stats.kernel_plan_bytes > 0);
     assert_eq!(stats.macs_per_row, model.macs_per_inference());
 }
